@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race bench repro repro-full cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure at quick scale (seconds).
+repro:
+	$(GO) run ./cmd/poirepro -fig all
+
+# Regenerate every figure at paper scale (several minutes); writes the
+# numbers EXPERIMENTS.md cites.
+repro-full:
+	$(GO) run ./cmd/poirepro -fig all -scale full | tee results_full.txt
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,102 @@
+// Command attackdemo walks through one end-to-end location
+// re-identification with verbose tracing: it places a user in a
+// synthetic city, shows the frequency vector the user would release,
+// runs the region and fine-grained attacks, and then shows how the
+// paper's DP defense breaks the attack.
+//
+// Usage:
+//
+//	attackdemo -city beijing -r 1000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"poiagg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "attackdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("attackdemo", flag.ContinueOnError)
+	cityName := fs.String("city", "beijing", "city preset: beijing or nyc")
+	r := fs.Float64("r", 1000, "query range in meters")
+	seed := fs.Uint64("seed", 7, "random seed")
+	tries := fs.Int("tries", 200, "user locations to try until one is unique")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		city *poiagg.City
+		err  error
+	)
+	switch *cityName {
+	case "beijing":
+		city, err = poiagg.GenerateBeijing(*seed)
+	case "nyc":
+		city, err = poiagg.GenerateNewYork(*seed)
+	default:
+		return fmt.Errorf("unknown city %q", *cityName)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "city %s: %d POIs, %d types\n", city.Name(), city.NumPOIs(), city.M())
+
+	// Find a user whose release is unique (the attack succeeds), to make
+	// the walk-through informative.
+	locs := city.RandomLocations(*tries, *seed+1)
+	for _, user := range locs {
+		release := city.Freq(user, *r)
+		res := city.RegionAttack(release, *r)
+		if !res.Success {
+			continue
+		}
+
+		fmt.Fprintf(w, "\nuser at %v releases a vector with %d POIs over %d types (r = %.0f m)\n",
+			user, release.Total(), release.Support(), *r)
+		fmt.Fprintf(w, "most infrequent type present: %q (city-wide count %d)\n",
+			city.Types().Name(res.AnchorType), city.CityFreq()[res.AnchorType])
+		fmt.Fprintf(w, "REGION ATTACK: unique anchor %q at %v — user is within %.0f m of it\n",
+			city.Types().Name(res.Anchor.Type), res.Anchor.Pos, *r)
+		fmt.Fprintf(w, "  search area: %.2f km² (πr²)\n", math.Pi*(*r)*(*r)/1e6)
+
+		fg := city.FineGrainedAttack(release, *r, poiagg.DefaultFineGrainedConfig())
+		fmt.Fprintf(w, "FINE-GRAINED ATTACK: %d auxiliary anchors\n", len(fg.AuxAnchors))
+		fmt.Fprintf(w, "  search area shrinks to %.3f km² (%.1f%% of πr²)\n",
+			fg.Area/1e6, 100*fg.Area/(math.Pi*(*r)*(*r)))
+		fmt.Fprintf(w, "  feasible region still contains the user: %v\n", fg.Covers(user, *r))
+
+		mech, err := city.NewDPRelease(poiagg.DefaultDPReleaseConfig())
+		if err != nil {
+			return err
+		}
+		protected, err := mech.Release(poiagg.NewRand(*seed+2), user, *r)
+		if err != nil {
+			return err
+		}
+		pres := city.RegionAttack(protected, *r)
+		fmt.Fprintf(w, "DP DEFENSE (k=20, eps=%.1f, delta=%.1f, beta=%.2f): ",
+			mech.Config().Eps, mech.Config().Delta, mech.Config().Beta)
+		switch {
+		case !pres.Success:
+			fmt.Fprintf(w, "attack fails (%d surviving candidates)\n", len(pres.Candidates))
+		case !pres.Covers(user, *r):
+			fmt.Fprintln(w, "attack confidently identifies the WRONG location")
+		default:
+			fmt.Fprintln(w, "attack still succeeds (rare; rerun with another seed)")
+		}
+		return nil
+	}
+	return fmt.Errorf("no unique location found in %d tries; raise -tries or -r", *tries)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunWalkthrough(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-city", "beijing", "-r", "1000", "-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGION ATTACK", "FINE-GRAINED ATTACK", "DP DEFENSE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-city", "gotham"}, &buf); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if err := run([]string{"-tries", "0"}, &buf); err == nil {
+		t.Error("zero tries should fail to find a unique location")
+	}
+}

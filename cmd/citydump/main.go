@@ -1,0 +1,93 @@
+// Command citydump generates a synthetic city (and optionally mobility
+// traces) and dumps it as JSON for inspection or reuse.
+//
+// Usage:
+//
+//	citydump -city beijing -seed 1 > beijing.json
+//	citydump -city nyc -taxis 100 -checkins 50 > nyc.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"poiagg"
+)
+
+type dump struct {
+	Name     string              `json:"name"`
+	Bounds   poiagg.Rect         `json:"bounds"`
+	NumPOIs  int                 `json:"numPois"`
+	NumTypes int                 `json:"numTypes"`
+	Types    []string            `json:"types"`
+	POIs     []poiagg.POI        `json:"pois"`
+	Taxis    []poiagg.Trajectory `json:"taxis,omitempty"`
+	Checkins []poiagg.Trajectory `json:"checkins,omitempty"`
+	CityFreq poiagg.FreqVector   `json:"cityFreq"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "citydump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("citydump", flag.ContinueOnError)
+	cityName := fs.String("city", "beijing", "city preset: beijing or nyc")
+	seed := fs.Uint64("seed", 1, "random seed")
+	taxis := fs.Int("taxis", 0, "also generate this many taxi trajectories")
+	checkins := fs.Int("checkins", 0, "also generate this many check-in users")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		city *poiagg.City
+		err  error
+	)
+	switch *cityName {
+	case "beijing":
+		city, err = poiagg.GenerateBeijing(*seed)
+	case "nyc":
+		city, err = poiagg.GenerateNewYork(*seed)
+	default:
+		return fmt.Errorf("unknown city %q (want beijing or nyc)", *cityName)
+	}
+	if err != nil {
+		return err
+	}
+
+	d := dump{
+		Name:     city.Name(),
+		Bounds:   city.Bounds(),
+		NumPOIs:  city.NumPOIs(),
+		NumTypes: city.M(),
+		Types:    city.Types().Names(),
+		POIs:     city.POIs(),
+		CityFreq: city.CityFreq(),
+	}
+	if *taxis > 0 {
+		p := poiagg.DefaultTaxiParams(*seed + 1)
+		p.NumTaxis = *taxis
+		d.Taxis, err = city.GenerateTaxis(p)
+		if err != nil {
+			return err
+		}
+	}
+	if *checkins > 0 {
+		p := poiagg.DefaultCheckinParams(*seed + 2)
+		p.NumUsers = *checkins
+		d.Checkins, err = city.GenerateCheckins(p)
+		if err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunDumpsCity(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-city", "beijing", "-seed", "2", "-taxis", "2", "-checkins", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var d dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if d.Name != "beijing" || d.NumPOIs != 10_249 || d.NumTypes != 177 {
+		t.Errorf("metadata: %s %d %d", d.Name, d.NumPOIs, d.NumTypes)
+	}
+	if len(d.POIs) != d.NumPOIs || len(d.Types) != d.NumTypes {
+		t.Errorf("payload sizes: %d POIs, %d types", len(d.POIs), len(d.Types))
+	}
+	if len(d.Taxis) != 2 || len(d.Checkins) != 2 {
+		t.Errorf("traces: %d taxis, %d checkins", len(d.Taxis), len(d.Checkins))
+	}
+	total := 0
+	for _, n := range d.CityFreq {
+		total += n
+	}
+	if total != d.NumPOIs {
+		t.Errorf("CityFreq total %d != %d", total, d.NumPOIs)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-city", "gotham"}, &buf); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command gspd serves a city's geo-information over HTTP: the GSP of the
+// paper's LBS architecture. It can host a generated synthetic city or a
+// city snapshot produced with the dataset format.
+//
+// Usage:
+//
+//	gspd -addr :8080 -city beijing
+//	gspd -addr :8080 -load beijing.json   # dataset.CityFile snapshot
+//
+// Endpoints: GET /v1/stats, /v1/query?x=&y=&r=, /v1/freq?x=&y=&r=.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/dataset"
+	"poiagg/internal/gsp"
+	"poiagg/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gspd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gspd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cityName := fs.String("city", "beijing", "synthetic city preset: beijing or nyc")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	load := fs.String("load", "", "load a city snapshot (dataset JSON) instead of generating")
+	maxRadius := fs.Float64("max-radius", 10_000, "maximum accepted query radius in meters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	city, err := buildCity(*load, *cityName, *seed)
+	if err != nil {
+		return err
+	}
+	svc := gsp.NewService(city, 1<<18)
+	logger := log.New(os.Stderr, "gspd ", log.LstdFlags)
+	handler := wire.NewGSPServer(svc,
+		wire.WithLogger(logger),
+		wire.WithMaxRadius(*maxRadius),
+	)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %s (%d POIs, %d types) on %s",
+			city.Name, city.NumPOIs(), city.M(), *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		logger.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}
+
+func buildCity(load, cityName string, seed uint64) (*gsp.City, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.LoadCity(f)
+	}
+	var p citygen.Params
+	switch cityName {
+	case "beijing":
+		p = citygen.Beijing(seed)
+	case "nyc":
+		p = citygen.NewYork(seed)
+	default:
+		return nil, fmt.Errorf("unknown city %q (want beijing or nyc)", cityName)
+	}
+	c, err := citygen.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	return c.City, nil
+}

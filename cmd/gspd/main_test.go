@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/dataset"
+)
+
+func TestBuildCityPresets(t *testing.T) {
+	city, err := buildCity("", "beijing", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.NumPOIs() != 10_249 {
+		t.Errorf("NumPOIs = %d", city.NumPOIs())
+	}
+	if _, err := buildCity("", "gotham", 1); err == nil {
+		t.Error("unknown city accepted")
+	}
+}
+
+func TestBuildCityFromSnapshot(t *testing.T) {
+	p := citygen.Beijing(2)
+	p.NumPOIs = 500
+	p.NumTypes = 30
+	gen, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "city.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.SaveCity(f, gen.City); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	city, err := buildCity(path, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.NumPOIs() != 500 || city.M() != 30 {
+		t.Errorf("loaded %d POIs / %d types", city.NumPOIs(), city.M())
+	}
+	if _, err := buildCity(filepath.Join(t.TempDir(), "missing.json"), "", 0); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}

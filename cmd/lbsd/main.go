@@ -1,0 +1,101 @@
+// Command lbsd serves the LBS application of the paper's architecture:
+// it accepts POI-aggregate releases from users and, when pointed at the
+// public GSP, audits every release with the region re-identification
+// attack — letting an operator observe in real time how identifying the
+// "anonymous" aggregates are.
+//
+// Usage:
+//
+//	lbsd -addr :8081 -city beijing          # audit against a local city copy
+//	lbsd -addr :8081 -city beijing -no-audit
+//
+// Endpoints: POST /v1/release, GET /v1/releases?user=.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/gsp"
+	"poiagg/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lbsd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	cityName := fs.String("city", "beijing", "city preset the releases refer to")
+	seed := fs.Uint64("seed", 1, "city generation seed (must match the GSP's)")
+	noAudit := fs.Bool("no-audit", false, "disable re-identification auditing")
+	historyLimit := fs.Int("history", 1000, "stored releases per user")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p citygen.Params
+	switch *cityName {
+	case "beijing":
+		p = citygen.Beijing(*seed)
+	case "nyc":
+		p = citygen.NewYork(*seed)
+	default:
+		return fmt.Errorf("unknown city %q", *cityName)
+	}
+	city, err := citygen.Generate(p)
+	if err != nil {
+		return err
+	}
+
+	opts := []wire.LBSServerOption{wire.WithHistoryLimit(*historyLimit)}
+	if !*noAudit {
+		svc := gsp.NewService(city.City, 1<<18)
+		opts = append(opts, wire.WithAuditor(wire.RegionAuditor{Svc: svc}))
+	}
+	handler := wire.NewLBSServer(city.M(), opts...)
+
+	logger := log.New(os.Stderr, "lbsd ", log.LstdFlags)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("LBS app for %s on %s (audit=%v)", city.Name, *addr, !*noAudit)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		logger.Printf("received %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	// Only error paths are testable without binding a listener; the
+	// serving path is covered end-to-end by internal/wire's httptest
+	// suite.
+	if err := run([]string{"-city", "gotham"}); err == nil {
+		t.Error("unknown city accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command poirepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	poirepro -fig 6                # one figure, quick scale
+//	poirepro -fig all -scale full  # every figure at paper scale
+//	poirepro -fig 11 -seed 7 -locations 500 -json
+//
+// Figure IDs: datasets, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12 (matching the
+// paper's figure numbering), the extensions ext-seq and ext-robust, or
+// "all".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"poiagg/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "poirepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("poirepro", flag.ContinueOnError)
+	figID := fs.String("fig", "all", "figure to regenerate (datasets, 2..12, ext-seq, ext-robust, or all)")
+	scale := fs.String("scale", "quick", "experiment scale: quick or full")
+	seed := fs.Uint64("seed", 1, "random seed")
+	locations := fs.Int("locations", 0, "evaluation locations per dataset (0 = scale default)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of text tables")
+	asCSV := fs.Bool("csv", false, "emit long-format CSV instead of text tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Seed: *seed, Locations: *locations}
+	switch strings.ToLower(*scale) {
+	case "quick":
+		cfg.Scale = experiments.ScaleQuick
+	case "full":
+		cfg.Scale = experiments.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+	env := experiments.NewEnv(cfg)
+	registry := experiments.Registry()
+
+	var ids []string
+	if *figID == "all" {
+		ids = experiments.OrderedIDs()
+	} else {
+		if registry[*figID] == nil {
+			return fmt.Errorf("unknown figure %q (available: %s, all)",
+				*figID, strings.Join(experiments.OrderedIDs(), ", "))
+		}
+		ids = []string{*figID}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := registry[id](env)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", id, err)
+		}
+		switch {
+		case *asJSON:
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(fig); err != nil {
+				return err
+			}
+		case *asCSV:
+			if _, err := fmt.Fprint(out, fig.CSV()); err != nil {
+				return err
+			}
+		default:
+			fmt.Fprintln(out, fig.String())
+			fmt.Fprintf(out, "(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

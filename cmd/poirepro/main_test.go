@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-fig", "datasets", "-locations", "30"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Dataset statistics") {
+		t.Errorf("missing title in output:\n%s", out)
+	}
+	if !strings.Contains(out, "POIs") {
+		t.Errorf("missing series header:\n%s", out)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "datasets", "-json", "-locations", "30"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var fig struct {
+		ID     string `json:"id"`
+		Series []struct {
+			Name string    `json:"name"`
+			X    []float64 `json:"x"`
+			Y    []float64 `json:"y"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fig); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if fig.ID != "datasets" || len(fig.Series) == 0 {
+		t.Errorf("unexpected figure: %+v", fig)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-scale", "galactic"}, &buf); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-fig", "datasets", "-seed", "9", "-locations", "30"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "datasets", "-seed", "9", "-locations", "30"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the timing line, which legitimately differs.
+	trim := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "(") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if trim(a.String()) != trim(b.String()) {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "datasets", "-csv", "-locations", "30"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "figure,series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) < 4 {
+		t.Errorf("too few rows: %d", len(lines))
+	}
+}

@@ -1,0 +1,122 @@
+package poiagg
+
+import (
+	"fmt"
+
+	"poiagg/internal/defense"
+	"poiagg/internal/dp"
+)
+
+// Defense re-exports.
+type (
+	// Sanitizer zeroes infrequent type counts (Section III-A).
+	Sanitizer = defense.Sanitizer
+	// GeoInd is the planar Laplace location defense (Section III-B).
+	GeoInd = defense.GeoInd
+	// Cloaking is the spatial k-cloaking defense (Section III-C).
+	Cloaking = defense.Cloaking
+	// OptRelease is the non-private optimization release (Eq. 7).
+	OptRelease = defense.OptRelease
+	// DPRelease is the (ε,δ)-DP release mechanism (Section V-B).
+	DPRelease = defense.DPRelease
+	// DPReleaseConfig parameterizes DPRelease.
+	DPReleaseConfig = defense.DPReleaseConfig
+	// NoiseMechanism selects the DP release's additive noise.
+	NoiseMechanism = defense.NoiseMechanism
+	// Accountant tracks cumulative (ε, δ) privacy loss across releases.
+	Accountant = dp.Accountant
+)
+
+// Noise mechanisms for DPReleaseConfig.Mech.
+const (
+	// MechGaussian is the paper's (ε,δ)-DP Gaussian mechanism.
+	MechGaussian = defense.MechGaussian
+	// MechLaplace is the pure ε-DP Laplace ablation.
+	MechLaplace = defense.MechLaplace
+)
+
+// ErrBudgetExhausted is returned when a release would exceed a privacy
+// budget; match with errors.Is.
+var ErrBudgetExhausted = dp.ErrBudgetExhausted
+
+// NewAccountant returns a privacy-budget accountant with the given total
+// (ε, δ) budget under basic sequential composition.
+func NewAccountant(budgetEps, budgetDelta float64) (*Accountant, error) {
+	a, err := dp.NewAccountant(budgetEps, budgetDelta)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return a, nil
+}
+
+// AdvancedComposition returns the total (ε, δ) of k-fold composition
+// under the Dwork–Rothblum–Vadhan bound.
+func AdvancedComposition(eps, delta float64, k int, deltaSlack float64) (totalEps, totalDelta float64, err error) {
+	return dp.AdvancedComposition(eps, delta, k, deltaSlack)
+}
+
+// ReleasesWithin returns how many (eps, delta) releases fit a budget
+// under basic composition.
+func ReleasesWithin(eps, delta, budgetEps, budgetDelta float64) int {
+	return dp.ReleasesWithin(eps, delta, budgetEps, budgetDelta)
+}
+
+// DefaultDPReleaseConfig mirrors the paper's setting (k = 20, δ = 0.2).
+func DefaultDPReleaseConfig() DPReleaseConfig { return defense.DefaultDPReleaseConfig() }
+
+// NewSanitizer builds the sanitization defense: every type with
+// city-wide frequency ≤ threshold is zeroed in releases.
+func (c *City) NewSanitizer(threshold int) (*Sanitizer, error) {
+	s, err := defense.NewSanitizer(c.gen.City, threshold)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return s, nil
+}
+
+// NewGeoInd builds the geo-indistinguishability defense with privacy
+// parameter eps per 100 m.
+func (c *City) NewGeoInd(eps float64) (*GeoInd, error) {
+	g, err := defense.NewGeoInd(c.svc, eps)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return g, nil
+}
+
+// NewCloaking builds the spatial k-cloaking defense over a user
+// population (see UniformPopulation).
+func (c *City) NewCloaking(pop *Population, k int) (*Cloaking, error) {
+	cl, err := defense.NewCloaking(c.svc, pop, k)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return cl, nil
+}
+
+// NewOptRelease builds the paper's non-private optimization-based
+// release mechanism for this city.
+func (c *City) NewOptRelease() (*OptRelease, error) {
+	o, err := defense.NewOptRelease(c.gen.City)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return o, nil
+}
+
+// NewDPRelease builds the paper's differentially private release
+// mechanism with a default uniform population of 10,000 users.
+func (c *City) NewDPRelease(cfg DPReleaseConfig) (*DPRelease, error) {
+	pop := c.UniformPopulation(10_000, 1)
+	return c.NewDPReleaseWithPopulation(pop, cfg)
+}
+
+// NewDPReleaseWithPopulation builds the DP release mechanism over an
+// explicit cloaking population.
+func (c *City) NewDPReleaseWithPopulation(pop *Population, cfg DPReleaseConfig) (*DPRelease, error) {
+	m, err := defense.NewDPRelease(c.svc, pop, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,100 @@
+package poiagg_test
+
+import (
+	"fmt"
+
+	"poiagg"
+)
+
+// Example demonstrates the core loop: a release, the attack, the defense.
+func Example() {
+	city, err := poiagg.GenerateBeijing(42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d POIs, %d types\n", city.Name(), city.NumPOIs(), city.M())
+
+	// Scan until a location with the uniqueness property turns up (the
+	// library is fully deterministic, so this is reproducible).
+	succeeded := false
+	for _, user := range city.RandomLocations(100, 7) {
+		release := city.Freq(user, 1000)
+		res := city.RegionAttack(release, 1000)
+		if res.Success && res.Covers(user, 1000) {
+			succeeded = true
+			break
+		}
+	}
+	fmt.Println("found a re-identifiable release:", succeeded)
+
+	// Output:
+	// beijing: 10249 POIs, 177 types
+	// found a re-identifiable release: true
+}
+
+// ExampleCity_FineGrainedAttack shows the Algorithm 1 area reduction.
+func ExampleCity_FineGrainedAttack() {
+	city, err := poiagg.GenerateBeijing(42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, user := range city.RandomLocations(100, 7) {
+		release := city.Freq(user, 1000)
+		fg := city.FineGrainedAttack(release, 1000, poiagg.DefaultFineGrainedConfig())
+		if !fg.Success {
+			continue
+		}
+		fmt.Println("area below Cao et al.'s pi*r^2:", fg.Area < 3.14159*1000*1000)
+		fmt.Println("target inside feasible region:", fg.Covers(user, 1000))
+		break
+	}
+	// Output:
+	// area below Cao et al.'s pi*r^2: true
+	// target inside feasible region: true
+}
+
+// ExampleCity_NewDPRelease shows the paper's differentially private
+// defense breaking the attack.
+func ExampleCity_NewDPRelease() {
+	city, err := poiagg.GenerateBeijing(42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	mech, err := city.NewDPRelease(poiagg.DefaultDPReleaseConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	user := city.RandomLocations(1, 7)[0]
+	protected, err := mech.Release(poiagg.NewRand(1), user, 1000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := city.RegionAttack(protected, 1000)
+	fmt.Println("attack on protected release succeeds:", res.Success && res.Covers(user, 1000))
+	// Output:
+	// attack on protected release succeeds: false
+}
+
+// ExampleNewAccountant shows end-to-end budget enforcement across a
+// session of releases.
+func ExampleNewAccountant() {
+	acct, err := poiagg.NewAccountant(1.0, 0.3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("releases that fit:", poiagg.ReleasesWithin(0.5, 0.1, 1.0, 0.3))
+	fmt.Println(acct.Spend(0.5, 0.1) == nil)
+	fmt.Println(acct.Spend(0.5, 0.1) == nil)
+	fmt.Println(acct.Spend(0.5, 0.1) == nil) // budget exhausted
+	// Output:
+	// releases that fit: 2
+	// true
+	// true
+	// false
+}

@@ -1,0 +1,72 @@
+// Audit: a privacy audit of a whole city. Before deploying a POI-based
+// service, an operator can sweep the city and quantify how much of it is
+// re-identifiable from POI aggregates at each query range — the
+// "location uniqueness" phenomenon the paper builds on — and where the
+// risky districts are.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"poiagg"
+)
+
+func main() {
+	city, err := poiagg.GenerateBeijing(33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const samples = 400
+	locs := city.RandomLocations(samples, 5)
+
+	fmt.Printf("privacy audit of %s (%d sample locations)\n\n", city.Name(), samples)
+	fmt.Printf("%-8s %-12s %-14s %-s\n", "r (km)", "unique", "mean area", "vs πr²")
+	for _, r := range []float64{500, 1000, 2000, 4000} {
+		unique := 0
+		var areaSum float64
+		for _, l := range locs {
+			f := city.Freq(l, r)
+			fg := city.FineGrainedAttack(f, r, poiagg.DefaultFineGrainedConfig())
+			if fg.Success {
+				unique++
+				areaSum += fg.Area
+			}
+		}
+		rate := float64(unique) / samples
+		meanArea := 0.0
+		if unique > 0 {
+			meanArea = areaSum / float64(unique)
+		}
+		fmt.Printf("%-8.1f %-12.3f %-14s %.0f%%\n",
+			r/1000, rate,
+			fmt.Sprintf("%.2f km²", meanArea/1e6),
+			100*meanArea/(math.Pi*r*r))
+	}
+
+	// Spatial breakdown: which quarters of the city leak most at r = 1 km.
+	fmt.Printf("\nuniqueness by city quadrant (r = 1 km):\n")
+	b := city.Bounds()
+	quadName := [4]string{"SW", "SE", "NW", "NE"}
+	quads := b.Quadrants()
+	for qi, q := range quads {
+		unique, n := 0, 0
+		for _, l := range locs {
+			if !q.Contains(l) {
+				continue
+			}
+			n++
+			if city.RegionAttack(city.Freq(l, 1000), 1000).Success {
+				unique++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %s: %.3f (%d/%d locations unique)\n",
+			quadName[qi], float64(unique)/float64(n), unique, n)
+	}
+	fmt.Println("\nlocations with rare POI types nearby are the most exposed —")
+	fmt.Println("exactly the anchor structure the paper's attacks exploit.")
+}

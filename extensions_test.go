@@ -1,0 +1,150 @@
+package poiagg
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSequenceAttackFacade(t *testing.T) {
+	city := rootFixture(t)
+	const r = 1000.0
+	p := DefaultTaxiParams(71)
+	p.NumTaxis = 20
+	trajs, err := city.GenerateTaxis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := ExtractSegments(trajs, 10*time.Minute, 100)
+	cfg := DefaultTrajectoryConfig()
+	est, err := city.TrainDistanceEstimator(segs, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var releases []Release
+	for _, pt := range trajs[0].Points[:5] {
+		releases = append(releases, Release{F: city.Freq(pt.Pos, r), T: pt.T, R: r})
+	}
+	res := city.TrajectorySequenceAttack(est, releases, cfg)
+	if len(res.Candidates) != 5 || len(res.Success) != 5 {
+		t.Fatalf("result shape: %d/%d", len(res.Candidates), len(res.Success))
+	}
+	if res.SuccessCount() < 0 || res.SuccessCount() > 5 {
+		t.Errorf("SuccessCount = %d", res.SuccessCount())
+	}
+}
+
+func TestAccountantFacade(t *testing.T) {
+	acct, err := NewAccountant(1.0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.Spend(0.6, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := acct.Spend(0.6, 0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("overspend: %v", err)
+	}
+	if _, err := NewAccountant(-1, 0); err == nil {
+		t.Error("bad budget accepted")
+	}
+}
+
+func TestReleaseWithAccountantFacade(t *testing.T) {
+	city := rootFixture(t)
+	cfg := DefaultDPReleaseConfig()
+	cfg.Eps = 0.5
+	cfg.Delta = 0.1
+	pop := city.UniformPopulation(2000, 72)
+	mech, err := city.NewDPReleaseWithPopulation(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, err := NewAccountant(0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewRand(73)
+	l := city.RandomLocations(1, 74)[0]
+	if _, err := mech.ReleaseWithAccountant(src, acct, l, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mech.ReleaseWithAccountant(src, acct, l, 1000); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("second release: %v", err)
+	}
+}
+
+func TestLaplaceMechanismFacade(t *testing.T) {
+	city := rootFixture(t)
+	cfg := DefaultDPReleaseConfig()
+	cfg.Mech = MechLaplace
+	pop := city.UniformPopulation(2000, 75)
+	mech, err := city.NewDPReleaseWithPopulation(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := city.RandomLocations(1, 76)[0]
+	f, err := mech.Release(NewRand(77), l, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != city.M() {
+		t.Errorf("vector dim %d", len(f))
+	}
+}
+
+func TestCompositionHelpers(t *testing.T) {
+	totalEps, totalDelta, err := AdvancedComposition(0.01, 0, 10_000, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalEps >= 100 { // basic bound would be 100
+		t.Errorf("advanced composition %v not tighter than basic", totalEps)
+	}
+	if totalDelta <= 0 {
+		t.Errorf("totalDelta = %v", totalDelta)
+	}
+	if got := ReleasesWithin(0.1, 0.01, 1.0, 0.05); got != 5 {
+		t.Errorf("ReleasesWithin = %d, want 5", got)
+	}
+}
+
+func TestSimulationFacade(t *testing.T) {
+	city := rootFixture(t)
+	p := DefaultTaxiParams(81)
+	p.NumTaxis = 5
+	p.PointsPerTaxi = 10
+	trajs, err := city.GenerateTaxis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := city.NewSimAdversary()
+	res, err := RunSimulation(SimConfig{
+		Trajectories: trajs,
+		R:            800,
+		Pipeline:     city.PlainPipeline(),
+		Observers:    []Observer{adv},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Releases != 50 {
+		t.Errorf("releases = %d", res.Releases)
+	}
+	if adv.Seen != 50 {
+		t.Errorf("adversary saw %d", adv.Seen)
+	}
+	mech, err := city.NewDPRelease(DefaultDPReleaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSimulation(SimConfig{
+		Trajectories: trajs,
+		R:            800,
+		Pipeline:     DPPipeline(mech),
+		Seed:         2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

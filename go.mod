@@ -1,0 +1,3 @@
+module poiagg
+
+go 1.24

@@ -1,0 +1,198 @@
+package attack
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureCity *citygen.City
+	fixtureSvc  *gsp.Service
+)
+
+// fixture returns a shared small synthetic city; building it once keeps
+// the attack test suite fast.
+func fixture(t testing.TB) (*citygen.City, *gsp.Service) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		p := citygen.Beijing(11)
+		p.NumPOIs = 2500
+		p.NumTypes = 80
+		p.Width, p.Height = 15_000, 15_000
+		p.NumDistricts = 30
+		city, err := citygen.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureCity = city
+		fixtureSvc = gsp.NewService(city.City, 1<<16)
+	})
+	return fixtureCity, fixtureSvc
+}
+
+func TestRegionNoFalseNegativeAnchor(t *testing.T) {
+	// When the attack succeeds, the surviving anchor must be the true one:
+	// within r of the target (the true anchor always survives pruning, so
+	// a unique survivor is it).
+	city, svc := fixture(t)
+	const r = 800.0
+	locs := city.RandomLocations(300, 21)
+	successes := 0
+	for _, l := range locs {
+		f := svc.Freq(l, r)
+		if f.Total() == 0 {
+			continue
+		}
+		res := Region(svc, f, r)
+		if len(res.Candidates) == 0 {
+			t.Fatalf("zero candidates for honest release at %v", l)
+		}
+		if res.Success {
+			successes++
+			if d := geo.Dist(res.Anchor.Pos, l); d > r+1e-6 {
+				t.Errorf("successful attack anchor %.0f m away > r=%.0f", d, r)
+			}
+			if got := res.SearchArea(r); math.Abs(got-math.Pi*r*r) > 1e-6 {
+				t.Errorf("SearchArea = %v", got)
+			}
+		}
+	}
+	if successes == 0 {
+		t.Error("attack never succeeded on 300 locations; uniqueness missing from synthetic city")
+	}
+}
+
+func TestRegionSuccessRateGrowsWithRadius(t *testing.T) {
+	// The paper's headline trend: larger query ranges leak more.
+	city, svc := fixture(t)
+	locs := city.RandomLocations(200, 22)
+	rates := make([]float64, 0, 3)
+	for _, r := range []float64{400, 1000, 2500} {
+		succ := 0
+		for _, l := range locs {
+			f := svc.Freq(l, r)
+			if Region(svc, f, r).Success {
+				succ++
+			}
+		}
+		rates = append(rates, float64(succ)/float64(len(locs)))
+	}
+	if !(rates[0] < rates[2]) {
+		t.Errorf("success rate not increasing with r: %v", rates)
+	}
+}
+
+func TestRegionEmptyVector(t *testing.T) {
+	_, svc := fixture(t)
+	f := poi.NewFreqVector(svc.City().M())
+	res := Region(svc, f, 500)
+	if res.Success || res.AnchorType != -1 {
+		t.Errorf("empty vector should fail cleanly: %+v", res)
+	}
+}
+
+func TestFineGrainedShrinksArea(t *testing.T) {
+	city, svc := fixture(t)
+	const r = 1000.0
+	locs := city.RandomLocations(250, 23)
+	cfg := DefaultFineGrainedConfig()
+	baseline := math.Pi * r * r
+	var areas []float64
+	covered, successes := 0, 0
+	for _, l := range locs {
+		f := svc.Freq(l, r)
+		res := FineGrained(svc, f, r, cfg)
+		if !res.Success {
+			continue
+		}
+		successes++
+		if res.Area > baseline+1e-6 {
+			t.Errorf("area %v exceeds πr² %v", res.Area, baseline)
+		}
+		if res.Area <= 0 {
+			t.Errorf("non-positive area %v with %d aux anchors", res.Area, len(res.AuxAnchors))
+		}
+		areas = append(areas, res.Area)
+		if res.Covers(l, r) {
+			covered++
+		}
+		if len(res.AuxAnchors) > cfg.MaxAux {
+			t.Errorf("aux anchors %d exceed MaxAux %d", len(res.AuxAnchors), cfg.MaxAux)
+		}
+	}
+	if successes == 0 {
+		t.Fatal("no successful attacks to evaluate")
+	}
+	// Key paper claim (Fig. 6): the fine-grained attack shrinks the
+	// search area substantially; in ~80% of cases to ≤ πr²/4.
+	small := 0
+	for _, a := range areas {
+		if a <= baseline/4 {
+			small++
+		}
+	}
+	if frac := float64(small) / float64(len(areas)); frac < 0.5 {
+		t.Errorf("only %.2f of successful attacks shrank to ≤ πr²/4", frac)
+	}
+	// Soundness: the true location must almost always stay inside the
+	// feasible region (false-positive aux anchors are rare).
+	if frac := float64(covered) / float64(successes); frac < 0.85 {
+		t.Errorf("feasible region covers the target in only %.2f of cases", frac)
+	}
+}
+
+func TestFineGrainedMoreAnchorsSmallerArea(t *testing.T) {
+	city, svc := fixture(t)
+	const r = 1000.0
+	locs := city.RandomLocations(150, 24)
+	sum5, sum40, n := 0.0, 0.0, 0
+	for _, l := range locs {
+		f := svc.Freq(l, r)
+		res5 := FineGrained(svc, f, r, FineGrainedConfig{MaxAux: 5})
+		res40 := FineGrained(svc, f, r, FineGrainedConfig{MaxAux: 40})
+		if !res5.Success || !res40.Success {
+			continue
+		}
+		sum5 += res5.Area
+		sum40 += res40.Area
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no successful attacks")
+	}
+	if sum40 > sum5+1e-6 {
+		t.Errorf("mean area with 40 anchors (%v) not below 5 anchors (%v)", sum40/float64(n), sum5/float64(n))
+	}
+}
+
+func TestFineGrainedFailurePropagates(t *testing.T) {
+	_, svc := fixture(t)
+	f := poi.NewFreqVector(svc.City().M())
+	res := FineGrained(svc, f, 500, DefaultFineGrainedConfig())
+	if res.Success || res.Area != 0 || res.AuxAnchors != nil {
+		t.Errorf("failed region attack should yield empty fine-grained result: %+v", res)
+	}
+	if res.FeasibleDisks(500) != nil {
+		t.Error("FeasibleDisks should be nil on failure")
+	}
+	if res.Covers(geo.Point{}, 500) {
+		t.Error("Covers should be false on failure")
+	}
+}
+
+func TestFineGrainedZeroMaxAuxDefaults(t *testing.T) {
+	city, svc := fixture(t)
+	l := city.RandomLocations(1, 25)[0]
+	f := svc.Freq(l, 1000)
+	res := FineGrained(svc, f, 1000, FineGrainedConfig{})
+	if res.Success && len(res.AuxAnchors) > DefaultFineGrainedConfig().MaxAux {
+		t.Errorf("default MaxAux not applied: %d anchors", len(res.AuxAnchors))
+	}
+}

@@ -1,0 +1,157 @@
+package attack
+
+import (
+	"sort"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// FineGrainedConfig configures the fine-grained attack.
+type FineGrainedConfig struct {
+	// MaxAux caps the number of auxiliary anchors collected (the paper's
+	// MAXaux; 20 is the paper's recommended setting).
+	MaxAux int
+}
+
+// DefaultFineGrainedConfig returns the paper's recommended configuration.
+func DefaultFineGrainedConfig() FineGrainedConfig {
+	return FineGrainedConfig{MaxAux: 20}
+}
+
+// FineGrainedResult reports one fine-grained re-identification attempt.
+type FineGrainedResult struct {
+	RegionResult
+	// AuxAnchors are the auxiliary anchor POIs found by Algorithm 1; the
+	// target is (heuristically) within r of each of them.
+	AuxAnchors []poi.POI
+	// Area is the area in m² of the feasible region — the intersection of
+	// the disks of radius r around the major anchor and every auxiliary
+	// anchor. It equals πr² when no auxiliary anchors were found and 0
+	// when the region attack failed.
+	Area float64
+}
+
+// FeasibleDisks returns the disk constraints defining the feasible region.
+func (r FineGrainedResult) FeasibleDisks(radius float64) []geo.Circle {
+	if !r.Success {
+		return nil
+	}
+	disks := make([]geo.Circle, 0, 1+len(r.AuxAnchors))
+	disks = append(disks, geo.Circle{C: r.Anchor.Pos, R: radius})
+	for _, a := range r.AuxAnchors {
+		disks = append(disks, geo.Circle{C: a.Pos, R: radius})
+	}
+	return disks
+}
+
+// Covers reports whether the feasible region still contains the point l —
+// the soundness check of the attack (auxiliary anchors found via the
+// dominance heuristic can be false positives).
+func (r FineGrainedResult) Covers(l geo.Point, radius float64) bool {
+	if !r.Success {
+		return false
+	}
+	for _, d := range r.FeasibleDisks(radius) {
+		if !d.Contains(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// FineGrained runs the paper's Algorithm 1 on a released vector f with
+// query range r:
+//
+//  1. run the Region attack; on failure, stop;
+//  2. around the major anchor p*, fetch P_{p*,2r} and F_{p*,2r}, compute
+//     F_diff = F_{p*,2r} − f, and walk the POI types present in f in
+//     ascending F_diff order;
+//  3. types with F_diff = 0 contribute every POI of that type in
+//     P_{p*,2r} as an auxiliary anchor outright (they must all be within
+//     r of the target); other types contribute the POIs whose own
+//     F_{p,2r} dominates f;
+//  4. stop after MaxAux anchors and intersect the radius-r disks around
+//     all anchors to obtain the feasible region.
+func FineGrained(svc *gsp.Service, f poi.FreqVector, r float64, cfg FineGrainedConfig) FineGrainedResult {
+	if cfg.MaxAux <= 0 {
+		cfg.MaxAux = DefaultFineGrainedConfig().MaxAux
+	}
+	res := FineGrainedResult{RegionResult: Region(svc, f, r)}
+	if !res.Success {
+		return res
+	}
+	anchor := res.Anchor
+	near := svc.Query(anchor.Pos, 2*r)
+	fAnchor := svc.Freq(anchor.Pos, 2*r)
+	fdiff := fAnchor.Sub(f)
+
+	// Group the 2r-neighbourhood by type once.
+	byType := make(map[poi.TypeID][]poi.POI)
+	for _, p := range near {
+		byType[p.Type] = append(byType[p.Type], p)
+	}
+
+	// Candidate types: present in the release, not the anchor type itself.
+	type typeDiff struct {
+		t    poi.TypeID
+		diff int
+	}
+	cands := make([]typeDiff, 0, len(f))
+	for i, n := range f {
+		t := poi.TypeID(i)
+		if n <= 0 || t == res.AnchorType {
+			continue
+		}
+		cands = append(cands, typeDiff{t: t, diff: fdiff[i]})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].diff != cands[b].diff {
+			return cands[a].diff < cands[b].diff
+		}
+		return cands[a].t < cands[b].t
+	})
+
+	// For each candidate type, the released count f[t] POIs of that type
+	// lie within r of the target, and all of them appear among the type's
+	// POIs in P_{p*,2r} and survive the dominance test (dominance never
+	// rejects a true anchor). The raw dominance test of Algorithm 1 can
+	// also pass POIs outside radius r, and one such false positive makes
+	// the disk intersection exclude the target; we therefore accept a
+	// type's survivors only when pruning eliminated every excess
+	// candidate (survivors == f[t]), which makes each accepted anchor
+	// provably within r of the target. Types with F_diff = 0 satisfy this
+	// by construction and need no probing (see the soundness-filter
+	// ablation in DESIGN.md).
+	aux := make([]poi.POI, 0, cfg.MaxAux)
+collect:
+	for _, cd := range cands {
+		pois := byType[cd.t]
+		need := f[cd.t]
+		var sound []poi.POI
+		if cd.diff == 0 {
+			sound = pois
+		} else {
+			survivors := make([]poi.POI, 0, len(pois))
+			for _, p := range pois {
+				if svc.Freq(p.Pos, 2*r).Dominates(f) {
+					survivors = append(survivors, p)
+				}
+			}
+			if len(survivors) != need {
+				continue // ambiguous type: some survivors may be outside r
+			}
+			sound = survivors
+		}
+		for _, p := range sound {
+			aux = append(aux, p)
+			if len(aux) >= cfg.MaxAux {
+				break collect
+			}
+		}
+	}
+	res.AuxAnchors = aux
+	res.Area = geo.DisksIntersectionArea(res.FeasibleDisks(r))
+	return res
+}

@@ -1,0 +1,203 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+
+	"poiagg/internal/poi"
+)
+
+// sanitizedSet returns the fixture city's types with city-wide frequency
+// at or below the threshold, mirroring the paper's sanitization defense.
+func sanitizedSet(t *testing.T, threshold int) []poi.TypeID {
+	t.Helper()
+	city, _ := fixture(t)
+	var out []poi.TypeID
+	for i, n := range city.CityFreq() {
+		if n <= threshold {
+			out = append(out, poi.TypeID(i))
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no sanitized types at threshold")
+	}
+	return out
+}
+
+func applySanitize(f poi.FreqVector, sanitized []poi.TypeID) poi.FreqVector {
+	out := f.Clone()
+	for _, t := range sanitized {
+		out[t] = 0
+	}
+	return out
+}
+
+func TestRecovererValidationAccuracy(t *testing.T) {
+	city, svc := fixture(t)
+	sanitized := sanitizedSet(t, 10)
+	cfg := DefaultRecoveryConfig(31)
+	cfg.TrainSamples = 1000
+	cfg.ValSamples = 150
+	rec, err := TrainRecoverer(svc, sanitized, 800, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := rec.ValidationAccuracy()
+	if len(accs) != len(sanitized) {
+		t.Fatalf("got %d accuracies for %d types", len(accs), len(sanitized))
+	}
+	sum := 0.0
+	for typ, a := range accs {
+		if a < 0 || a > 1 {
+			t.Errorf("type %d accuracy %v out of range", typ, a)
+		}
+		sum += a
+	}
+	// The paper reports >0.95 mean accuracy; rare types are mostly-zero
+	// targets so high accuracy is expected even at reduced training size.
+	if mean := sum / float64(len(accs)); mean < 0.9 {
+		t.Errorf("mean validation accuracy %.3f < 0.9", mean)
+	}
+	_ = city
+}
+
+func TestRecovererRestoresAttack(t *testing.T) {
+	city, svc := fixture(t)
+	sanitized := sanitizedSet(t, 10)
+	cfg := DefaultRecoveryConfig(32)
+	cfg.TrainSamples = 1000
+	cfg.ValSamples = 100
+	rec, err := TrainRecoverer(svc, sanitized, 800, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := city.RandomLocations(150, 33)
+	const r = 800.0
+	var plain, sanitizedOK, recovered int
+	for _, l := range locs {
+		f := svc.Freq(l, r)
+		if Region(svc, f, r).Success {
+			plain++
+		}
+		fs := applySanitize(f, sanitized)
+		if Region(svc, fs, r).Success {
+			sanitizedOK++
+		}
+		fr := rec.Recover(fs)
+		if Region(svc, fr, r).Success {
+			recovered++
+		}
+	}
+	if plain == 0 {
+		t.Fatal("baseline attack never succeeded")
+	}
+	if sanitizedOK >= plain {
+		t.Errorf("sanitization did not reduce success: %d vs %d", sanitizedOK, plain)
+	}
+	// The learning attack must restore a large share of the lost
+	// successes (Fig. 3's 'recovered' bars track 'w/o protection').
+	if float64(recovered) < 0.6*float64(plain) {
+		t.Errorf("recovery restored only %d of %d plain successes", recovered, plain)
+	}
+}
+
+func TestRecoverPreservesUnsanitizedEntries(t *testing.T) {
+	city, svc := fixture(t)
+	sanitized := sanitizedSet(t, 10)
+	cfg := DefaultRecoveryConfig(34)
+	cfg.TrainSamples = 200
+	cfg.ValSamples = 50
+	rec, err := TrainRecoverer(svc, sanitized, 800, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := city.RandomLocations(1, 35)[0]
+	f := svc.Freq(l, 800)
+	fs := applySanitize(f, sanitized)
+	fr := rec.Recover(fs)
+	sanSet := make(map[poi.TypeID]bool)
+	for _, typ := range sanitized {
+		sanSet[typ] = true
+	}
+	for i := range fr {
+		if !sanSet[poi.TypeID(i)] && fr[i] != fs[i] {
+			t.Errorf("non-sanitized entry %d changed: %d -> %d", i, fs[i], fr[i])
+		}
+	}
+	if got := rec.Sanitized(); len(got) != len(sanitized) {
+		t.Errorf("Sanitized() = %d types", len(got))
+	}
+}
+
+func TestTrainRecovererValidation(t *testing.T) {
+	_, svc := fixture(t)
+	if _, err := TrainRecoverer(svc, nil, 800, DefaultRecoveryConfig(1)); err == nil {
+		t.Error("empty sanitized set accepted")
+	}
+	cfg := DefaultRecoveryConfig(1)
+	cfg.TrainSamples = 2
+	if _, err := TrainRecoverer(svc, []poi.TypeID{0}, 800, cfg); err == nil {
+		t.Error("tiny training set accepted")
+	}
+	// Sanitizing everything leaves no features.
+	city, _ := fixture(t)
+	all := make([]poi.TypeID, city.M())
+	for i := range all {
+		all[i] = poi.TypeID(i)
+	}
+	if _, err := TrainRecoverer(svc, all, 800, DefaultRecoveryConfig(1)); err == nil {
+		t.Error("all-sanitized accepted")
+	}
+}
+
+func TestTransformRecovererValidation(t *testing.T) {
+	_, svc := fixture(t)
+	ident := func(f poi.FreqVector) (poi.FreqVector, error) { return f, nil }
+	if _, err := TrainTransformRecoverer(svc, nil, []poi.TypeID{0}, 800, DefaultRecoveryConfig(1)); err == nil {
+		t.Error("nil transform accepted")
+	}
+	if _, err := TrainTransformRecoverer(svc, ident, nil, 800, DefaultRecoveryConfig(1)); err == nil {
+		t.Error("empty targets accepted")
+	}
+	cfg := DefaultRecoveryConfig(1)
+	cfg.TrainSamples = 2
+	if _, err := TrainTransformRecoverer(svc, ident, []poi.TypeID{0}, 800, cfg); err == nil {
+		t.Error("tiny training set accepted")
+	}
+	failing := func(poi.FreqVector) (poi.FreqVector, error) {
+		return nil, errors.New("defense down")
+	}
+	cfg = DefaultRecoveryConfig(1)
+	cfg.TrainSamples = 50
+	cfg.ValSamples = 10
+	if _, err := TrainTransformRecoverer(svc, failing, []poi.TypeID{0}, 800, cfg); err == nil {
+		t.Error("failing transform accepted")
+	}
+}
+
+func TestTransformRecovererIdentityTransform(t *testing.T) {
+	// Against the identity "defense" the recovery targets are directly
+	// visible in the features, so held-out accuracy must be essentially
+	// perfect.
+	city, svc := fixture(t)
+	sanitized := sanitizedSet(t, 10)[:5]
+	ident := func(f poi.FreqVector) (poi.FreqVector, error) { return f, nil }
+	cfg := DefaultRecoveryConfig(91)
+	cfg.TrainSamples = 400
+	cfg.ValSamples = 100
+	rec, err := TrainTransformRecoverer(svc, ident, sanitized, 800, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for typ, acc := range rec.ValidationAccuracy() {
+		if acc < 0.9 {
+			t.Errorf("type %d: accuracy %v against identity transform", typ, acc)
+		}
+	}
+	l := city.RandomLocations(1, 92)[0]
+	f := svc.Freq(l, 800)
+	out := rec.Recover(f)
+	if len(out) != city.M() {
+		t.Errorf("recovered dim %d", len(out))
+	}
+}

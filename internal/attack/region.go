@@ -1,0 +1,90 @@
+// Package attack implements the location re-identification attacks:
+//
+//   - Region: the baseline region re-identification of Cao et al.
+//     (IMWUT'18), reviewed in Section II-D of the paper, which
+//     re-identifies a location into a circle of radius r around an anchor
+//     POI of the most infrequent type present.
+//   - FineGrained: the paper's Algorithm 1, which extends Region with
+//     auxiliary anchors and shrinks the search area to the intersection
+//     of the anchor disks (Section IV-A, Figs. 6-7).
+//   - Trajectory: the trajectory-uniqueness attack that exploits two
+//     successive releases plus a learned distance regressor
+//     (Section IV-B, Fig. 8).
+//   - Recoverer: the learning-based attack that reconstructs sanitized
+//     POI type frequencies from the released ones (Section III-A,
+//     Figs. 2-3).
+//
+// All attacks consume only the adversary's stated prior knowledge: the
+// public Freq/Query interface of the geo-information service provider,
+// the released frequency vectors, and the query range r.
+package attack
+
+import (
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// RegionResult reports one region re-identification attempt.
+type RegionResult struct {
+	// Success is true when exactly one candidate anchor survived pruning —
+	// the paper's definition of a successful attack (|Φ| = 1).
+	Success bool
+	// AnchorType is t_l, the most infrequent POI type present in the
+	// released vector.
+	AnchorType poi.TypeID
+	// Anchor is p*_{t_l}, the surviving anchor POI; meaningful only when
+	// Success is true. The user is inside the circle of radius r around
+	// it.
+	Anchor poi.POI
+	// Candidates are all anchors that survived pruning (|Φ| of them).
+	Candidates []poi.POI
+}
+
+// Covers reports whether the re-identified region (the radius-r disk
+// around the anchor) contains l. A successful attack on an honest
+// release always covers the target; against a defended release a unique
+// but wrong anchor is a failed attack, and evaluations should count
+// success as Success && Covers.
+func (r RegionResult) Covers(l geo.Point, radius float64) bool {
+	return r.Success && geo.Dist(r.Anchor.Pos, l) <= radius
+}
+
+// SearchArea returns the area of the re-identified region, πr² when the
+// attack succeeded (the paper's baseline search area), and 0 otherwise.
+func (r RegionResult) SearchArea(radius float64) float64 {
+	if !r.Success {
+		return 0
+	}
+	return geo.Circle{C: r.Anchor.Pos, R: radius}.Area()
+}
+
+// Region runs the Cao et al. region re-identification attack against a
+// released frequency vector f queried with range r:
+//
+//  1. find t_l, the city-wide most infrequent type present in f;
+//  2. candidate anchors are all POIs of type t_l;
+//  3. prune every candidate p whose F_{p,2r} fails to dominate f
+//     (the disk of radius r around the true location is covered by the
+//     disk of radius 2r around any POI within r of it, so a true anchor's
+//     2r-vector must dominate the release);
+//  4. succeed when exactly one candidate remains.
+func Region(svc *gsp.Service, f poi.FreqVector, r float64) RegionResult {
+	city := svc.City()
+	tl, ok := poi.MostInfrequentPresent(f, city.CityFreq())
+	if !ok {
+		return RegionResult{AnchorType: -1}
+	}
+	var survivors []poi.POI
+	for _, p := range city.POIsOfType(tl) {
+		if svc.Freq(p.Pos, 2*r).Dominates(f) {
+			survivors = append(survivors, p)
+		}
+	}
+	res := RegionResult{AnchorType: tl, Candidates: survivors}
+	if len(survivors) == 1 {
+		res.Success = true
+		res.Anchor = survivors[0]
+	}
+	return res
+}

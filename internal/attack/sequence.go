@@ -1,0 +1,116 @@
+package attack
+
+import (
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// SequenceResult reports the multi-release trajectory attack.
+type SequenceResult struct {
+	// Candidates[i] holds the surviving anchor candidates of release i
+	// after constraint propagation.
+	Candidates [][]poi.POI
+	// Success[i] reports per-release success (exactly one survivor).
+	Success []bool
+	// Predicted[i] is the regressor's distance estimate between releases
+	// i and i+1 (length len(releases)−1).
+	Predicted []float64
+	// Rounds is the number of propagation sweeps until fixpoint.
+	Rounds int
+}
+
+// SuccessCount returns the number of uniquely re-identified releases.
+func (r SequenceResult) SuccessCount() int {
+	n := 0
+	for _, s := range r.Success {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// TrajectorySequence generalizes the two-release attack of Section IV-B
+// to an arbitrary run of successive releases (the paper's Eq. 6): it runs
+// the single-release Region attack on every release, predicts the
+// distance between each adjacent pair, and then enforces arc consistency
+// along the chain — a candidate of release i survives only if both
+// neighbouring releases still have a candidate at a compatible distance.
+// Propagation repeats until no set shrinks; eliminating a candidate at
+// one end can cascade down the whole chain, which is what makes long
+// sessions strictly more revealing than isolated pairs.
+func TrajectorySequence(svc *gsp.Service, est *DistanceEstimator, releases []Release, cfg TrajectoryConfig) SequenceResult {
+	n := len(releases)
+	res := SequenceResult{
+		Candidates: make([][]poi.POI, n),
+		Success:    make([]bool, n),
+	}
+	if n == 0 {
+		return res
+	}
+	for i, rel := range releases {
+		res.Candidates[i] = Region(svc, rel.F, rel.R).Candidates
+	}
+	if n == 1 {
+		res.Success[0] = len(res.Candidates[0]) == 1
+		return res
+	}
+
+	res.Predicted = make([]float64, n-1)
+	tols := make([]float64, n-1)
+	for i := 0; i+1 < n; i++ {
+		a, b := releases[i], releases[i+1]
+		res.Predicted[i] = est.Predict(b.T.Sub(a.T), a.F, b.F, a.T)
+		tols[i] = cfg.ToleranceMeters + cfg.ToleranceFrac*res.Predicted[i]
+	}
+
+	// Arc-consistency sweeps until fixpoint. Each sweep is O(Σ|C_i|·|C_j|)
+	// over adjacent pairs; candidate sets are tiny (rare-type POIs).
+	for changed := true; changed; res.Rounds++ {
+		changed = false
+		for i := range res.Candidates {
+			kept := res.Candidates[i][:0]
+			for _, c := range res.Candidates[i] {
+				// A candidate survives while at least one adjacent arc
+				// supports it. Requiring every arc would let a single
+				// badly-predicted distance cascade and evict true anchors
+				// along the whole chain; one-arc support keeps the filter
+				// robust to regressor outliers while still pruning
+				// candidates no neighbour can explain.
+				arcs, supported := 0, 0
+				if i > 0 {
+					arcs++
+					if hasCompatible(c, res.Candidates[i-1], res.Predicted[i-1], tols[i-1], releases[i].R) {
+						supported++
+					}
+				}
+				if i+1 < n {
+					arcs++
+					if hasCompatible(c, res.Candidates[i+1], res.Predicted[i], tols[i], releases[i].R) {
+						supported++
+					}
+				}
+				if arcs == 0 || supported > 0 {
+					kept = append(kept, c)
+				}
+			}
+			if len(kept) != len(res.Candidates[i]) {
+				changed = true
+			}
+			res.Candidates[i] = kept
+		}
+	}
+	for i, c := range res.Candidates {
+		res.Success[i] = len(c) == 1
+	}
+	return res
+}
+
+func hasCompatible(c poi.POI, others []poi.POI, pred, tol, r float64) bool {
+	for _, o := range others {
+		if compatible(c.Pos, o.Pos, pred, tol, r) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"poiagg/internal/trajgen"
+)
+
+// releaseRun converts a trajectory prefix into a run of releases.
+func releaseRun(t *testing.T, tr trajgen.Trajectory, r float64, maxLen int) []Release {
+	t.Helper()
+	_, svc := fixture(t)
+	var out []Release
+	var prev *Release
+	for _, pt := range tr.Points {
+		f := svc.Freq(pt.Pos, r)
+		if prev != nil {
+			gap := pt.T.Sub(prev.T)
+			if gap <= 0 || gap > 10*time.Minute || f.Equal(prev.F) {
+				continue
+			}
+		}
+		rel := Release{F: f, T: pt.T, R: r}
+		out = append(out, rel)
+		prev = &out[len(out)-1]
+		if len(out) >= maxLen {
+			break
+		}
+	}
+	return out
+}
+
+func TestTrajectorySequenceEmptyAndSingle(t *testing.T) {
+	city, svc := fixture(t)
+	train := taxiSegments(t, 61, 30)
+	est, err := TrainDistanceEstimator(svc, train, 800, DefaultTrajectoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := TrajectorySequence(svc, est, nil, DefaultTrajectoryConfig())
+	if len(res.Candidates) != 0 || res.SuccessCount() != 0 {
+		t.Errorf("empty sequence: %+v", res)
+	}
+	l := city.RandomLocations(1, 62)[0]
+	one := []Release{{F: svc.Freq(l, 800), R: 800}}
+	res = TrajectorySequence(svc, est, one, DefaultTrajectoryConfig())
+	if len(res.Candidates) != 1 {
+		t.Fatalf("single release: %d candidate sets", len(res.Candidates))
+	}
+	want := Region(svc, one[0].F, 800).Success
+	if res.Success[0] != want {
+		t.Errorf("single-release success %v, Region says %v", res.Success[0], want)
+	}
+}
+
+func TestTrajectorySequenceAtLeastPairwise(t *testing.T) {
+	// A full run must re-identify at least as many releases as treating
+	// the releases independently (propagation only removes impossible
+	// candidates).
+	city, svc := fixture(t)
+	const r = 800.0
+	train := taxiSegments(t, 63, 40)
+	cfg := DefaultTrajectoryConfig()
+	est, err := TrainDistanceEstimator(svc, train, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trajgen.DefaultTaxiParams(64)
+	p.NumTaxis = 25
+	p.PointsPerTaxi = 30
+	trajs, err := trajgen.Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalSingle, totalSeq, runs int
+	for _, tr := range trajs {
+		rels := releaseRun(t, tr, r, 6)
+		if len(rels) < 3 {
+			continue
+		}
+		runs++
+		for _, rel := range rels {
+			if Region(svc, rel.F, r).Success {
+				totalSingle++
+			}
+		}
+		res := TrajectorySequence(svc, est, rels, cfg)
+		totalSeq += res.SuccessCount()
+		for i, c := range res.Candidates {
+			if res.Success[i] != (len(c) == 1) {
+				t.Fatal("Success flag inconsistent with candidate set")
+			}
+		}
+		if len(res.Predicted) != len(rels)-1 {
+			t.Fatalf("predicted distances %d for %d releases", len(res.Predicted), len(rels))
+		}
+		if res.Rounds < 1 {
+			t.Error("propagation must run at least one sweep")
+		}
+	}
+	if runs == 0 {
+		t.Skip("no runs long enough")
+	}
+	if totalSeq < totalSingle {
+		t.Errorf("sequence attack %d below single-release %d over %d runs", totalSeq, totalSingle, runs)
+	}
+	t.Logf("runs=%d single=%d sequence=%d", runs, totalSingle, totalSeq)
+}
+
+func TestTrajectorySequenceKeepsTrueAnchors(t *testing.T) {
+	// When every release in a run was already unique, propagation must
+	// keep them all (true anchors are mutually compatible in the vast
+	// majority of cases).
+	city, svc := fixture(t)
+	const r = 800.0
+	train := taxiSegments(t, 65, 40)
+	cfg := DefaultTrajectoryConfig()
+	est, err := TrainDistanceEstimator(svc, train, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trajgen.DefaultTaxiParams(66)
+	p.NumTaxis = 25
+	trajs, err := trajgen.Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, lost := 0, 0
+	for _, tr := range trajs {
+		rels := releaseRun(t, tr, r, 5)
+		if len(rels) < 3 {
+			continue
+		}
+		allUnique := true
+		for _, rel := range rels {
+			if !Region(svc, rel.F, r).Success {
+				allUnique = false
+				break
+			}
+		}
+		if !allUnique {
+			continue
+		}
+		res := TrajectorySequence(svc, est, rels, cfg)
+		if res.SuccessCount() == len(rels) {
+			kept++
+		} else {
+			lost++
+		}
+	}
+	if kept+lost == 0 {
+		t.Skip("no all-unique runs in sample")
+	}
+	if lost > (kept+lost)/5 {
+		t.Errorf("propagation broke %d of %d all-unique runs", lost, kept+lost)
+	}
+}

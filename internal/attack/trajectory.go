@@ -1,0 +1,187 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/ml"
+	"poiagg/internal/poi"
+	"poiagg/internal/trajgen"
+)
+
+// TrajectoryConfig configures the trajectory-uniqueness attack.
+type TrajectoryConfig struct {
+	// Gamma is the RBF width of the distance regressor.
+	Gamma float64
+	// SVR configures regressor training.
+	SVR ml.SVRConfig
+	// ToleranceMeters is the base acceptance band around the predicted
+	// distance when filtering candidate pairs.
+	ToleranceMeters float64
+	// ToleranceFrac widens the band proportionally to the predicted
+	// distance.
+	ToleranceFrac float64
+}
+
+// DefaultTrajectoryConfig returns a balanced configuration.
+func DefaultTrajectoryConfig() TrajectoryConfig {
+	return TrajectoryConfig{
+		Gamma:           0.05,
+		SVR:             ml.SVRConfig{C: 10, Epsilon: 0.02, Epochs: 150, Tol: 1e-5},
+		ToleranceMeters: 250,
+		ToleranceFrac:   0.25,
+	}
+}
+
+// DistanceEstimator predicts the distance between the locations of two
+// successive releases from observable metadata: the duration between the
+// releases, the L1 distance of the released vectors, and the hour-of-day
+// and day-of-week of the first release (one-hot encoded), exactly the
+// feature set of Section IV-B.
+type DistanceEstimator struct {
+	scaler *ml.StandardScaler
+	svr    *ml.SVR
+	// distScale normalizes regression targets to keep the dual
+	// well-conditioned; predictions are de-normalized on the way out.
+	distScale float64
+}
+
+// releaseFeatures builds the regressor's feature row.
+func releaseFeatures(dur time.Duration, l1 int, first time.Time) []float64 {
+	row := make([]float64, 2+24+7)
+	row[0] = dur.Seconds()
+	row[1] = float64(l1)
+	row[2+first.Hour()] = 1
+	row[2+24+int(first.Weekday())] = 1
+	return row
+}
+
+// TrainDistanceEstimator fits the SVR on ground-truth segments: the
+// adversary can harvest such supervision from its own devices or any
+// users whose locations it already knows.
+func TrainDistanceEstimator(svc *gsp.Service, segs []trajgen.Segment, r float64, cfg TrajectoryConfig) (*DistanceEstimator, error) {
+	if len(segs) < 10 {
+		return nil, fmt.Errorf("attack: TrainDistanceEstimator: need ≥10 segments, got %d", len(segs))
+	}
+	x := make([][]float64, len(segs))
+	y := make([]float64, len(segs))
+	maxDist := 0.0
+	for i, s := range segs {
+		f1 := svc.Freq(s.From.Pos, r)
+		f2 := svc.Freq(s.To.Pos, r)
+		x[i] = releaseFeatures(s.Duration(), f1.L1Dist(f2), s.From.T)
+		y[i] = s.Distance()
+		if y[i] > maxDist {
+			maxDist = y[i]
+		}
+	}
+	if maxDist == 0 {
+		maxDist = 1
+	}
+	for i := range y {
+		y[i] /= maxDist
+	}
+	scaler, err := ml.FitScaler(x)
+	if err != nil {
+		return nil, fmt.Errorf("attack: TrainDistanceEstimator: %w", err)
+	}
+	scaled := scaler.TransformAll(x)
+	gram := ml.NewGram(scaled, ml.RBF{Gamma: cfg.Gamma})
+	svr, err := ml.TrainSVR(gram, y, cfg.SVR)
+	if err != nil {
+		return nil, fmt.Errorf("attack: TrainDistanceEstimator: %w", err)
+	}
+	return &DistanceEstimator{scaler: scaler, svr: svr, distScale: maxDist}, nil
+}
+
+// Predict estimates the distance in meters between the locations of two
+// successive releases.
+func (e *DistanceEstimator) Predict(dur time.Duration, f1, f2 poi.FreqVector, first time.Time) float64 {
+	row := e.scaler.Transform(releaseFeatures(dur, f1.L1Dist(f2), first))
+	d := e.svr.Predict(row) * e.distScale
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Release is one observed POI-aggregate release with its metadata.
+type Release struct {
+	F poi.FreqVector
+	T time.Time
+	R float64
+}
+
+// TrajectoryResult reports a two-release attack.
+type TrajectoryResult struct {
+	// First and Second are the surviving anchor candidates for each
+	// release after pair filtering.
+	First, Second []poi.POI
+	// SuccessFirst/SuccessSecond report per-release success (exactly one
+	// surviving candidate).
+	SuccessFirst, SuccessSecond bool
+	// PredictedDist is the regressor's distance estimate in meters.
+	PredictedDist float64
+}
+
+// Trajectory runs the trajectory-uniqueness attack on two successive
+// releases of the same user: it runs the single-release Region attack on
+// both, predicts the distance between the two locations, and discards
+// every candidate that cannot be paired with a candidate of the other
+// release at a compatible distance. Candidates unreachable from the other
+// release's candidate set are pruned, which is how a release that was
+// ambiguous alone can become unique.
+func Trajectory(svc *gsp.Service, est *DistanceEstimator, first, second Release, cfg TrajectoryConfig) TrajectoryResult {
+	res1 := Region(svc, first.F, first.R)
+	res2 := Region(svc, second.F, second.R)
+	pred := est.Predict(second.T.Sub(first.T), first.F, second.F, first.T)
+	tol := cfg.ToleranceMeters + cfg.ToleranceFrac*pred
+
+	keep1 := make([]poi.POI, 0, len(res1.Candidates))
+	for _, a := range res1.Candidates {
+		ok := false
+		for _, b := range res2.Candidates {
+			if compatible(a.Pos, b.Pos, pred, tol, first.R) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			keep1 = append(keep1, a)
+		}
+	}
+	keep2 := make([]poi.POI, 0, len(res2.Candidates))
+	for _, b := range res2.Candidates {
+		ok := false
+		for _, a := range res1.Candidates {
+			if compatible(a.Pos, b.Pos, pred, tol, first.R) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			keep2 = append(keep2, b)
+		}
+	}
+	return TrajectoryResult{
+		First:         keep1,
+		Second:        keep2,
+		SuccessFirst:  len(keep1) == 1,
+		SuccessSecond: len(keep2) == 1,
+		PredictedDist: pred,
+	}
+}
+
+// compatible reports whether two anchor positions are consistent with the
+// predicted inter-location distance. Each anchor localizes its release
+// only to radius r, so the anchor distance may deviate from the true
+// location distance by up to 2r in addition to the regression tolerance;
+// using the full 2r keeps the filter sound (it never discards a true
+// anchor pair whose predicted distance is within tolerance).
+func compatible(a, b geo.Point, pred, tol, r float64) bool {
+	d := geo.Dist(a, b)
+	slack := tol + 2*r
+	return d >= pred-slack && d <= pred+slack
+}

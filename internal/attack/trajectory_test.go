@@ -1,0 +1,168 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"poiagg/internal/stats"
+	"poiagg/internal/trajgen"
+)
+
+func taxiSegments(t *testing.T, seed uint64, numTaxis int) []trajgen.Segment {
+	t.Helper()
+	city, _ := fixture(t)
+	p := trajgen.DefaultTaxiParams(seed)
+	p.NumTaxis = numTaxis
+	p.PointsPerTaxi = 40
+	trajs, err := trajgen.Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := trajgen.Segments(trajs, 10*time.Minute, 100)
+	if len(segs) < 50 {
+		t.Fatalf("only %d segments", len(segs))
+	}
+	return segs
+}
+
+func TestDistanceEstimatorBeatsMeanBaseline(t *testing.T) {
+	_, svc := fixture(t)
+	const r = 800.0
+	train := taxiSegments(t, 41, 30)
+	test := taxiSegments(t, 42, 10)
+	cfg := DefaultTrajectoryConfig()
+	est, err := TrainDistanceEstimator(svc, train, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []float64
+	for _, s := range test {
+		f1 := svc.Freq(s.From.Pos, r)
+		f2 := svc.Freq(s.To.Pos, r)
+		pred = append(pred, est.Predict(s.Duration(), f1, f2, s.From.T))
+		truth = append(truth, s.Distance())
+	}
+	mae := stats.MAE(pred, truth)
+	// Baseline: always predict the training-set mean distance.
+	meanTrain := 0.0
+	for _, s := range train {
+		meanTrain += s.Distance()
+	}
+	meanTrain /= float64(len(train))
+	base := make([]float64, len(truth))
+	for i := range base {
+		base[i] = meanTrain
+	}
+	baseMAE := stats.MAE(base, truth)
+	if mae >= baseMAE {
+		t.Errorf("SVR MAE %.0f not better than mean-baseline MAE %.0f", mae, baseMAE)
+	}
+	for _, p := range pred {
+		if p < 0 {
+			t.Errorf("negative predicted distance %v", p)
+		}
+	}
+}
+
+func TestTrainDistanceEstimatorValidation(t *testing.T) {
+	_, svc := fixture(t)
+	if _, err := TrainDistanceEstimator(svc, nil, 800, DefaultTrajectoryConfig()); err == nil {
+		t.Error("empty segments accepted")
+	}
+}
+
+func TestTrajectoryAttackImprovesSuccess(t *testing.T) {
+	_, svc := fixture(t)
+	const r = 800.0
+	train := taxiSegments(t, 43, 40)
+	test := taxiSegments(t, 44, 25)
+	if len(test) > 120 {
+		test = test[:120]
+	}
+	cfg := DefaultTrajectoryConfig()
+	est, err := TrainDistanceEstimator(svc, train, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var singleSucc, pairSucc, total int
+	for _, s := range test {
+		f1 := svc.Freq(s.From.Pos, r)
+		f2 := svc.Freq(s.To.Pos, r)
+		if f1.Equal(f2) {
+			continue // the paper discards unchanged releases
+		}
+		total += 2
+		if Region(svc, f1, r).Success {
+			singleSucc++
+		}
+		if Region(svc, f2, r).Success {
+			singleSucc++
+		}
+		res := Trajectory(svc, est,
+			Release{F: f1, T: s.From.T, R: r},
+			Release{F: f2, T: s.To.T, R: r},
+			cfg)
+		if res.SuccessFirst {
+			pairSucc++
+		}
+		if res.SuccessSecond {
+			pairSucc++
+		}
+		if res.PredictedDist < 0 {
+			t.Fatalf("negative predicted distance")
+		}
+	}
+	if total == 0 {
+		t.Fatal("no usable segments")
+	}
+	if pairSucc < singleSucc {
+		t.Errorf("pair attack succeeded %d/%d vs single %d/%d — no gain",
+			pairSucc, total, singleSucc, total)
+	}
+	t.Logf("single %d/%d, pair %d/%d", singleSucc, total, pairSucc, total)
+}
+
+func TestTrajectoryNeverLosesTrueAnchorPair(t *testing.T) {
+	// Filtering may only remove candidates; when both single attacks
+	// succeed, the pair attack must keep those unique candidates (the
+	// true anchors are compatible with the true distance within the 2r
+	// slack, and the regressor tolerance absorbs estimation error in the
+	// vast majority of cases).
+	_, svc := fixture(t)
+	const r = 800.0
+	train := taxiSegments(t, 45, 40)
+	test := taxiSegments(t, 46, 20)
+	cfg := DefaultTrajectoryConfig()
+	est, err := TrainDistanceEstimator(svc, train, r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, lost := 0, 0
+	for _, s := range test {
+		f1 := svc.Freq(s.From.Pos, r)
+		f2 := svc.Freq(s.To.Pos, r)
+		if f1.Equal(f2) {
+			continue
+		}
+		r1 := Region(svc, f1, r)
+		r2 := Region(svc, f2, r)
+		if !r1.Success || !r2.Success {
+			continue
+		}
+		res := Trajectory(svc, est,
+			Release{F: f1, T: s.From.T, R: r},
+			Release{F: f2, T: s.To.T, R: r},
+			cfg)
+		if res.SuccessFirst && res.SuccessSecond {
+			kept++
+		} else {
+			lost++
+		}
+	}
+	if kept == 0 && lost == 0 {
+		t.Skip("no doubly-successful segments in sample")
+	}
+	if lost > kept/5 {
+		t.Errorf("pair filtering lost %d of %d doubly-successful cases", lost, kept+lost)
+	}
+}

@@ -1,0 +1,188 @@
+package citygen
+
+import (
+	"testing"
+)
+
+func TestGenerateBeijingStats(t *testing.T) {
+	city, err := Generate(Beijing(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.NumPOIs() != 10_249 {
+		t.Errorf("NumPOIs = %d, want 10249", city.NumPOIs())
+	}
+	if city.M() != 177 {
+		t.Errorf("M = %d, want 177", city.M())
+	}
+	for tID, n := range city.CityFreq() {
+		if n < 1 {
+			t.Errorf("type %d has zero POIs", tID)
+		}
+	}
+}
+
+func TestGenerateNewYorkStats(t *testing.T) {
+	city, err := Generate(NewYork(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.NumPOIs() != 30_056 {
+		t.Errorf("NumPOIs = %d, want 30056", city.NumPOIs())
+	}
+	if city.M() != 272 {
+		t.Errorf("M = %d, want 272", city.M())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Beijing(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Beijing(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.POIs(), b.POIs()
+	if len(pa) != len(pb) {
+		t.Fatal("lengths differ")
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("POI %d differs: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, _ := Generate(Beijing(1))
+	b, _ := Generate(Beijing(2))
+	same := 0
+	pa, pb := a.POIs(), b.POIs()
+	for i := range pa {
+		if pa[i].Pos == pb[i].Pos {
+			same++
+		}
+	}
+	if same > len(pa)/100 {
+		t.Errorf("different seeds share %d/%d positions", same, len(pa))
+	}
+}
+
+func TestZipfTailMatchesSanitizationThreshold(t *testing.T) {
+	// The paper sanitizes types with city-wide frequency ≤ 10: about 90 of
+	// 177 types in Beijing and 138 of 272 in NYC. Our Zipf calibration
+	// must land in the same regime (roughly half the vocabulary).
+	for _, tc := range []struct {
+		params   Params
+		min, max int
+	}{
+		{Beijing(7), 60, 130},
+		{NewYork(7), 95, 185},
+	} {
+		city, err := Generate(tc.params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rare := 0
+		for _, n := range city.CityFreq() {
+			if n <= 10 {
+				rare++
+			}
+		}
+		if rare < tc.min || rare > tc.max {
+			t.Errorf("%s: %d types with freq ≤ 10, want in [%d, %d]",
+				tc.params.Name, rare, tc.min, tc.max)
+		}
+	}
+}
+
+func TestPOIsWithinBounds(t *testing.T) {
+	city, err := Generate(Beijing(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range city.POIs() {
+		if !city.Bounds.ContainsClosed(p.Pos) {
+			t.Fatalf("POI %d outside bounds: %v", p.ID, p.Pos)
+		}
+	}
+}
+
+func TestSpatialClustering(t *testing.T) {
+	// Clustered placement must beat a uniform layout on local density:
+	// the mean POI count within 500 m of a POI should be well above the
+	// uniform expectation.
+	city, err := Generate(Beijing(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := city.POIs()
+	uniformExpect := float64(city.NumPOIs()) / city.Bounds.Area() * 3.14159 * 500 * 500
+	// Sample every 50th POI to keep the test fast.
+	totalNear := 0
+	samples := 0
+	svc := newTestService(t, city)
+	for i := 0; i < len(pois); i += 50 {
+		f := svc.Freq(pois[i].Pos, 500)
+		totalNear += f.Total()
+		samples++
+	}
+	meanNear := float64(totalNear) / float64(samples)
+	if meanNear < 3*uniformExpect {
+		t.Errorf("mean local density %.1f not clustered vs uniform %.1f", meanNear, uniformExpect)
+	}
+}
+
+func TestRandomLocations(t *testing.T) {
+	city, err := Generate(Beijing(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := city.RandomLocations(100, 9)
+	if len(locs) != 100 {
+		t.Fatalf("got %d locations", len(locs))
+	}
+	for _, l := range locs {
+		if !city.Bounds.ContainsClosed(l) {
+			t.Errorf("location outside bounds: %v", l)
+		}
+	}
+	again := city.RandomLocations(100, 9)
+	for i := range locs {
+		if locs[i] != again[i] {
+			t.Fatal("RandomLocations not deterministic")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	p := Beijing(1)
+	p.NumPOIs = 0
+	if _, err := Generate(p); err == nil {
+		t.Error("zero NumPOIs accepted")
+	}
+	p = Beijing(1)
+	p.NumDistricts = 0
+	if _, err := Generate(p); err == nil {
+		t.Error("zero NumDistricts accepted")
+	}
+}
+
+func TestTypeNamesUniqueAndNonEmpty(t *testing.T) {
+	city, err := Generate(NewYork(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, name := range city.Types.Names() {
+		if name == "" {
+			t.Fatal("empty type name")
+		}
+		if seen[name] {
+			t.Fatalf("duplicate type name %q", name)
+		}
+		seen[name] = true
+	}
+}

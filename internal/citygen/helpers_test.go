@@ -1,0 +1,12 @@
+package citygen
+
+import (
+	"testing"
+
+	"poiagg/internal/gsp"
+)
+
+func newTestService(t *testing.T, c *City) *gsp.Service {
+	t.Helper()
+	return gsp.NewService(c.City, 1024)
+}

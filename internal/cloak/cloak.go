@@ -1,0 +1,135 @@
+// Package cloak implements spatial k-cloaking via the adaptive-interval
+// cloaking algorithm of Gruteser and Grunwald (MobiSys'03), as reviewed in
+// Section III-C of the paper: starting from the whole city, the area is
+// recursively quartered as long as the quadrant containing the requester
+// still holds at least k users; the last region that satisfied
+// k-anonymity is the cloak.
+//
+// The same machinery supplies the dummy locations of the paper's
+// differentially private defense (Section V-B): k locations inside the
+// cloaked region, including the requester's own.
+package cloak
+
+import (
+	"fmt"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/rng"
+)
+
+// Population is a fixed set of user locations against which cloaks are
+// computed. The paper assumes 10,000 users uniformly distributed over the
+// city.
+type Population struct {
+	bounds geo.Rect
+	users  []geo.Point
+}
+
+// UniformPopulation places n users uniformly in bounds, deterministically
+// from seed.
+func UniformPopulation(bounds geo.Rect, n int, seed uint64) *Population {
+	src := rng.New(seed)
+	users := make([]geo.Point, n)
+	for i := range users {
+		x, y := src.UniformIn(bounds.MinX, bounds.MinY, bounds.MaxX, bounds.MaxY)
+		users[i] = geo.Point{X: x, Y: y}
+	}
+	return &Population{bounds: bounds, users: users}
+}
+
+// NewPopulation wraps an explicit user set (copied).
+func NewPopulation(bounds geo.Rect, users []geo.Point) *Population {
+	cp := make([]geo.Point, len(users))
+	copy(cp, users)
+	return &Population{bounds: bounds, users: cp}
+}
+
+// Len returns the population size.
+func (p *Population) Len() int { return len(p.users) }
+
+// Bounds returns the covered area.
+func (p *Population) Bounds() geo.Rect { return p.bounds }
+
+// Cloaker computes k-anonymous cloaking regions over a population.
+type Cloaker struct {
+	pop *Population
+	k   int
+	// maxDepth bounds quadtree descent; 30 levels shrink a 30 km city to
+	// sub-millimeter cells, far past any useful resolution.
+	maxDepth int
+}
+
+// NewCloaker returns a cloaker with anonymity parameter k ≥ 1.
+func NewCloaker(pop *Population, k int) (*Cloaker, error) {
+	if pop == nil {
+		return nil, fmt.Errorf("cloak: nil population")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cloak: k must be ≥ 1, got %d", k)
+	}
+	return &Cloaker{pop: pop, k: k, maxDepth: 30}, nil
+}
+
+// K returns the anonymity parameter.
+func (c *Cloaker) K() int { return c.k }
+
+// Cloak returns the adaptive-interval cloaking region for the requester at
+// l. The requester counts toward k (it is one of the users), so the
+// returned region always contains l and, whenever the whole-city region
+// itself satisfies k-anonymity, at least k users.
+func (c *Cloaker) Cloak(l geo.Point) geo.Rect {
+	region := c.pop.bounds
+	// Candidate users inside the current region; shrinks as we descend.
+	candidates := make([]geo.Point, 0, len(c.pop.users))
+	for _, u := range c.pop.users {
+		if region.ContainsClosed(u) {
+			candidates = append(candidates, u)
+		}
+	}
+	for depth := 0; depth < c.maxDepth; depth++ {
+		quads := region.Quadrants()
+		var sub geo.Rect
+		found := false
+		for _, q := range quads {
+			if q.Contains(l) || (!found && q.ContainsClosed(l)) {
+				sub = q
+				found = true
+			}
+		}
+		if !found {
+			break // l outside region (shouldn't happen); stop refining
+		}
+		inside := filterInto(nil, candidates, sub)
+		// +1 counts the requester itself when it is not part of the
+		// population sample.
+		if len(inside) < c.k {
+			break
+		}
+		region = sub
+		candidates = inside
+	}
+	return region
+}
+
+func filterInto(dst, src []geo.Point, r geo.Rect) []geo.Point {
+	for _, u := range src {
+		if r.Contains(u) {
+			dst = append(dst, u)
+		}
+	}
+	return dst
+}
+
+// DummyLocations returns k locations inside the cloaking region of l: the
+// true location plus k−1 uniform samples from the region. These are the
+// d_1, …, d_k of the paper's DP defense.
+func (c *Cloaker) DummyLocations(l geo.Point, src *rng.Source) []geo.Point {
+	region := c.Cloak(l)
+	out := make([]geo.Point, 0, c.k)
+	out = append(out, l)
+	for len(out) < c.k {
+		x, y := src.UniformIn(region.MinX, region.MinY, region.MaxX, region.MaxY)
+		out = append(out, geo.Point{X: x, Y: y})
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package cloak
+
+import (
+	"testing"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/rng"
+)
+
+var testBounds = geo.Rect{MinX: 0, MinY: 0, MaxX: 10_000, MaxY: 10_000}
+
+func countIn(pop *Population, r geo.Rect) int {
+	n := 0
+	for _, u := range pop.users {
+		if r.Contains(u) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestUniformPopulation(t *testing.T) {
+	pop := UniformPopulation(testBounds, 1000, 1)
+	if pop.Len() != 1000 {
+		t.Fatalf("Len = %d", pop.Len())
+	}
+	for _, u := range pop.users {
+		if !testBounds.ContainsClosed(u) {
+			t.Fatalf("user outside bounds: %v", u)
+		}
+	}
+	if pop.Bounds() != testBounds {
+		t.Error("Bounds mismatch")
+	}
+}
+
+func TestNewCloakerValidation(t *testing.T) {
+	pop := UniformPopulation(testBounds, 10, 1)
+	if _, err := NewCloaker(nil, 5); err == nil {
+		t.Error("nil population accepted")
+	}
+	if _, err := NewCloaker(pop, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestCloakContainsRequesterAndKUsers(t *testing.T) {
+	pop := UniformPopulation(testBounds, 10_000, 2)
+	src := rng.New(3)
+	for _, k := range []int{2, 5, 10, 25, 50} {
+		cloaker, err := NewCloaker(pop, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			x, y := src.UniformIn(testBounds.MinX, testBounds.MinY, testBounds.MaxX, testBounds.MaxY)
+			l := geo.Point{X: x, Y: y}
+			region := cloaker.Cloak(l)
+			if !region.ContainsClosed(l) {
+				t.Fatalf("k=%d: cloak %v does not contain %v", k, region, l)
+			}
+			if got := countIn(pop, region); got < k {
+				t.Fatalf("k=%d: cloak holds %d users", k, got)
+			}
+		}
+	}
+}
+
+func TestCloakShrinksWithSmallerK(t *testing.T) {
+	pop := UniformPopulation(testBounds, 10_000, 4)
+	l := geo.Point{X: 5_000, Y: 5_000}
+	var prevArea float64 = -1
+	// Increasing k must weakly increase the cloak area at a fixed point.
+	for _, k := range []int{2, 10, 50, 200} {
+		cloaker, err := NewCloaker(pop, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		area := cloaker.Cloak(l).Area()
+		if prevArea > 0 && area < prevArea-1e-6 {
+			t.Errorf("area shrank from %v to %v as k grew to %d", prevArea, area, k)
+		}
+		prevArea = area
+	}
+}
+
+func TestCloakKLargerThanPopulation(t *testing.T) {
+	pop := UniformPopulation(testBounds, 5, 5)
+	cloaker, err := NewCloaker(pop, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := cloaker.Cloak(geo.Point{X: 100, Y: 100})
+	if region != testBounds {
+		t.Errorf("cloak should be whole city, got %v", region)
+	}
+}
+
+func TestCloakDeterministic(t *testing.T) {
+	pop := UniformPopulation(testBounds, 5_000, 6)
+	cloaker, err := NewCloaker(pop, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := geo.Point{X: 3_333, Y: 7_777}
+	if cloaker.Cloak(l) != cloaker.Cloak(l) {
+		t.Error("Cloak not deterministic")
+	}
+}
+
+func TestDummyLocations(t *testing.T) {
+	pop := UniformPopulation(testBounds, 10_000, 7)
+	cloaker, err := NewCloaker(pop, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := geo.Point{X: 4_000, Y: 4_000}
+	region := cloaker.Cloak(l)
+	src := rng.New(8)
+	dummies := cloaker.DummyLocations(l, src)
+	if len(dummies) != 20 {
+		t.Fatalf("got %d dummies, want 20", len(dummies))
+	}
+	if dummies[0] != l {
+		t.Error("first dummy must be the true location")
+	}
+	for i, d := range dummies {
+		if !region.ContainsClosed(d) {
+			t.Errorf("dummy %d outside cloak: %v not in %v", i, d, region)
+		}
+	}
+}
+
+func TestNewPopulationCopies(t *testing.T) {
+	users := []geo.Point{{X: 1, Y: 1}}
+	pop := NewPopulation(testBounds, users)
+	users[0] = geo.Point{X: 999, Y: 999}
+	if pop.users[0] != (geo.Point{X: 1, Y: 1}) {
+		t.Error("NewPopulation aliased input")
+	}
+}

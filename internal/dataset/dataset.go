@@ -1,0 +1,132 @@
+// Package dataset persists cities and mobility traces as versioned JSON,
+// so generated substrates can be inspected, diffed, shared, and reloaded
+// (e.g. a real OpenStreetMap extract converted once and reused across
+// runs).
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/trajgen"
+)
+
+// FormatVersion is bumped on breaking schema changes.
+const FormatVersion = 1
+
+// CityFile is the on-disk schema of a city snapshot.
+type CityFile struct {
+	Version int       `json:"version"`
+	Name    string    `json:"name"`
+	Bounds  geo.Rect  `json:"bounds"`
+	Types   []string  `json:"types"`
+	POIs    []poi.POI `json:"pois"`
+}
+
+// SaveCity writes a city snapshot to w.
+func SaveCity(w io.Writer, city *gsp.City) error {
+	if city == nil {
+		return fmt.Errorf("dataset: SaveCity: nil city")
+	}
+	f := CityFile{
+		Version: FormatVersion,
+		Name:    city.Name,
+		Bounds:  city.Bounds,
+		Types:   city.Types.Names(),
+		POIs:    city.POIs(),
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("dataset: SaveCity: %w", err)
+	}
+	return nil
+}
+
+// LoadCity reads a city snapshot from r and rebuilds the indexed city.
+func LoadCity(r io.Reader) (*gsp.City, error) {
+	var f CityFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("dataset: LoadCity: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("dataset: LoadCity: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	if f.Bounds.Width() <= 0 || f.Bounds.Height() <= 0 {
+		return nil, fmt.Errorf("dataset: LoadCity: degenerate bounds %v", f.Bounds)
+	}
+	types := poi.NewTypeTable()
+	for _, name := range f.Types {
+		if name == "" {
+			return nil, fmt.Errorf("dataset: LoadCity: empty type name")
+		}
+		types.Intern(name)
+	}
+	if types.Len() != len(f.Types) {
+		return nil, fmt.Errorf("dataset: LoadCity: duplicate type names")
+	}
+	city, err := gsp.NewCity(f.Name, f.Bounds, types, f.POIs)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: LoadCity: %w", err)
+	}
+	return city, nil
+}
+
+// TraceKind labels the mobility model a trace file holds.
+type TraceKind string
+
+// Trace kinds.
+const (
+	TraceTaxi    TraceKind = "taxi"
+	TraceCheckin TraceKind = "checkin"
+)
+
+// TraceFile is the on-disk schema of a mobility trace set.
+type TraceFile struct {
+	Version      int                  `json:"version"`
+	City         string               `json:"city"`
+	Kind         TraceKind            `json:"kind"`
+	Trajectories []trajgen.Trajectory `json:"trajectories"`
+}
+
+// SaveTrajectories writes a trace set to w.
+func SaveTrajectories(w io.Writer, cityName string, kind TraceKind, trajs []trajgen.Trajectory) error {
+	switch kind {
+	case TraceTaxi, TraceCheckin:
+	default:
+		return fmt.Errorf("dataset: SaveTrajectories: unknown kind %q", kind)
+	}
+	f := TraceFile{
+		Version:      FormatVersion,
+		City:         cityName,
+		Kind:         kind,
+		Trajectories: trajs,
+	}
+	if err := json.NewEncoder(w).Encode(f); err != nil {
+		return fmt.Errorf("dataset: SaveTrajectories: %w", err)
+	}
+	return nil
+}
+
+// LoadTrajectories reads a trace set from r.
+func LoadTrajectories(r io.Reader) (*TraceFile, error) {
+	var f TraceFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dataset: LoadTrajectories: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("dataset: LoadTrajectories: unsupported version %d (want %d)", f.Version, FormatVersion)
+	}
+	for _, tr := range f.Trajectories {
+		for i := 1; i < len(tr.Points); i++ {
+			if tr.Points[i].T.Before(tr.Points[i-1].T) {
+				return nil, fmt.Errorf("dataset: LoadTrajectories: user %d has non-monotone timestamps", tr.UserID)
+			}
+		}
+	}
+	return &f, nil
+}

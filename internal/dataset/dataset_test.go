@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/trajgen"
+)
+
+func genCity(t *testing.T) *citygen.City {
+	t.Helper()
+	p := citygen.Beijing(3)
+	p.NumPOIs = 800
+	p.NumTypes = 40
+	city, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func TestCityRoundTrip(t *testing.T) {
+	city := genCity(t)
+	var buf bytes.Buffer
+	if err := SaveCity(&buf, city.City); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCity(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != city.Name || loaded.M() != city.M() || loaded.NumPOIs() != city.NumPOIs() {
+		t.Errorf("metadata mismatch: %s/%d/%d", loaded.Name, loaded.M(), loaded.NumPOIs())
+	}
+	if !loaded.CityFreq().Equal(city.CityFreq()) {
+		t.Error("city frequency vector changed in round trip")
+	}
+	// The rebuilt index must answer identically.
+	svcA := gsp.NewService(city.City, 0)
+	svcB := gsp.NewService(loaded, 0)
+	for i := 0; i < 20; i++ {
+		l := geo.Point{X: float64(i) * 700, Y: float64(i) * 600}
+		if !svcA.Freq(l, 1500).Equal(svcB.Freq(l, 1500)) {
+			t.Fatalf("Freq mismatch at %v", l)
+		}
+	}
+	// Type names survive.
+	for i := 0; i < city.M(); i++ {
+		if city.Types.Name(poi.TypeID(i)) != loaded.Types.Name(poi.TypeID(i)) {
+			t.Fatalf("type name %d changed", i)
+		}
+	}
+}
+
+func TestSaveCityNil(t *testing.T) {
+	if err := SaveCity(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil city accepted")
+	}
+}
+
+func TestLoadCityErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json"},
+		{"bad version", `{"version":99,"name":"x","bounds":{"minX":0,"minY":0,"maxX":1,"maxY":1},"types":["a"],"pois":[]}`},
+		{"degenerate bounds", `{"version":1,"name":"x","bounds":{"minX":0,"minY":0,"maxX":0,"maxY":1},"types":["a"],"pois":[]}`},
+		{"empty type name", `{"version":1,"name":"x","bounds":{"minX":0,"minY":0,"maxX":1,"maxY":1},"types":[""],"pois":[]}`},
+		{"duplicate types", `{"version":1,"name":"x","bounds":{"minX":0,"minY":0,"maxX":1,"maxY":1},"types":["a","a"],"pois":[]}`},
+		{"unregistered POI type", `{"version":1,"name":"x","bounds":{"minX":0,"minY":0,"maxX":1,"maxY":1},"types":["a"],"pois":[{"id":0,"type":7,"pos":{"x":0,"y":0}}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadCity(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestTrajectoriesRoundTrip(t *testing.T) {
+	city := genCity(t)
+	p := trajgen.DefaultTaxiParams(5)
+	p.NumTaxis = 5
+	p.PointsPerTaxi = 10
+	trajs, err := trajgen.Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrajectories(&buf, city.Name, TraceTaxi, trajs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrajectories(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Kind != TraceTaxi || loaded.City != city.Name {
+		t.Errorf("metadata: %+v", loaded)
+	}
+	if len(loaded.Trajectories) != len(trajs) {
+		t.Fatalf("trajectory count %d", len(loaded.Trajectories))
+	}
+	for i := range trajs {
+		for j := range trajs[i].Points {
+			a, b := trajs[i].Points[j], loaded.Trajectories[i].Points[j]
+			if a.Pos != b.Pos || !a.T.Equal(b.T) {
+				t.Fatalf("point %d/%d changed: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestSaveTrajectoriesBadKind(t *testing.T) {
+	if err := SaveTrajectories(&bytes.Buffer{}, "x", TraceKind("walk"), nil); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestLoadTrajectoriesErrors(t *testing.T) {
+	if _, err := LoadTrajectories(strings.NewReader("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadTrajectories(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	bad := `{"version":1,"city":"x","kind":"taxi","trajectories":[{"userId":1,"points":[` +
+		`{"pos":{"x":0,"y":0},"t":"2020-01-01T10:00:00Z"},` +
+		`{"pos":{"x":1,"y":1},"t":"2020-01-01T09:00:00Z"}]}]}`
+	if _, err := LoadTrajectories(strings.NewReader(bad)); err == nil {
+		t.Error("non-monotone timestamps accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package defense
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/citygen"
+	"poiagg/internal/cloak"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureCity *citygen.City
+	fixtureSvc  *gsp.Service
+	fixturePop  *cloak.Population
+)
+
+func fixture(t testing.TB) (*citygen.City, *gsp.Service, *cloak.Population) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		p := citygen.Beijing(17)
+		p.NumPOIs = 2500
+		p.NumTypes = 80
+		p.Width, p.Height = 15_000, 15_000
+		p.NumDistricts = 30
+		city, err := citygen.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureCity = city
+		fixtureSvc = gsp.NewService(city.City, 1<<16)
+		fixturePop = cloak.UniformPopulation(city.Bounds, 10_000, 99)
+	})
+	return fixtureCity, fixtureSvc, fixturePop
+}
+
+func TestSanitizerThreshold(t *testing.T) {
+	city, _, _ := fixture(t)
+	s, err := NewSanitizer(city.City, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Sanitized()) == 0 {
+		t.Fatal("no types sanitized at threshold 10")
+	}
+	for _, typ := range s.Sanitized() {
+		if city.CityFreq()[typ] > 10 {
+			t.Errorf("type %d freq %d over threshold", typ, city.CityFreq()[typ])
+		}
+		if !s.IsSanitized(typ) {
+			t.Errorf("IsSanitized(%d) = false", typ)
+		}
+	}
+	f := poi.NewFreqVector(city.M())
+	for i := range f {
+		f[i] = 3
+	}
+	out := s.Apply(f)
+	for i := range out {
+		want := 3
+		if s.IsSanitized(poi.TypeID(i)) {
+			want = 0
+		}
+		if out[i] != want {
+			t.Errorf("entry %d = %d, want %d", i, out[i], want)
+		}
+	}
+	if f[s.Sanitized()[0]] != 3 {
+		t.Error("Apply mutated input")
+	}
+}
+
+func TestNewSanitizerNilCity(t *testing.T) {
+	if _, err := NewSanitizer(nil, 10); err == nil {
+		t.Error("nil city accepted")
+	}
+}
+
+func TestSanitizationReducesAttack(t *testing.T) {
+	city, svc, _ := fixture(t)
+	s, err := NewSanitizer(city.City, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 800.0
+	locs := city.RandomLocations(150, 1)
+	var plain, protected int
+	for _, l := range locs {
+		f := svc.Freq(l, r)
+		if attack.Region(svc, f, r).Success {
+			plain++
+		}
+		if attack.Region(svc, s.Apply(f), r).Success {
+			protected++
+		}
+	}
+	if plain == 0 {
+		t.Fatal("baseline never succeeded")
+	}
+	if protected >= plain {
+		t.Errorf("sanitization did not help: %d vs %d", protected, plain)
+	}
+}
+
+func TestGeoIndReducesAttackMoreAtSmallEps(t *testing.T) {
+	city, svc, _ := fixture(t)
+	const r = 800.0
+	locs := city.RandomLocations(120, 2)
+	rates := make(map[string]int)
+	for _, l := range locs {
+		if attack.Region(svc, svc.Freq(l, r), r).Success {
+			rates["plain"]++
+		}
+	}
+	for _, eps := range []float64{0.1, 1.0} {
+		g, err := NewGeoInd(svc, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(uint64(eps * 100))
+		for _, l := range locs {
+			f := g.Release(src, l, r)
+			if attack.Region(svc, f, r).Success {
+				if eps == 0.1 {
+					rates["eps01"]++
+				} else {
+					rates["eps10"]++
+				}
+			}
+		}
+	}
+	if rates["plain"] == 0 {
+		t.Fatal("baseline never succeeded")
+	}
+	// ε=0.1 adds ~2 km mean displacement and must beat ε=1.0 (~200 m).
+	if rates["eps01"] >= rates["eps10"] {
+		t.Errorf("eps=0.1 (%d) should protect better than eps=1.0 (%d)", rates["eps01"], rates["eps10"])
+	}
+	if rates["eps01"] >= rates["plain"] {
+		t.Errorf("geo-ind did not reduce success at all: %v", rates)
+	}
+}
+
+func TestNewGeoIndValidation(t *testing.T) {
+	_, svc, _ := fixture(t)
+	if _, err := NewGeoInd(nil, 1); err == nil {
+		t.Error("nil service accepted")
+	}
+	if _, err := NewGeoInd(svc, 0); err == nil {
+		t.Error("zero eps accepted")
+	}
+}
+
+func TestCloakingRelease(t *testing.T) {
+	city, svc, pop := fixture(t)
+	c, err := NewCloaking(svc, pop, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := city.RandomLocations(1, 3)[0]
+	f := c.Release(l, 800)
+	if len(f) != city.M() {
+		t.Fatalf("vector has %d dims", len(f))
+	}
+	// The release is the aggregate at the cloak center.
+	want := svc.Freq(c.Cloaker().Cloak(l).Center(), 800)
+	if !f.Equal(want) {
+		t.Error("release differs from cloak-center aggregate")
+	}
+}
+
+func TestCloakingSuccessDecreasesWithK(t *testing.T) {
+	city, svc, pop := fixture(t)
+	const r = 800.0
+	locs := city.RandomLocations(120, 4)
+	prev := math.MaxInt
+	for _, k := range []int{2, 50} {
+		c, err := NewCloaking(svc, pop, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		succ := 0
+		for _, l := range locs {
+			if attack.Region(svc, c.Release(l, r), r).Success {
+				succ++
+			}
+		}
+		if succ > prev {
+			t.Errorf("success rate grew with k: %d at k=%d (prev %d)", succ, k, prev)
+		}
+		prev = succ
+	}
+}
+
+func TestNewCloakingValidation(t *testing.T) {
+	_, svc, pop := fixture(t)
+	if _, err := NewCloaking(nil, pop, 5); err == nil {
+		t.Error("nil service accepted")
+	}
+	if _, err := NewCloaking(svc, pop, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package defense
+
+import (
+	"fmt"
+
+	"poiagg/internal/cloak"
+	"poiagg/internal/dp"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+// GeoInd is the geo-indistinguishability defense: the user perturbs its
+// location with the planar Laplace mechanism and aggregates POIs around
+// the noisy location.
+type GeoInd struct {
+	mech *dp.PlanarLaplace
+	svc  *gsp.Service
+}
+
+// NewGeoInd builds the defense with privacy parameter eps per 100 m (the
+// paper's distance unit).
+func NewGeoInd(svc *gsp.Service, eps float64) (*GeoInd, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("defense: NewGeoInd: nil service")
+	}
+	mech, err := dp.NewPlanarLaplace(eps)
+	if err != nil {
+		return nil, fmt.Errorf("defense: NewGeoInd: %w", err)
+	}
+	return &GeoInd{mech: mech, svc: svc}, nil
+}
+
+// Release returns the frequency vector aggregated at a perturbed location.
+func (g *GeoInd) Release(src *rng.Source, l geo.Point, r float64) poi.FreqVector {
+	noisy := g.svc.City().Bounds.Clamp(g.mech.Perturb(src, l))
+	return g.svc.Freq(noisy, r)
+}
+
+// Cloaking is the spatial k-cloaking defense: the user aggregates POIs
+// around the center of its k-anonymous cloaking region instead of its
+// true location.
+type Cloaking struct {
+	cloaker *cloak.Cloaker
+	svc     *gsp.Service
+}
+
+// NewCloaking builds the defense over a user population with anonymity k.
+func NewCloaking(svc *gsp.Service, pop *cloak.Population, k int) (*Cloaking, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("defense: NewCloaking: nil service")
+	}
+	cl, err := cloak.NewCloaker(pop, k)
+	if err != nil {
+		return nil, fmt.Errorf("defense: NewCloaking: %w", err)
+	}
+	return &Cloaking{cloaker: cl, svc: svc}, nil
+}
+
+// Release returns the frequency vector aggregated at the cloak center.
+func (c *Cloaking) Release(l geo.Point, r float64) poi.FreqVector {
+	region := c.cloaker.Cloak(l)
+	return c.svc.Freq(region.Center(), r)
+}
+
+// Cloaker exposes the underlying cloaker (for the DP defense and tests).
+func (c *Cloaking) Cloaker() *cloak.Cloaker { return c.cloaker }

@@ -1,0 +1,64 @@
+// Package defense implements the protection mechanisms the paper
+// evaluates and proposes:
+//
+//   - Sanitizer: the aggressive frequency sanitization of Section III-A
+//     (zero out every type that is infrequent city-wide);
+//   - GeoInd: geo-indistinguishability via the planar Laplace mechanism
+//     (Section III-B) — perturb the location, then aggregate;
+//   - Cloaking: spatial k-cloaking (Section III-C) — aggregate at the
+//     cloaked region instead of the true location;
+//   - OptRelease: the non-private optimization-based release of Eq. (7);
+//   - DPRelease: the (ε,δ)-differentially private release of
+//     Section V-B (Eq. 8-9) — mean of cloaked dummy frequencies with
+//     Gaussian noise, post-processed by the optimization.
+package defense
+
+import (
+	"fmt"
+
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// Sanitizer zeroes the frequencies of every POI type whose city-wide
+// frequency is at or below a threshold — the paper's aggressive
+// sanitization (threshold 10 removes ≈90 of Beijing's 177 types and ≈138
+// of NYC's 272).
+type Sanitizer struct {
+	sanitized []poi.TypeID
+	sanSet    map[poi.TypeID]bool
+}
+
+// NewSanitizer builds a sanitizer for the city with the given city-wide
+// frequency threshold.
+func NewSanitizer(city *gsp.City, threshold int) (*Sanitizer, error) {
+	if city == nil {
+		return nil, fmt.Errorf("defense: NewSanitizer: nil city")
+	}
+	s := &Sanitizer{sanSet: make(map[poi.TypeID]bool)}
+	for i, n := range city.CityFreq() {
+		if n <= threshold {
+			t := poi.TypeID(i)
+			s.sanitized = append(s.sanitized, t)
+			s.sanSet[t] = true
+		}
+	}
+	return s, nil
+}
+
+// Sanitized returns the sanitized type set T_S.
+func (s *Sanitizer) Sanitized() []poi.TypeID {
+	return append([]poi.TypeID(nil), s.sanitized...)
+}
+
+// IsSanitized reports whether t is in the sanitized set.
+func (s *Sanitizer) IsSanitized(t poi.TypeID) bool { return s.sanSet[t] }
+
+// Apply returns a copy of f with every sanitized entry zeroed.
+func (s *Sanitizer) Apply(f poi.FreqVector) poi.FreqVector {
+	out := f.Clone()
+	for _, t := range s.sanitized {
+		out[t] = 0
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package dp
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNewAccountantValidation(t *testing.T) {
+	if _, err := NewAccountant(0, 0.1); err == nil {
+		t.Error("zero eps budget accepted")
+	}
+	if _, err := NewAccountant(1, 1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+	if _, err := NewAccountant(1, -0.1); err == nil {
+		t.Error("negative delta accepted")
+	}
+}
+
+func TestAccountantSequentialComposition(t *testing.T) {
+	a, err := NewAccountant(1.0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := a.Spend(0.25, 0.1); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	eps, delta := a.Spent()
+	if math.Abs(eps-1.0) > 1e-12 || math.Abs(delta-0.4) > 1e-12 {
+		t.Errorf("Spent = (%v, %v)", eps, delta)
+	}
+	if a.Releases() != 4 {
+		t.Errorf("Releases = %d", a.Releases())
+	}
+	// Fifth release exceeds epsilon.
+	err = a.Spend(0.25, 0.1)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("expected ErrBudgetExhausted, got %v", err)
+	}
+	// Failed spend records nothing.
+	if a.Releases() != 4 {
+		t.Errorf("failed spend was recorded")
+	}
+	repsilon, rdelta := a.Remaining()
+	if repsilon > 1e-9 || math.Abs(rdelta-0.1) > 1e-12 {
+		t.Errorf("Remaining = (%v, %v)", repsilon, rdelta)
+	}
+}
+
+func TestAccountantDeltaExhaustion(t *testing.T) {
+	a, err := NewAccountant(100, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(1, 0.15); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Spend(1, 0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("delta overspend accepted: %v", err)
+	}
+}
+
+func TestAccountantSpendValidation(t *testing.T) {
+	a, _ := NewAccountant(1, 0.1)
+	if err := a.Spend(0, 0.01); err == nil || errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("zero eps: %v", err)
+	}
+	if err := a.Spend(0.1, 1); err == nil || errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("delta=1: %v", err)
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a, _ := NewAccountant(10, 0.999)
+	var wg sync.WaitGroup
+	granted := make(chan struct{}, 2000)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if a.Spend(0.01, 0) == nil {
+					granted <- struct{}{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(granted)
+	n := 0
+	for range granted {
+		n++
+	}
+	// Budget allows exactly 1000 releases of 0.01.
+	if n != 1000 {
+		t.Errorf("granted %d releases, want 1000", n)
+	}
+	eps, _ := a.Spent()
+	if eps > 10+1e-9 {
+		t.Errorf("overspent: %v", eps)
+	}
+}
+
+func TestAdvancedCompositionFormula(t *testing.T) {
+	eps, delta := 0.1, 0.001
+	k := 50
+	slack := 1e-6
+	totalEps, totalDelta, err := AdvancedComposition(eps, delta, k, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEps := eps*math.Sqrt(2*50*math.Log(1/slack)) + 50*eps*(math.Exp(eps)-1)
+	if math.Abs(totalEps-wantEps) > 1e-12 {
+		t.Errorf("totalEps = %v, want %v", totalEps, wantEps)
+	}
+	if math.Abs(totalDelta-(50*delta+slack)) > 1e-12 {
+		t.Errorf("totalDelta = %v", totalDelta)
+	}
+}
+
+func TestAdvancedBeatsBasic(t *testing.T) {
+	// For many small-ε releases the advanced bound must beat k·ε.
+	eps := 0.01
+	k := 10_000
+	totalEps, _, err := AdvancedComposition(eps, 0, k, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic := float64(k) * eps
+	if totalEps >= basic {
+		t.Errorf("advanced %v not below basic %v at k=%d", totalEps, basic, k)
+	}
+}
+
+func TestAdvancedCompositionValidation(t *testing.T) {
+	if _, _, err := AdvancedComposition(0, 0.1, 5, 0.01); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, _, err := AdvancedComposition(0.1, 0.1, 0, 0.01); err == nil {
+		t.Error("zero k accepted")
+	}
+	if _, _, err := AdvancedComposition(0.1, 0.1, 5, 0); err == nil {
+		t.Error("zero slack accepted")
+	}
+}
+
+func TestReleasesWithin(t *testing.T) {
+	tests := []struct {
+		eps, delta, bEps, bDelta float64
+		want                     int
+	}{
+		{0.1, 0.01, 1.0, 0.1, 10},
+		{0.1, 0.02, 1.0, 0.1, 5}, // delta-limited
+		{0.3, 0, 1.0, 0, 3},
+		{0, 0, 1, 1, 0},
+		{2, 0, 1, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := ReleasesWithin(tt.eps, tt.delta, tt.bEps, tt.bDelta); got != tt.want {
+			t.Errorf("ReleasesWithin(%v,%v,%v,%v) = %d, want %d",
+				tt.eps, tt.delta, tt.bEps, tt.bDelta, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package dp
+
+import (
+	"math"
+	"testing"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/rng"
+)
+
+func TestGaussianSigmaFormula(t *testing.T) {
+	got, err := GaussianSigma(2, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Sqrt(2*math.Log(1.25/0.1)) / 0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("sigma = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianSigmaValidation(t *testing.T) {
+	cases := []struct{ sens, eps, delta float64 }{
+		{-1, 1, 0.1},
+		{1, 0, 0.1},
+		{1, -2, 0.1},
+		{1, 1, 0},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if _, err := GaussianSigma(c.sens, c.eps, c.delta); err == nil {
+			t.Errorf("GaussianSigma(%v, %v, %v) accepted", c.sens, c.eps, c.delta)
+		}
+	}
+	// Zero sensitivity is valid: no noise needed.
+	if s, err := GaussianSigma(0, 1, 0.1); err != nil || s != 0 {
+		t.Errorf("zero sensitivity: %v, %v", s, err)
+	}
+}
+
+func TestGaussianPerturbStats(t *testing.T) {
+	g := Gaussian{Eps: 1, Delta: 0.1}
+	src := rng.New(1)
+	const n = 100_000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v, err := g.Perturb(src, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sigma, _ := GaussianSigma(1, 1, 0.1)
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-sigma*sigma)/(sigma*sigma) > 0.05 {
+		t.Errorf("variance = %v, want ~%v", variance, sigma*sigma)
+	}
+}
+
+func TestLaplacePerturbStats(t *testing.T) {
+	l := Laplace{Eps: 0.5}
+	src := rng.New(2)
+	const n = 100_000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v, err := l.Perturb(src, 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	b := 2 / 0.5
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-2*b*b)/(2*b*b) > 0.05 {
+		t.Errorf("variance = %v, want ~%v", variance, 2*b*b)
+	}
+}
+
+func TestLaplaceValidation(t *testing.T) {
+	src := rng.New(3)
+	if _, err := (Laplace{Eps: 0}).Perturb(src, 1, 1); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := (Laplace{Eps: 1}).Perturb(src, 1, -1); err == nil {
+		t.Error("negative sensitivity accepted")
+	}
+}
+
+func TestPlanarLaplaceMeanDisplacement(t *testing.T) {
+	// Mean radial displacement of the planar Laplace is 2·unit/ε meters.
+	pl, err := NewPlanarLaplace(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(4)
+	origin := geo.Point{X: 1000, Y: 2000}
+	const n = 50_000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		p := pl.Perturb(src, origin)
+		sum += geo.Dist(origin, p)
+	}
+	mean := sum / n
+	want := 2 * pl.DistanceUnit / pl.Eps // 2000 m for ε=0.1, unit 100 m
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean displacement = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPlanarLaplaceEpsScaling(t *testing.T) {
+	// Larger ε must produce smaller displacement.
+	weak, _ := NewPlanarLaplace(1.0)
+	strong, _ := NewPlanarLaplace(0.1)
+	src1, src2 := rng.New(5), rng.New(5)
+	origin := geo.Point{}
+	sumWeak, sumStrong := 0.0, 0.0
+	for i := 0; i < 20_000; i++ {
+		sumWeak += geo.Dist(origin, weak.Perturb(src1, origin))
+		sumStrong += geo.Dist(origin, strong.Perturb(src2, origin))
+	}
+	if sumWeak >= sumStrong {
+		t.Errorf("eps=1.0 displacement %v not below eps=0.1 displacement %v", sumWeak, sumStrong)
+	}
+}
+
+func TestNewPlanarLaplaceValidation(t *testing.T) {
+	if _, err := NewPlanarLaplace(0); err == nil {
+		t.Error("zero eps accepted")
+	}
+	if _, err := NewPlanarLaplace(-1); err == nil {
+		t.Error("negative eps accepted")
+	}
+}

@@ -1,0 +1,160 @@
+// Package eval provides the shared experiment machinery: release
+// pipelines (a defense viewed as a function from a location to a released
+// frequency vector), attack sweeps over location sets, and the paper's
+// two metrics — re-identification success rate and Top-K Jaccard utility.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+	"poiagg/internal/stats"
+)
+
+// Releaser maps a user location and query range to the frequency vector
+// the user releases. Plain (undefended) release is PlainReleaser; each
+// defense contributes its own.
+type Releaser func(src *rng.Source, l geo.Point, r float64) (poi.FreqVector, error)
+
+// PlainReleaser releases the exact aggregate — no protection.
+func PlainReleaser(svc *gsp.Service) Releaser {
+	return func(_ *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+		return svc.Freq(l, r), nil
+	}
+}
+
+// SuccessRate releases a vector for every location through rel and runs
+// the region re-identification attack against it, returning the fraction
+// of successful attacks: |Φ| = 1 and the re-identified region (the
+// radius-r disk around the surviving anchor) contains the true location.
+// For undefended releases the two conditions coincide (the unique
+// survivor is always the true anchor); for location-shifting defenses
+// (geo-indistinguishability, cloaking) the containment check is what
+// distinguishes re-identifying the user from confidently re-identifying
+// the wrong place.
+func SuccessRate(svc *gsp.Service, locs []geo.Point, r float64, rel Releaser, seed uint64) (float64, error) {
+	if len(locs) == 0 {
+		return 0, fmt.Errorf("eval: SuccessRate: no locations")
+	}
+	src := rng.New(seed)
+	succ := 0
+	for _, l := range locs {
+		f, err := rel(src, l, r)
+		if err != nil {
+			return 0, fmt.Errorf("eval: SuccessRate: %w", err)
+		}
+		if attack.Region(svc, f, r).Covers(l, r) {
+			succ++
+		}
+	}
+	return float64(succ) / float64(len(locs)), nil
+}
+
+// FineGrainedOutcome aggregates a fine-grained attack sweep.
+type FineGrainedOutcome struct {
+	// SuccessRate is the fraction of locations where the region stage
+	// succeeded.
+	SuccessRate float64
+	// Areas holds the feasible-region area (m²) of every successful
+	// attack.
+	Areas []float64
+	// MeanAux is the mean number of auxiliary anchors used on successes.
+	MeanAux float64
+	// CoverRate is the fraction of successful attacks whose feasible
+	// region contains the true location (soundness diagnostic).
+	CoverRate float64
+}
+
+// FineGrainedSweep runs the fine-grained attack over plain releases at
+// every location. The attack is deterministic (no randomness), so the
+// sweep fans out across a worker pool and still produces bit-identical
+// results in location order.
+func FineGrainedSweep(svc *gsp.Service, locs []geo.Point, r float64, cfg attack.FineGrainedConfig) (FineGrainedOutcome, error) {
+	if len(locs) == 0 {
+		return FineGrainedOutcome{}, fmt.Errorf("eval: FineGrainedSweep: no locations")
+	}
+	type perLoc struct {
+		success bool
+		area    float64
+		aux     int
+		covered bool
+	}
+	results := make([]perLoc, len(locs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(locs) {
+		workers = len(locs)
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(locs) {
+					return
+				}
+				l := locs[i]
+				f := svc.Freq(l, r)
+				res := attack.FineGrained(svc, f, r, cfg)
+				if !res.Success {
+					continue
+				}
+				results[i] = perLoc{
+					success: true,
+					area:    res.Area,
+					aux:     len(res.AuxAnchors),
+					covered: res.Covers(l, r),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var out FineGrainedOutcome
+	var auxTotal, covered int
+	for _, pr := range results {
+		if !pr.success {
+			continue
+		}
+		out.Areas = append(out.Areas, pr.area)
+		auxTotal += pr.aux
+		if pr.covered {
+			covered++
+		}
+	}
+	n := len(out.Areas)
+	out.SuccessRate = float64(n) / float64(len(locs))
+	if n > 0 {
+		out.MeanAux = float64(auxTotal) / float64(n)
+		out.CoverRate = float64(covered) / float64(n)
+	}
+	return out, nil
+}
+
+// TopKJaccard measures utility: the mean Jaccard index between the Top-K
+// type sets of the exact aggregate and the released one, over locs.
+func TopKJaccard(svc *gsp.Service, locs []geo.Point, r float64, rel Releaser, k int, seed uint64) (float64, error) {
+	if len(locs) == 0 {
+		return 0, fmt.Errorf("eval: TopKJaccard: no locations")
+	}
+	src := rng.New(seed)
+	var js []float64
+	for _, l := range locs {
+		exact := svc.Freq(l, r)
+		released, err := rel(src, l, r)
+		if err != nil {
+			return 0, fmt.Errorf("eval: TopKJaccard: %w", err)
+		}
+		js = append(js, stats.Jaccard(exact.TopK(k), released.TopK(k)))
+	}
+	return stats.Mean(js), nil
+}

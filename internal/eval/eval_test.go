@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/citygen"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureCity *citygen.City
+	fixtureSvc  *gsp.Service
+)
+
+func fixture(t testing.TB) (*citygen.City, *gsp.Service) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		p := citygen.Beijing(23)
+		p.NumPOIs = 2000
+		p.NumTypes = 70
+		p.Width, p.Height = 14_000, 14_000
+		p.NumDistricts = 25
+		city, err := citygen.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtureCity = city
+		fixtureSvc = gsp.NewService(city.City, 1<<16)
+	})
+	return fixtureCity, fixtureSvc
+}
+
+func TestSuccessRatePlain(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(100, 1)
+	rate, err := SuccessRate(svc, locs, 1000, PlainReleaser(svc), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 || rate > 1 {
+		t.Errorf("rate = %v", rate)
+	}
+}
+
+func TestSuccessRateEmptyLocations(t *testing.T) {
+	_, svc := fixture(t)
+	if _, err := SuccessRate(svc, nil, 1000, PlainReleaser(svc), 1); err == nil {
+		t.Error("empty locations accepted")
+	}
+}
+
+func TestSuccessRateReleaserError(t *testing.T) {
+	_, svc := fixture(t)
+	fail := func(*rng.Source, geo.Point, float64) (poi.FreqVector, error) {
+		return nil, errors.New("boom")
+	}
+	if _, err := SuccessRate(svc, []geo.Point{{}}, 1000, fail, 1); err == nil {
+		t.Error("releaser error swallowed")
+	}
+}
+
+func TestSuccessRateZeroWithEmptyVectors(t *testing.T) {
+	city, svc := fixture(t)
+	empty := func(*rng.Source, geo.Point, float64) (poi.FreqVector, error) {
+		return poi.NewFreqVector(city.M()), nil
+	}
+	rate, err := SuccessRate(svc, city.RandomLocations(20, 2), 1000, empty, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Errorf("empty releases should never re-identify, rate = %v", rate)
+	}
+}
+
+func TestFineGrainedSweep(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(120, 3)
+	const r = 1000.0
+	out, err := FineGrainedSweep(svc, locs, r, attack.DefaultFineGrainedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SuccessRate <= 0 {
+		t.Fatal("no successes")
+	}
+	if len(out.Areas) != int(out.SuccessRate*float64(len(locs))+0.5) {
+		t.Errorf("areas %d inconsistent with rate %v", len(out.Areas), out.SuccessRate)
+	}
+	for _, a := range out.Areas {
+		if a <= 0 || a > math.Pi*r*r+1e-6 {
+			t.Errorf("area %v out of range", a)
+		}
+	}
+	if out.CoverRate < 0.9 {
+		t.Errorf("cover rate %v < 0.9 — soundness regression", out.CoverRate)
+	}
+	if out.MeanAux < 0 {
+		t.Errorf("MeanAux = %v", out.MeanAux)
+	}
+	if _, err := FineGrainedSweep(svc, nil, r, attack.DefaultFineGrainedConfig()); err == nil {
+		t.Error("empty locations accepted")
+	}
+}
+
+func TestTopKJaccardPlainIsPerfect(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(30, 4)
+	j, err := TopKJaccard(svc, locs, 1000, PlainReleaser(svc), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Errorf("plain release Jaccard = %v, want 1", j)
+	}
+	if _, err := TopKJaccard(svc, nil, 1000, PlainReleaser(svc), 10, 1); err == nil {
+		t.Error("empty locations accepted")
+	}
+}
+
+func TestTopKJaccardDegradesWithNoise(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(30, 5)
+	noisy := func(src *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+		f := svc.Freq(l, r)
+		for i := range f {
+			f[i] += src.IntN(30)
+		}
+		return f, nil
+	}
+	j, err := TopKJaccard(svc, locs, 1000, noisy, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j >= 1 {
+		t.Errorf("heavy noise should reduce Jaccard, got %v", j)
+	}
+}

@@ -1,0 +1,342 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Figs. 2-12 plus the Section II-E dataset table).
+// Each driver regenerates the same rows/series the paper reports, against
+// the synthetic substrates documented in DESIGN.md.
+//
+// Drivers run against an Env, which lazily builds and caches the cities,
+// services, user populations, mobility datasets, and trained attack
+// models. Two scales are provided: ScaleQuick for tests and benchmarks,
+// and ScaleFull matching the paper's dataset sizes and 1,000-location
+// evaluation samples.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/citygen"
+	"poiagg/internal/cloak"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/trajgen"
+)
+
+// Scale selects experiment sizes.
+type Scale int
+
+// Scales.
+const (
+	// ScaleQuick shrinks cities, samples, and training sets so the whole
+	// figure suite runs in seconds — for tests and benchmarks.
+	ScaleQuick Scale = iota + 1
+	// ScaleFull matches the paper: full-size cities, 1,000 evaluation
+	// locations per dataset.
+	ScaleFull
+)
+
+// Config parameterizes an experiment environment.
+type Config struct {
+	// Seed drives every generator and sampler in the environment.
+	Seed uint64
+	// Scale selects ScaleQuick or ScaleFull sizes.
+	Scale Scale
+	// Locations overrides the evaluation sample size per dataset
+	// (default: 120 quick, 1000 full).
+	Locations int
+}
+
+// Dataset names accepted by Env.Dataset, matching the paper's four
+// evaluation workloads.
+const (
+	DatasetBJTaxi     = "bj-taxi"
+	DatasetBJRandom   = "bj-random"
+	DatasetNYCCheckin = "nyc-checkin"
+	DatasetNYCRandom  = "nyc-random"
+)
+
+// Radii are the paper's query ranges in meters.
+var Radii = []float64{500, 1000, 2000, 4000}
+
+// Env lazily builds and caches every substrate an experiment needs. All
+// accessors are safe for concurrent use.
+type Env struct {
+	cfg Config
+
+	mu         sync.Mutex
+	cities     map[string]*citygen.City
+	svcs       map[string]*gsp.Service
+	pops       map[string]*cloak.Population
+	datasets   map[string][]geo.Point
+	taxiTrajs  []trajgen.Trajectory
+	recoverers map[string]*attack.Recoverer
+	estimators map[string]*attack.DistanceEstimator
+}
+
+// NewEnv returns an environment for cfg.
+func NewEnv(cfg Config) *Env {
+	if cfg.Scale == 0 {
+		cfg.Scale = ScaleQuick
+	}
+	if cfg.Locations == 0 {
+		if cfg.Scale == ScaleFull {
+			cfg.Locations = 1000
+		} else {
+			cfg.Locations = 120
+		}
+	}
+	return &Env{
+		cfg:        cfg,
+		cities:     make(map[string]*citygen.City),
+		svcs:       make(map[string]*gsp.Service),
+		pops:       make(map[string]*cloak.Population),
+		datasets:   make(map[string][]geo.Point),
+		recoverers: make(map[string]*attack.Recoverer),
+		estimators: make(map[string]*attack.DistanceEstimator),
+	}
+}
+
+// Config returns the environment configuration.
+func (e *Env) Config() Config { return e.cfg }
+
+// cityParams returns generator parameters for "beijing" or "nyc" at the
+// configured scale.
+func (e *Env) cityParams(name string) (citygen.Params, error) {
+	var p citygen.Params
+	switch name {
+	case "beijing":
+		p = citygen.Beijing(e.cfg.Seed)
+	case "nyc":
+		p = citygen.NewYork(e.cfg.Seed + 1)
+	default:
+		return p, fmt.Errorf("experiments: unknown city %q", name)
+	}
+	if e.cfg.Scale == ScaleQuick {
+		p.NumPOIs /= 4
+		p.NumTypes /= 2
+		p.Width *= 0.6
+		p.Height *= 0.6
+		p.NumDistricts /= 2
+	}
+	return p, nil
+}
+
+// City returns the synthetic city by name ("beijing" or "nyc").
+func (e *Env) City(name string) (*citygen.City, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cityLocked(name)
+}
+
+func (e *Env) cityLocked(name string) (*citygen.City, error) {
+	if c, ok := e.cities[name]; ok {
+		return c, nil
+	}
+	p, err := e.cityParams(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := citygen.Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate %s: %w", name, err)
+	}
+	e.cities[name] = c
+	return c, nil
+}
+
+// Service returns the GSP service for a city.
+func (e *Env) Service(name string) (*gsp.Service, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.serviceLocked(name)
+}
+
+func (e *Env) serviceLocked(name string) (*gsp.Service, error) {
+	if s, ok := e.svcs[name]; ok {
+		return s, nil
+	}
+	c, err := e.cityLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	s := gsp.NewService(c.City, 1<<18)
+	e.svcs[name] = s
+	return s, nil
+}
+
+// Population returns the synthetic 10,000-user population for a city.
+func (e *Env) Population(name string) (*cloak.Population, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.pops[name]; ok {
+		return p, nil
+	}
+	c, err := e.cityLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	p := cloak.UniformPopulation(c.Bounds, 10_000, e.cfg.Seed+7)
+	e.pops[name] = p
+	return p, nil
+}
+
+// TaxiTrajectories returns the Beijing taxi traces.
+func (e *Env) TaxiTrajectories() ([]trajgen.Trajectory, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.taxiTrajectoriesLocked()
+}
+
+func (e *Env) taxiTrajectoriesLocked() ([]trajgen.Trajectory, error) {
+	if e.taxiTrajs != nil {
+		return e.taxiTrajs, nil
+	}
+	c, err := e.cityLocked("beijing")
+	if err != nil {
+		return nil, err
+	}
+	p := trajgen.DefaultTaxiParams(e.cfg.Seed + 11)
+	if e.cfg.Scale == ScaleQuick {
+		p.NumTaxis = 60
+		p.PointsPerTaxi = 40
+	}
+	trajs, err := trajgen.Taxis(c.City, p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: taxi traces: %w", err)
+	}
+	e.taxiTrajs = trajs
+	return trajs, nil
+}
+
+// Dataset returns the evaluation locations of one of the four named
+// workloads.
+func (e *Env) Dataset(name string) ([]geo.Point, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok := e.datasets[name]; ok {
+		return d, nil
+	}
+	n := e.cfg.Locations
+	var locs []geo.Point
+	switch name {
+	case DatasetBJTaxi:
+		trajs, err := e.taxiTrajectoriesLocked()
+		if err != nil {
+			return nil, err
+		}
+		locs = trajgen.SampleLocations(trajs, n, e.cfg.Seed+13)
+	case DatasetBJRandom:
+		c, err := e.cityLocked("beijing")
+		if err != nil {
+			return nil, err
+		}
+		locs = c.RandomLocations(n, e.cfg.Seed+17)
+	case DatasetNYCCheckin:
+		c, err := e.cityLocked("nyc")
+		if err != nil {
+			return nil, err
+		}
+		p := trajgen.DefaultCheckinParams(e.cfg.Seed + 19)
+		if e.cfg.Scale == ScaleQuick {
+			p.NumUsers = 60
+			p.CheckinsPerUser = 30
+		}
+		trajs, err := trajgen.Checkins(c.City, p)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: check-ins: %w", err)
+		}
+		locs = trajgen.SampleLocations(trajs, n, e.cfg.Seed+23)
+	case DatasetNYCRandom:
+		c, err := e.cityLocked("nyc")
+		if err != nil {
+			return nil, err
+		}
+		locs = c.RandomLocations(n, e.cfg.Seed+29)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	e.datasets[name] = locs
+	return locs, nil
+}
+
+// datasetCity maps a dataset name to its city name.
+func datasetCity(dataset string) (string, error) {
+	switch dataset {
+	case DatasetBJTaxi, DatasetBJRandom:
+		return "beijing", nil
+	case DatasetNYCCheckin, DatasetNYCRandom:
+		return "nyc", nil
+	default:
+		return "", fmt.Errorf("experiments: unknown dataset %q", dataset)
+	}
+}
+
+// Recoverer returns (training on first use) the sanitization-recovery
+// model for a city and query range.
+func (e *Env) Recoverer(cityName string, r float64) (*attack.Recoverer, error) {
+	key := fmt.Sprintf("%s/%.0f", cityName, r)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rec, ok := e.recoverers[key]; ok {
+		return rec, nil
+	}
+	svc, err := e.serviceLocked(cityName)
+	if err != nil {
+		return nil, err
+	}
+	city, err := e.cityLocked(cityName)
+	if err != nil {
+		return nil, err
+	}
+	san := sanitizedTypes(city, 10)
+	if len(san) == 0 {
+		return nil, fmt.Errorf("experiments: city %s has no sanitizable types", cityName)
+	}
+	cfg := attack.DefaultRecoveryConfig(e.cfg.Seed + 31)
+	if e.cfg.Scale == ScaleQuick {
+		cfg.TrainSamples = 400
+		cfg.ValSamples = 100
+		cfg.SVM.Epochs = 30
+	}
+	rec, err := attack.TrainRecoverer(svc, san, r, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train recoverer %s: %w", key, err)
+	}
+	e.recoverers[key] = rec
+	return rec, nil
+}
+
+// DistanceEstimator returns (training on first use) the trajectory-attack
+// distance regressor for the Beijing taxi workload at query range r.
+func (e *Env) DistanceEstimator(r float64) (*attack.DistanceEstimator, error) {
+	key := fmt.Sprintf("%.0f", r)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if est, ok := e.estimators[key]; ok {
+		return est, nil
+	}
+	svc, err := e.serviceLocked("beijing")
+	if err != nil {
+		return nil, err
+	}
+	trajs, err := e.taxiTrajectoriesLocked()
+	if err != nil {
+		return nil, err
+	}
+	segs := trajgen.Segments(trajs, 10*time.Minute, 100)
+	// Cap training size to keep the Gram matrix manageable.
+	maxTrain := 800
+	if e.cfg.Scale == ScaleFull {
+		maxTrain = 2000
+	}
+	if len(segs) > maxTrain {
+		segs = segs[:maxTrain]
+	}
+	est, err := attack.TrainDistanceEstimator(svc, segs, r, attack.DefaultTrajectoryConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: train distance estimator: %w", err)
+	}
+	e.estimators[key] = est
+	return est, nil
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/defense"
+	"poiagg/internal/poi"
+	"poiagg/internal/trajgen"
+)
+
+// FigSeq is an extension beyond the paper: it sweeps the *length* of a
+// release run and reports the per-release success rate of the
+// multi-release sequence attack (TrajectorySequence) against the
+// single-release baseline. The paper evaluates only pairs (Fig. 8); this
+// figure shows how much more long sessions leak.
+func FigSeq(env *Env) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ext-seq",
+		Title:  "EXTENSION — multi-release sequence attack vs run length (Beijing taxi, r = 1 km)",
+		XLabel: "releases per run",
+		YLabel: "success rate",
+	}
+	const r = 1000.0
+	svc, err := env.Service("beijing")
+	if err != nil {
+		return nil, err
+	}
+	est, err := env.DistanceEstimator(r)
+	if err != nil {
+		return nil, err
+	}
+	trajs, err := env.TaxiTrajectories()
+	if err != nil {
+		return nil, err
+	}
+	cfg := attack.DefaultTrajectoryConfig()
+	single := Series{Name: "single release"}
+	seq := Series{Name: "sequence attack"}
+	maxRuns := env.Config().Locations / 2
+	if maxRuns < 10 {
+		maxRuns = 10
+	}
+	for _, runLen := range []int{2, 3, 4, 6} {
+		var nSingle, nSeq, total, runs int
+		for _, tr := range trajs {
+			if runs >= maxRuns {
+				break
+			}
+			rels := extractRun(svc, tr, r, runLen)
+			if len(rels) < runLen {
+				continue
+			}
+			runs++
+			total += runLen
+			for _, rel := range rels {
+				if attack.Region(svc, rel.F, r).Success {
+					nSingle++
+				}
+			}
+			nSeq += attack.TrajectorySequence(svc, est, rels, cfg).SuccessCount()
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("experiments: FigSeq: no runs of length %d", runLen)
+		}
+		x := float64(runLen)
+		single.X = append(single.X, x)
+		single.Y = append(single.Y, float64(nSingle)/float64(total))
+		seq.X = append(seq.X, x)
+		seq.Y = append(seq.Y, float64(nSeq)/float64(total))
+	}
+	fig.Series = []Series{single, seq}
+	fig.Notes = append(fig.Notes,
+		"not in the paper: generalizes Fig. 8 from pairs to full sessions via arc-consistent distance filtering")
+	return fig, nil
+}
+
+// extractRun pulls the first usable run of releases (changed vector,
+// gap ≤ 10 min) of the requested length from a trajectory.
+func extractRun(svc svcT, tr trajgen.Trajectory, r float64, runLen int) []attack.Release {
+	var out []attack.Release
+	for _, pt := range tr.Points {
+		f := svc.Freq(pt.Pos, r)
+		if len(out) > 0 {
+			prev := out[len(out)-1]
+			gap := pt.T.Sub(prev.T)
+			if gap <= 0 || gap > 10*time.Minute || f.Equal(prev.F) {
+				if gap > 10*time.Minute {
+					out = out[:0] // session break: restart the run
+				}
+				continue
+			}
+		}
+		out = append(out, attack.Release{F: f, T: pt.T, R: r})
+		if len(out) == runLen {
+			return out
+		}
+	}
+	return out
+}
+
+// FigRobust is an extension beyond the paper: it applies the paper's own
+// sanitization-breaking methodology (the learning recovery of Section
+// III-A) to the paper's proposed Eq. 7 optimization defense. The defense
+// and the Freq oracle are both public, so the adversary can simulate the
+// defended release on arbitrary locations and train a recovery model
+// against it. The figure reports the region-attack success rate without
+// protection, under the defense, and under defense + learning recovery,
+// for the β sweep at r = 2 km.
+func FigRobust(env *Env) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ext-robust",
+		Title:  "EXTENSION — learning attack against the Eq. 7 defense (r = 2 km)",
+		XLabel: "beta",
+		YLabel: "success rate",
+	}
+	const r = 2000.0
+	for _, dataset := range defenseDatasets {
+		cityName, err := datasetCity(dataset)
+		if err != nil {
+			return nil, err
+		}
+		svc, err := env.Service(cityName)
+		if err != nil {
+			return nil, err
+		}
+		city, err := env.City(cityName)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := defense.NewOptRelease(city.City)
+		if err != nil {
+			return nil, err
+		}
+		locs, err := env.Dataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		// The recovery targets are the infrequent types the optimization
+		// preferentially erases.
+		targets := sanitizedTypes(city, 10)
+
+		plain := Series{Name: dataset + ":w/o protection"}
+		defended := Series{Name: dataset + ":defense"}
+		recovered := Series{Name: dataset + ":defense+recovery"}
+		var nPlain int
+		for _, l := range locs {
+			if attack.Region(svc, svc.Freq(l, r), r).Covers(l, r) {
+				nPlain++
+			}
+		}
+		for _, beta := range Betas {
+			transform := func(f poi.FreqVector) (poi.FreqVector, error) {
+				return opt.Solve(f, beta)
+			}
+			cfg := attack.DefaultRecoveryConfig(env.Config().Seed + 67)
+			if env.Config().Scale == ScaleQuick {
+				cfg.TrainSamples = 400
+				cfg.ValSamples = 100
+				cfg.SVM.Epochs = 30
+			}
+			rec, err := attack.TrainTransformRecoverer(svc, transform, targets, r, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: FigRobust: %w", err)
+			}
+			var nDef, nRec int
+			for _, l := range locs {
+				f := svc.Freq(l, r)
+				d, err := transform(f)
+				if err != nil {
+					return nil, err
+				}
+				if attack.Region(svc, d, r).Covers(l, r) {
+					nDef++
+				}
+				if attack.Region(svc, rec.Recover(d), r).Covers(l, r) {
+					nRec++
+				}
+			}
+			n := float64(len(locs))
+			plain.X = append(plain.X, beta)
+			plain.Y = append(plain.Y, float64(nPlain)/n)
+			defended.X = append(defended.X, beta)
+			defended.Y = append(defended.Y, float64(nDef)/n)
+			recovered.X = append(recovered.X, beta)
+			recovered.Y = append(recovered.Y, float64(nRec)/n)
+		}
+		fig.Series = append(fig.Series, plain, defended, recovered)
+	}
+	fig.Notes = append(fig.Notes,
+		"not in the paper: robustness check of the proposed defense against its own recovery methodology",
+		"success may exceed the bare defense if the learner reconstructs erased rare types")
+	return fig, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/poi"
+)
+
+// Series is one labelled line of a figure: paired X/Y samples.
+type Series struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// Figure is the reproduction of one paper figure or table: a set of
+// series plus labelling, printable as an aligned text table.
+type Figure struct {
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"xLabel"`
+	YLabel string   `json:"yLabel"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// String renders the figure as a text table: one row per X value, one
+// column per series.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-22s", s.Name)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-14.4g", x)
+		for _, s := range f.Series {
+			v, ok := seriesAt(s, x)
+			if ok {
+				fmt.Fprintf(&b, "  %-22.4f", v)
+			} else {
+				fmt.Fprintf(&b, "  %-22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the figure in long format — one row per (series, point) —
+// ready for any plotting tool:
+//
+//	figure,series,x,y
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,series,x,y\n")
+	w := csv.NewWriter(&b)
+	for _, s := range f.Series {
+		for i := range s.X {
+			_ = w.Write([]string{
+				f.ID,
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64),
+			})
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+func seriesAt(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// sanitizedTypes returns the types whose city-wide frequency is at or
+// below threshold — the paper's sanitization target set.
+func sanitizedTypes(city *citygen.City, threshold int) []poi.TypeID {
+	var out []poi.TypeID
+	for i, n := range city.CityFreq() {
+		if n <= threshold {
+			out = append(out, poi.TypeID(i))
+		}
+	}
+	return out
+}
+
+// Driver is a figure-regeneration function.
+type Driver func(*Env) (*Figure, error)
+
+// Registry maps figure IDs (as used by cmd/poirepro -fig) to drivers.
+func Registry() map[string]Driver {
+	return map[string]Driver{
+		"datasets":   DatasetTable,
+		"2":          Fig2,
+		"3":          Fig3,
+		"4":          Fig4,
+		"5":          Fig5,
+		"6":          Fig6,
+		"7":          Fig7,
+		"8":          Fig8,
+		"9":          Fig9,
+		"10":         Fig10,
+		"11":         Fig11,
+		"12":         Fig12,
+		"ext-seq":    FigSeq,
+		"ext-robust": FigRobust,
+	}
+}
+
+// OrderedIDs returns the registry keys in presentation order: the
+// paper's figures first, extensions last.
+func OrderedIDs() []string {
+	return []string{"datasets", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "ext-seq", "ext-robust"}
+}

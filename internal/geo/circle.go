@@ -1,0 +1,314 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Circle is a disk boundary: center C and radius R in meters.
+type Circle struct {
+	C Point   `json:"c"`
+	R float64 `json:"r"`
+}
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("circle(%s, r=%.1f)", c.C, c.R)
+}
+
+// Area returns the area of the disk bounded by c.
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// Contains reports whether p lies in the closed disk bounded by c.
+func (c Circle) Contains(p Point) bool {
+	return Dist2(c.C, p) <= c.R*c.R
+}
+
+// containsTol reports membership with an absolute distance tolerance,
+// used to make the arc-polygon area computation robust for points that lie
+// exactly on circle boundaries.
+func (c Circle) containsTol(p Point, tol float64) bool {
+	return Dist(c.C, p) <= c.R+tol
+}
+
+// ContainsCircle reports whether the disk bounded by d lies entirely inside
+// the closed disk bounded by c.
+func (c Circle) ContainsCircle(d Circle) bool {
+	return Dist(c.C, d.C)+d.R <= c.R+1e-9
+}
+
+// IntersectCircle returns the 0, 1, or 2 intersection points of the two
+// circle boundaries. Coincident circles report no intersection points.
+func (c Circle) IntersectCircle(d Circle) []Point {
+	dx, dy := d.C.X-c.C.X, d.C.Y-c.C.Y
+	dist := math.Hypot(dx, dy)
+	if dist == 0 {
+		return nil // concentric (or coincident): no discrete points
+	}
+	if dist > c.R+d.R || dist < math.Abs(c.R-d.R) {
+		return nil // separate or one strictly inside the other
+	}
+	// a = distance from c.C to the chord midpoint along the center line.
+	a := (c.R*c.R - d.R*d.R + dist*dist) / (2 * dist)
+	h2 := c.R*c.R - a*a
+	if h2 < 0 {
+		h2 = 0
+	}
+	h := math.Sqrt(h2)
+	mx := c.C.X + a*dx/dist
+	my := c.C.Y + a*dy/dist
+	if h == 0 {
+		return []Point{{mx, my}} // tangent
+	}
+	ox, oy := h*dy/dist, h*dx/dist
+	return []Point{
+		{mx + ox, my - oy},
+		{mx - ox, my + oy},
+	}
+}
+
+// LensArea returns the area of the intersection of the two disks bounded
+// by c and d.
+func LensArea(c, d Circle) float64 {
+	dist := Dist(c.C, d.C)
+	if dist >= c.R+d.R {
+		return 0
+	}
+	if dist+d.R <= c.R {
+		return d.Area()
+	}
+	if dist+c.R <= d.R {
+		return c.Area()
+	}
+	// Two circular segments, one from each disk.
+	d1 := (c.R*c.R - d.R*d.R + dist*dist) / (2 * dist)
+	d2 := dist - d1
+	seg := func(r, a float64) float64 {
+		// Area of the circular segment of radius r cut by a chord at
+		// signed distance a from the center (a may be negative when the
+		// chord is past the center).
+		x := clamp(a/r, -1, 1)
+		return r*r*math.Acos(x) - a*math.Sqrt(math.Max(0, r*r-a*a))
+	}
+	return seg(c.R, d1) + seg(d.R, d2)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// DisksIntersectionArea returns the exact area of the intersection of the
+// closed disks bounded by the given circles.
+//
+// The intersection of disks is convex. Its boundary decomposes into arcs:
+// for each circle, the vertices on it (pairwise circle intersection points
+// lying inside all other disks) split the circle into arcs, and an arc is
+// on the region boundary exactly when its midpoint lies inside all other
+// disks. The total area is the sum of the Green's-theorem line integrals
+// of the boundary arcs, each traversed counterclockwise (the region lies
+// inside every disk, so CCW traversal of each circle keeps the region on
+// the left).
+//
+// The function returns 0 for an empty input.
+func DisksIntersectionArea(circles []Circle) float64 {
+	switch len(circles) {
+	case 0:
+		return 0
+	case 1:
+		return circles[0].Area()
+	case 2:
+		return LensArea(circles[0], circles[1])
+	}
+
+	circles = dropRedundantDisks(circles)
+	if len(circles) == 1 {
+		return circles[0].Area()
+	}
+	if len(circles) == 2 {
+		return LensArea(circles[0], circles[1])
+	}
+
+	maxR := 0.0
+	for _, c := range circles {
+		maxR = math.Max(maxR, c.R)
+	}
+	tol := 1e-9 * math.Max(1, maxR)
+
+	// Collect boundary vertices: pairwise intersection points inside all
+	// other disks.
+	var verts []Point
+	for i := 0; i < len(circles); i++ {
+		for j := i + 1; j < len(circles); j++ {
+			for _, p := range circles[i].IntersectCircle(circles[j]) {
+				inAll := true
+				for k, ck := range circles {
+					if k == i || k == j {
+						continue
+					}
+					if !ck.containsTol(p, tol) {
+						inAll = false
+						break
+					}
+				}
+				if inAll {
+					verts = append(verts, p)
+				}
+			}
+		}
+	}
+
+	if len(verts) == 0 {
+		// Either one disk lies inside all others (dropRedundantDisks
+		// leaves mutually non-nested disks, so this only happens for
+		// coincident inputs) or the intersection is empty.
+		for i, ci := range circles {
+			inside := true
+			for j, cj := range circles {
+				if i != j && !cj.ContainsCircle(ci) {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				return ci.Area()
+			}
+		}
+		return 0
+	}
+
+	// Per-circle arc decomposition.
+	area := 0.0
+	onCircleTol := 100 * tol
+	for i, c := range circles {
+		var angles []float64
+		for _, v := range verts {
+			if math.Abs(Dist(c.C, v)-c.R) <= onCircleTol {
+				angles = append(angles, math.Atan2(v.Y-c.C.Y, v.X-c.C.X))
+			}
+		}
+		if len(angles) == 0 {
+			continue // circle does not touch the boundary
+		}
+		sort.Float64s(angles)
+		for k := range angles {
+			a := angles[k]
+			b := angles[(k+1)%len(angles)]
+			if k == len(angles)-1 {
+				b += 2 * math.Pi
+			}
+			if b-a < 1e-12 {
+				continue // duplicate vertex (tangency)
+			}
+			midAngle := (a + b) / 2
+			m := Point{
+				X: c.C.X + c.R*math.Cos(midAngle),
+				Y: c.C.Y + c.R*math.Sin(midAngle),
+			}
+			onBoundary := true
+			for j, cj := range circles {
+				if j == i {
+					continue
+				}
+				if !cj.containsTol(m, onCircleTol) {
+					onBoundary = false
+					break
+				}
+			}
+			if onBoundary {
+				area += arcGreenIntegral(c, a, b)
+			}
+		}
+	}
+	if area < 0 {
+		area = 0
+	}
+	return area
+}
+
+// arcGreenIntegral returns the Green's-theorem contribution
+// ∮ (x dy − y dx)/2 of the CCW arc of c from angle a to angle b (b ≥ a).
+func arcGreenIntegral(c Circle, a, b float64) float64 {
+	r := c.R
+	return 0.5 * (r*r*(b-a) +
+		c.C.X*r*(math.Sin(b)-math.Sin(a)) +
+		c.C.Y*r*(math.Cos(a)-math.Cos(b)))
+}
+
+// dropRedundantDisks removes any disk that fully contains another disk in
+// the set (the larger disk does not constrain the intersection).
+func dropRedundantDisks(circles []Circle) []Circle {
+	keep := make([]bool, len(circles))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range circles {
+		if !keep[i] {
+			continue
+		}
+		for j := range circles {
+			if i == j || !keep[j] {
+				continue
+			}
+			if circles[i].ContainsCircle(circles[j]) {
+				keep[i] = false
+				break
+			}
+		}
+	}
+	out := make([]Circle, 0, len(circles))
+	for i, c := range circles {
+		if keep[i] {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		// All mutually coincident: keep one.
+		out = append(out, circles[0])
+	}
+	return out
+}
+
+// MonteCarloIntersectionArea estimates the area of the intersection of the
+// disks by uniform sampling over the bounding box of the smallest disk.
+// rand01 must return uniform samples in [0,1). It exists as an independent
+// cross-check for DisksIntersectionArea in tests and benchmarks.
+func MonteCarloIntersectionArea(circles []Circle, samples int, rand01 func() float64) float64 {
+	if len(circles) == 0 || samples <= 0 {
+		return 0
+	}
+	smallest := circles[0]
+	for _, c := range circles[1:] {
+		if c.R < smallest.R {
+			smallest = c
+		}
+	}
+	box := Rect{
+		MinX: smallest.C.X - smallest.R, MinY: smallest.C.Y - smallest.R,
+		MaxX: smallest.C.X + smallest.R, MaxY: smallest.C.Y + smallest.R,
+	}
+	hits := 0
+	for i := 0; i < samples; i++ {
+		p := Point{
+			X: box.MinX + rand01()*box.Width(),
+			Y: box.MinY + rand01()*box.Height(),
+		}
+		inside := true
+		for _, c := range circles {
+			if !c.Contains(p) {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			hits++
+		}
+	}
+	return box.Area() * float64(hits) / float64(samples)
+}

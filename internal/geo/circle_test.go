@@ -1,0 +1,286 @@
+package geo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{C: Point{0, 0}, R: 2}
+	if !c.Contains(Point{0, 0}) || !c.Contains(Point{2, 0}) {
+		t.Error("center and boundary must be contained")
+	}
+	if c.Contains(Point{2.001, 0}) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestIntersectCircleCases(t *testing.T) {
+	a := Circle{C: Point{0, 0}, R: 1}
+	tests := []struct {
+		name string
+		b    Circle
+		want int
+	}{
+		{"separate", Circle{C: Point{3, 0}, R: 1}, 0},
+		{"tangent external", Circle{C: Point{2, 0}, R: 1}, 1},
+		{"two points", Circle{C: Point{1, 0}, R: 1}, 2},
+		{"contained", Circle{C: Point{0.1, 0}, R: 0.5}, 0},
+		{"tangent internal", Circle{C: Point{0.5, 0}, R: 0.5}, 1},
+		{"concentric", Circle{C: Point{0, 0}, R: 0.5}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pts := a.IntersectCircle(tt.b)
+			if len(pts) != tt.want {
+				t.Fatalf("got %d points, want %d", len(pts), tt.want)
+			}
+			for _, p := range pts {
+				if !almostEqual(Dist(a.C, p), a.R, 1e-9) {
+					t.Errorf("point %v not on circle a", p)
+				}
+				if !almostEqual(Dist(tt.b.C, p), tt.b.R, 1e-9) {
+					t.Errorf("point %v not on circle b", p)
+				}
+			}
+		})
+	}
+}
+
+func TestLensAreaKnownValues(t *testing.T) {
+	// Two unit circles whose centers are distance 1 apart: the lens area
+	// has the closed form 2π/3 - √3/2.
+	a := Circle{C: Point{0, 0}, R: 1}
+	b := Circle{C: Point{1, 0}, R: 1}
+	want := 2*math.Pi/3 - math.Sqrt(3)/2
+	if got := LensArea(a, b); !almostEqual(got, want, 1e-9) {
+		t.Errorf("LensArea = %v, want %v", got, want)
+	}
+}
+
+func TestLensAreaLimits(t *testing.T) {
+	a := Circle{C: Point{0, 0}, R: 1}
+	if got := LensArea(a, Circle{C: Point{5, 0}, R: 1}); got != 0 {
+		t.Errorf("disjoint lens = %v, want 0", got)
+	}
+	inner := Circle{C: Point{0.2, 0}, R: 0.3}
+	if got := LensArea(a, inner); !almostEqual(got, inner.Area(), 1e-9) {
+		t.Errorf("contained lens = %v, want %v", got, inner.Area())
+	}
+	if got := LensArea(a, a); !almostEqual(got, a.Area(), 1e-9) {
+		t.Errorf("self lens = %v, want %v", got, a.Area())
+	}
+}
+
+func TestContainsCircle(t *testing.T) {
+	big := Circle{C: Point{0, 0}, R: 2}
+	if !big.ContainsCircle(Circle{C: Point{1, 0}, R: 1}) {
+		t.Error("internally tangent disk should be contained")
+	}
+	if big.ContainsCircle(Circle{C: Point{1.5, 0}, R: 1}) {
+		t.Error("protruding disk should not be contained")
+	}
+}
+
+func TestDisksIntersectionAreaSimple(t *testing.T) {
+	unit := Circle{C: Point{0, 0}, R: 1}
+	if got := DisksIntersectionArea(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := DisksIntersectionArea([]Circle{unit}); !almostEqual(got, math.Pi, 1e-9) {
+		t.Errorf("single = %v", got)
+	}
+	// Duplicated disks collapse to one.
+	if got := DisksIntersectionArea([]Circle{unit, unit, unit}); !almostEqual(got, math.Pi, 1e-6) {
+		t.Errorf("duplicates = %v, want π", got)
+	}
+	// Disjoint pair.
+	far := Circle{C: Point{10, 0}, R: 1}
+	if got := DisksIntersectionArea([]Circle{unit, far, {C: Point{0, 0.1}, R: 1}}); got != 0 {
+		t.Errorf("disjoint = %v, want 0", got)
+	}
+	// One small disk inside all others.
+	small := Circle{C: Point{0.1, 0}, R: 0.2}
+	got := DisksIntersectionArea([]Circle{unit, {C: Point{0.2, 0.1}, R: 1.5}, small})
+	if !almostEqual(got, small.Area(), 1e-9) {
+		t.Errorf("nested = %v, want %v", got, small.Area())
+	}
+}
+
+func TestDisksIntersectionAreaThreeSymmetric(t *testing.T) {
+	// Three unit disks centered on the vertices of an equilateral triangle
+	// with side 1 (the classic Reuleaux-like region). The intersection
+	// area has the closed form (π - √3)/2.
+	h := math.Sqrt(3) / 2
+	circles := []Circle{
+		{C: Point{0, 0}, R: 1},
+		{C: Point{1, 0}, R: 1},
+		{C: Point{0.5, h}, R: 1},
+	}
+	want := (math.Pi - math.Sqrt(3)) / 2
+	if got := DisksIntersectionArea(circles); !almostEqual(got, want, 1e-9) {
+		t.Errorf("triangle intersection = %v, want %v", got, want)
+	}
+}
+
+func TestDisksIntersectionAreaAgainstMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	const samples = 200_000
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(5)
+		circles := make([]Circle, n)
+		for i := range circles {
+			circles[i] = Circle{
+				C: Point{rng.Float64() * 2, rng.Float64() * 2},
+				R: 1 + rng.Float64()*1.5,
+			}
+		}
+		exact := DisksIntersectionArea(circles)
+		mc := MonteCarloIntersectionArea(circles, samples, rng.Float64)
+		// MC standard error scales with box area; allow a generous bound.
+		tol := 0.05*math.Max(exact, mc) + 0.02
+		if !almostEqual(exact, mc, tol) {
+			t.Errorf("trial %d: exact %v vs MC %v (circles %v)", trial, exact, mc, circles)
+		}
+	}
+}
+
+func TestDisksIntersectionAreaMonotone(t *testing.T) {
+	// Adding a disk can only shrink the intersection.
+	rng := rand.New(rand.NewPCG(9, 3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.IntN(6)
+		circles := make([]Circle, 0, n)
+		prev := math.Inf(1)
+		for i := 0; i < n; i++ {
+			circles = append(circles, Circle{
+				C: Point{rng.Float64() * 3, rng.Float64() * 3},
+				R: 1.5 + rng.Float64()*2,
+			})
+			cur := DisksIntersectionArea(circles)
+			if cur > prev+1e-6 {
+				t.Fatalf("trial %d: area grew from %v to %v adding disk %d", trial, prev, cur, i)
+			}
+			if cur < 0 {
+				t.Fatalf("negative area %v", cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestDisksIntersectionAreaBoundedByMinDisk(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(6)
+		circles := make([]Circle, n)
+		minArea := math.Inf(1)
+		for i := range circles {
+			circles[i] = Circle{
+				C: Point{rng.Float64() * 4, rng.Float64() * 4},
+				R: 0.5 + rng.Float64()*3,
+			}
+			minArea = math.Min(minArea, circles[i].Area())
+		}
+		got := DisksIntersectionArea(circles)
+		if got > minArea+1e-6 {
+			t.Errorf("trial %d: intersection %v exceeds smallest disk %v", trial, got, minArea)
+		}
+	}
+}
+
+func TestMonteCarloZeroSamples(t *testing.T) {
+	if got := MonteCarloIntersectionArea([]Circle{{C: Point{}, R: 1}}, 0, func() float64 { return 0.5 }); got != 0 {
+		t.Errorf("zero samples = %v", got)
+	}
+}
+
+func BenchmarkDisksIntersectionArea(b *testing.B) {
+	circles := []Circle{
+		{C: Point{0, 0}, R: 2},
+		{C: Point{1, 0}, R: 2},
+		{C: Point{0.5, 0.8}, R: 2},
+		{C: Point{0.2, -0.5}, R: 2.2},
+		{C: Point{0.9, 0.4}, R: 1.9},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DisksIntersectionArea(circles)
+	}
+}
+
+func BenchmarkAreaExactVsMC(b *testing.B) {
+	circles := []Circle{
+		{C: Point{0, 0}, R: 2},
+		{C: Point{1, 0}, R: 2},
+		{C: Point{0.5, 0.8}, R: 2},
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DisksIntersectionArea(circles)
+		}
+	})
+	b.Run("mc10k", func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(1, 2))
+		for i := 0; i < b.N; i++ {
+			MonteCarloIntersectionArea(circles, 10_000, rng.Float64)
+		}
+	})
+}
+
+func TestDisksIntersectionGeneralPathMatchesLens(t *testing.T) {
+	// Exercise the general arc-decomposition path on a region that is
+	// really a two-disk lens: a and b intersect, and c covers their lens
+	// entirely without containing either disk (so it is not dropped as
+	// redundant and the 3-circle machinery runs), contributing no
+	// boundary. The result must equal the closed-form lens exactly.
+	a := Circle{C: Point{0, 0}, R: 1}
+	b := Circle{C: Point{1, 0}, R: 1}
+	c := Circle{C: Point{0.5, 0}, R: 1.4}
+	if c.ContainsCircle(a) || c.ContainsCircle(b) {
+		t.Fatal("test setup: c must not contain a or b")
+	}
+	want := LensArea(a, b)
+	got := DisksIntersectionArea([]Circle{a, b, c})
+	if !almostEqual(got, want, 1e-9) {
+		t.Fatalf("general path %v vs lens %v", got, want)
+	}
+}
+
+func TestDisksIntersectionPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 5))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.IntN(4)
+		circles := make([]Circle, n)
+		for i := range circles {
+			circles[i] = Circle{
+				C: Point{rng.Float64() * 3, rng.Float64() * 3},
+				R: 1 + rng.Float64()*2,
+			}
+		}
+		base := DisksIntersectionArea(circles)
+		shuffled := append([]Circle(nil), circles...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := DisksIntersectionArea(shuffled); !almostEqual(got, base, 1e-6*math.Max(1, base)) {
+			t.Fatalf("trial %d: permutation changed area %v -> %v", trial, base, got)
+		}
+	}
+}
+
+func TestDisksIntersectionTranslationInvariant(t *testing.T) {
+	circles := []Circle{
+		{C: Point{0, 0}, R: 2},
+		{C: Point{1.5, 0.5}, R: 1.8},
+		{C: Point{0.5, 1.2}, R: 2.1},
+	}
+	base := DisksIntersectionArea(circles)
+	shift := Point{1234.5, -987.25}
+	moved := make([]Circle, len(circles))
+	for i, c := range circles {
+		moved[i] = Circle{C: c.C.Add(shift), R: c.R}
+	}
+	if got := DisksIntersectionArea(moved); !almostEqual(got, base, 1e-6) {
+		t.Errorf("translation changed area %v -> %v", base, got)
+	}
+}

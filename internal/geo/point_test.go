@@ -1,0 +1,139 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 2}, Point{1, 2}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-3, -4}, Point{0, 0}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Dist(tt.p, tt.q); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tt.p, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Keep magnitudes sane to avoid overflow-driven mismatches.
+		a := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		d := Dist(a, b)
+		return almostEqual(Dist2(a, b), d*d, 1e-6*math.Max(1, d*d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		c := Point{math.Mod(cx, 1e6), math.Mod(cy, 1e6)}
+		if !almostEqual(Dist(a, b), Dist(b, a), 1e-9) {
+			return false
+		}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, -2}
+	if got := p.Add(q); got != (Point{4, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != 3*(-2)-4*1 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := p.Norm(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	got := Midpoint(Point{0, 0}, Point{2, 4})
+	if got != (Point{1, 2}) {
+		t.Errorf("Midpoint = %v", got)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	origin := LatLon{Lat: 39.9, Lon: 116.4} // Beijing
+	pr := NewProjection(origin)
+	tests := []LatLon{
+		origin,
+		{Lat: 39.95, Lon: 116.45},
+		{Lat: 39.80, Lon: 116.30},
+		{Lat: 40.00, Lon: 116.55},
+	}
+	for _, ll := range tests {
+		p := pr.ToPlanar(ll)
+		back := pr.ToLatLon(p)
+		if !almostEqual(back.Lat, ll.Lat, 1e-9) || !almostEqual(back.Lon, ll.Lon, 1e-9) {
+			t.Errorf("round trip %v -> %v -> %v", ll, p, back)
+		}
+	}
+}
+
+func TestProjectionMatchesHaversine(t *testing.T) {
+	// At city scale (<30 km) the equirectangular projection distance must
+	// agree with the great-circle distance to within 0.2%.
+	origin := LatLon{Lat: 40.75, Lon: -73.98} // NYC
+	pr := NewProjection(origin)
+	a := LatLon{Lat: 40.80, Lon: -73.95}
+	b := LatLon{Lat: 40.70, Lon: -74.01}
+	planar := Dist(pr.ToPlanar(a), pr.ToPlanar(b))
+	sphere := Haversine(a, b)
+	if rel := math.Abs(planar-sphere) / sphere; rel > 0.002 {
+		t.Errorf("planar %v vs haversine %v: rel err %v", planar, sphere, rel)
+	}
+}
+
+func TestHaversineKnownDistance(t *testing.T) {
+	// Beijing to Shanghai is roughly 1,067 km.
+	bj := LatLon{Lat: 39.9042, Lon: 116.4074}
+	sh := LatLon{Lat: 31.2304, Lon: 121.4737}
+	d := Haversine(bj, sh)
+	if d < 1.0e6 || d > 1.1e6 {
+		t.Errorf("Haversine(BJ, SH) = %v, want ~1067 km", d)
+	}
+}
+
+func TestHaversineZero(t *testing.T) {
+	p := LatLon{Lat: 10, Lon: 20}
+	if d := Haversine(p, p); d != 0 {
+		t.Errorf("Haversine(p, p) = %v", d)
+	}
+}

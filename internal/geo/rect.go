@@ -1,0 +1,100 @@
+package geo
+
+import "fmt"
+
+// Rect is an axis-aligned rectangle in the planar frame. Min is inclusive
+// and Max is exclusive for point-membership purposes, which makes disjoint
+// tilings (grids, quadtrees) well defined.
+type Rect struct {
+	MinX float64 `json:"minX"`
+	MinY float64 `json:"minY"`
+	MaxX float64 `json:"maxX"`
+	MaxY float64 `json:"maxY"`
+}
+
+// NewRect returns the rectangle spanning the two corner points in any
+// order.
+func NewRect(a, b Point) Rect {
+	r := Rect{MinX: a.X, MinY: a.Y, MaxX: b.X, MaxY: b.Y}
+	if r.MinX > r.MaxX {
+		r.MinX, r.MaxX = r.MaxX, r.MinX
+	}
+	if r.MinY > r.MaxY {
+		r.MinY, r.MaxY = r.MaxY, r.MinY
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.0f,%.0f]x[%.0f,%.0f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r in square meters.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies in r (min-inclusive, max-exclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// ContainsClosed reports whether p lies in the closure of r.
+func (r Rect) ContainsClosed(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Intersects reports whether r and s overlap (closed-interval test).
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Quadrants partitions r into its four equal quadrants, ordered SW, SE,
+// NW, NE.
+func (r Rect) Quadrants() [4]Rect {
+	c := r.Center()
+	return [4]Rect{
+		{MinX: r.MinX, MinY: r.MinY, MaxX: c.X, MaxY: c.Y},
+		{MinX: c.X, MinY: r.MinY, MaxX: r.MaxX, MaxY: c.Y},
+		{MinX: r.MinX, MinY: c.Y, MaxX: c.X, MaxY: r.MaxY},
+		{MinX: c.X, MinY: c.Y, MaxX: r.MaxX, MaxY: r.MaxY},
+	}
+}
+
+// Clamp returns the point in the closure of r nearest to p.
+func (r Rect) Clamp(p Point) Point {
+	if p.X < r.MinX {
+		p.X = r.MinX
+	} else if p.X > r.MaxX {
+		p.X = r.MaxX
+	}
+	if p.Y < r.MinY {
+		p.Y = r.MinY
+	} else if p.Y > r.MaxY {
+		p.Y = r.MaxY
+	}
+	return p
+}
+
+// DistToPoint returns the distance from p to the closure of r; zero when p
+// is inside.
+func (r Rect) DistToPoint(p Point) float64 {
+	return Dist(p, r.Clamp(p))
+}
+
+// IntersectsCircle reports whether r overlaps the disk of radius radius
+// centered at c.
+func (r Rect) IntersectsCircle(c Point, radius float64) bool {
+	return r.DistToPoint(c) <= radius
+}

@@ -1,0 +1,139 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(Point{5, 7}, Point{1, 2})
+	want := Rect{MinX: 1, MinY: 2, MaxX: 5, MaxY: 7}
+	if r != want {
+		t.Errorf("NewRect = %+v, want %+v", r, want)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 2}
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 {
+		t.Errorf("dims wrong: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+	if r.Center() != (Point{2, 1}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},       // min corner inclusive
+		{Point{1, 1}, false},      // max corner exclusive
+		{Point{0.5, 0.5}, true},   // interior
+		{Point{1, 0.5}, false},    // right edge exclusive
+		{Point{0.5, 1}, false},    // top edge exclusive
+		{Point{-0.1, 0.5}, false}, // outside
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !r.ContainsClosed(Point{1, 1}) {
+		t.Error("ContainsClosed should include max corner")
+	}
+}
+
+func TestQuadrantsTileParent(t *testing.T) {
+	r := Rect{MinX: -2, MinY: 4, MaxX: 6, MaxY: 12}
+	qs := r.Quadrants()
+	total := 0.0
+	for _, q := range qs {
+		total += q.Area()
+	}
+	if !almostEqual(total, r.Area(), 1e-9) {
+		t.Errorf("quadrant areas sum to %v, want %v", total, r.Area())
+	}
+	// Every interior point belongs to exactly one quadrant (half-open).
+	f := func(fx, fy float64) bool {
+		fx = math.Abs(math.Mod(fx, 1))
+		fy = math.Abs(math.Mod(fy, 1))
+		p := Point{r.MinX + fx*r.Width(), r.MinY + fy*r.Height()}
+		count := 0
+		for _, q := range qs {
+			if q.Contains(p) {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampAndDist(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	tests := []struct {
+		p     Point
+		clamp Point
+		dist  float64
+	}{
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, 1}, Point{0, 1}, 1},
+		{Point{3, 3}, Point{2, 2}, math.Sqrt2},
+		{Point{1, -2}, Point{1, 0}, 2},
+	}
+	for _, tt := range tests {
+		if got := r.Clamp(tt.p); got != tt.clamp {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.p, got, tt.clamp)
+		}
+		if got := r.DistToPoint(tt.p); !almostEqual(got, tt.dist, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tt.p, got, tt.dist)
+		}
+	}
+}
+
+func TestIntersectsCircle(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	tests := []struct {
+		c    Point
+		rad  float64
+		want bool
+	}{
+		{Point{1, 1}, 0.1, true},  // center inside
+		{Point{4, 1}, 1.9, false}, // too far
+		{Point{4, 1}, 2.0, true},  // touching edge
+		{Point{3, 3}, 1.0, false}, // near corner but short
+		{Point{3, 3}, 1.5, true},  // reaches corner
+	}
+	for _, tt := range tests {
+		if got := r.IntersectsCircle(tt.c, tt.rad); got != tt.want {
+			t.Errorf("IntersectsCircle(%v, %v) = %v, want %v", tt.c, tt.rad, got, tt.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}
+	tests := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}, true},
+		{Rect{MinX: 2, MinY: 0, MaxX: 4, MaxY: 2}, true}, // shared edge
+		{Rect{MinX: 3, MinY: 3, MaxX: 4, MaxY: 4}, false},
+		{Rect{MinX: -1, MinY: -1, MaxX: 5, MaxY: 5}, true}, // contains a
+	}
+	for _, tt := range tests {
+		if got := a.Intersects(tt.b); got != tt.want {
+			t.Errorf("Intersects(%v) = %v, want %v", tt.b, got, tt.want)
+		}
+		if got := tt.b.Intersects(a); got != tt.want {
+			t.Errorf("Intersects symmetric (%v) = %v, want %v", tt.b, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package gsp implements the geo-information service provider of the
+// paper's LBS architecture. A City bundles a POI set, its type registry,
+// and a spatial index; the Service exposes the single query interface the
+// paper assumes — retrieving the POIs (or their type frequency vector)
+// within a range of a location:
+//
+//	P_{l,r} ← Query(l, r)
+//	F_{l,r} ← Freq(l, r)
+//
+// Both the honest users and the adversary consult the same interface; the
+// adversary's prior knowledge P is exactly this public service.
+package gsp
+
+import (
+	"fmt"
+	"sync"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/index"
+	"poiagg/internal/poi"
+)
+
+// City is an immutable snapshot of a city's geo-information.
+type City struct {
+	Name   string
+	Bounds geo.Rect
+	Types  *poi.TypeTable
+
+	pois     []poi.POI
+	byType   [][]poi.POI // POIs grouped by TypeID
+	cityFreq poi.FreqVector
+	rank     []int // infrequency rank per type (most infrequent = 1)
+	idx      index.Index
+}
+
+// NewCity builds a city from a POI set. The cell size of the spatial index
+// defaults to 500 m, a good fit for the paper's 0.5–4 km query ranges.
+func NewCity(name string, bounds geo.Rect, types *poi.TypeTable, pois []poi.POI) (*City, error) {
+	if types == nil {
+		return nil, fmt.Errorf("gsp: city %q: nil type table", name)
+	}
+	m := types.Len()
+	cityFreq := poi.NewFreqVector(m)
+	byType := make([][]poi.POI, m)
+	cp := make([]poi.POI, len(pois))
+	copy(cp, pois)
+	for _, p := range cp {
+		if p.Type < 0 || int(p.Type) >= m {
+			return nil, fmt.Errorf("gsp: city %q: POI %d has unregistered type %d", name, p.ID, p.Type)
+		}
+		cityFreq[p.Type]++
+		byType[p.Type] = append(byType[p.Type], p)
+	}
+	return &City{
+		Name:     name,
+		Bounds:   bounds,
+		Types:    types,
+		pois:     cp,
+		byType:   byType,
+		cityFreq: cityFreq,
+		rank:     poi.RankByFrequency(cityFreq),
+		idx:      index.NewGrid(cp, bounds, 500),
+	}, nil
+}
+
+// M returns the number of POI types in the city.
+func (c *City) M() int { return c.Types.Len() }
+
+// NumPOIs returns the number of POIs.
+func (c *City) NumPOIs() int { return len(c.pois) }
+
+// POIs returns a copy of the city's POI set.
+func (c *City) POIs() []poi.POI {
+	out := make([]poi.POI, len(c.pois))
+	copy(out, c.pois)
+	return out
+}
+
+// POIsOfType returns the POIs with the given type. The returned slice is
+// shared and must not be modified.
+func (c *City) POIsOfType(t poi.TypeID) []poi.POI {
+	if t < 0 || int(t) >= len(c.byType) {
+		return nil
+	}
+	return c.byType[t]
+}
+
+// CityFreq returns the city-wide type frequency vector F (shared; do not
+// modify).
+func (c *City) CityFreq() poi.FreqVector { return c.cityFreq }
+
+// InfrequencyRank returns R(i) for every type: the most infrequent type
+// city-wide has rank 1. The returned slice is shared and must not be
+// modified.
+func (c *City) InfrequencyRank() []int { return c.rank }
+
+// Service answers Query and Freq requests for one city, with a bounded
+// memoization cache for Freq results. The attacks issue many repeated
+// Freq(p, 2r) probes for the same anchor POIs; caching those is what makes
+// city-scale attack sweeps tractable (see BenchmarkFreqCache).
+//
+// Service is safe for concurrent use.
+type Service struct {
+	city *City
+
+	mu       sync.Mutex
+	cache    map[freqKey]poi.FreqVector
+	maxCache int
+	hits     uint64
+	misses   uint64
+}
+
+type freqKey struct {
+	x, y, r float64
+}
+
+// NewService returns a service over city. maxCache bounds the number of
+// memoized Freq results; 0 disables caching.
+func NewService(city *City, maxCache int) *Service {
+	return &Service{
+		city:     city,
+		cache:    make(map[freqKey]poi.FreqVector, min(maxCache, 4096)),
+		maxCache: maxCache,
+	}
+}
+
+// City returns the underlying city.
+func (s *Service) City() *City { return s.city }
+
+// Query returns the POIs within radius r of l (the paper's Query(l, r)).
+func (s *Service) Query(l geo.Point, r float64) []poi.POI {
+	return s.city.idx.Within(nil, l, r)
+}
+
+// Freq returns the POI type frequency vector of the POIs within radius r
+// of l (the paper's Freq(l, r)). The returned vector is a fresh copy owned
+// by the caller.
+func (s *Service) Freq(l geo.Point, r float64) poi.FreqVector {
+	key := freqKey{x: l.X, y: l.Y, r: r}
+	if s.maxCache > 0 {
+		s.mu.Lock()
+		if f, ok := s.cache[key]; ok {
+			s.hits++
+			s.mu.Unlock()
+			return f.Clone()
+		}
+		s.misses++
+		s.mu.Unlock()
+	}
+	f := poi.NewFreqVector(s.city.M())
+	s.city.idx.CountTypes(f, l, r)
+	if s.maxCache > 0 {
+		s.mu.Lock()
+		if len(s.cache) >= s.maxCache {
+			clear(s.cache)
+		}
+		s.cache[key] = f.Clone()
+		s.mu.Unlock()
+	}
+	return f
+}
+
+// CacheStats returns the number of cache hits and misses so far.
+func (s *Service) CacheStats() (hits, misses uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}

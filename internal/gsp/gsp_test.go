@@ -1,0 +1,190 @@
+package gsp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+func testCity(t *testing.T) *City {
+	t.Helper()
+	types := poi.NewTypeTable()
+	rest := types.Intern("restaurant")
+	pharm := types.Intern("pharmacy")
+	museum := types.Intern("museum")
+	pois := []poi.POI{
+		{ID: 0, Type: rest, Pos: geo.Point{X: 100, Y: 100}},
+		{ID: 1, Type: rest, Pos: geo.Point{X: 200, Y: 100}},
+		{ID: 2, Type: pharm, Pos: geo.Point{X: 150, Y: 150}},
+		{ID: 3, Type: museum, Pos: geo.Point{X: 900, Y: 900}},
+	}
+	city, err := NewCity("test", geo.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}, types, pois)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func TestNewCityValidation(t *testing.T) {
+	if _, err := NewCity("x", geo.Rect{}, nil, nil); err == nil {
+		t.Error("nil type table accepted")
+	}
+	types := poi.NewTypeTable()
+	types.Intern("a")
+	bad := []poi.POI{{ID: 0, Type: 5, Pos: geo.Point{}}}
+	if _, err := NewCity("x", geo.Rect{MaxX: 1, MaxY: 1}, types, bad); err == nil {
+		t.Error("unregistered type accepted")
+	}
+}
+
+func TestCityStats(t *testing.T) {
+	city := testCity(t)
+	if city.M() != 3 {
+		t.Errorf("M = %d", city.M())
+	}
+	if city.NumPOIs() != 4 {
+		t.Errorf("NumPOIs = %d", city.NumPOIs())
+	}
+	if !city.CityFreq().Equal(poi.FreqVector{2, 1, 1}) {
+		t.Errorf("CityFreq = %v", city.CityFreq())
+	}
+	rank := city.InfrequencyRank()
+	// pharmacy (ID 1) and museum (ID 2) tie at freq 1; lower ID ranks first.
+	if rank[1] != 1 || rank[2] != 2 || rank[0] != 3 {
+		t.Errorf("rank = %v", rank)
+	}
+	if got := city.POIsOfType(0); len(got) != 2 {
+		t.Errorf("POIsOfType(0) = %v", got)
+	}
+	if got := city.POIsOfType(99); got != nil {
+		t.Errorf("POIsOfType(99) = %v", got)
+	}
+}
+
+func TestQueryAndFreq(t *testing.T) {
+	city := testCity(t)
+	svc := NewService(city, 100)
+	got := svc.Query(geo.Point{X: 150, Y: 120}, 100)
+	if len(got) != 3 {
+		t.Errorf("Query returned %d POIs, want 3", len(got))
+	}
+	f := svc.Freq(geo.Point{X: 150, Y: 120}, 100)
+	if !f.Equal(poi.FreqVector{2, 1, 0}) {
+		t.Errorf("Freq = %v", f)
+	}
+}
+
+func TestFreqCache(t *testing.T) {
+	city := testCity(t)
+	svc := NewService(city, 10)
+	l := geo.Point{X: 150, Y: 120}
+	f1 := svc.Freq(l, 100)
+	f2 := svc.Freq(l, 100)
+	if !f1.Equal(f2) {
+		t.Error("cached result differs")
+	}
+	hits, misses := svc.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	// Mutating the returned vector must not poison the cache.
+	f1[0] = 999
+	f3 := svc.Freq(l, 100)
+	if f3[0] == 999 {
+		t.Error("cache aliased with caller vector")
+	}
+}
+
+func TestFreqCacheDisabled(t *testing.T) {
+	city := testCity(t)
+	svc := NewService(city, 0)
+	l := geo.Point{X: 150, Y: 120}
+	svc.Freq(l, 100)
+	svc.Freq(l, 100)
+	hits, misses := svc.CacheStats()
+	if hits != 0 || misses != 0 {
+		t.Errorf("disabled cache recorded hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestFreqCacheEviction(t *testing.T) {
+	city := testCity(t)
+	svc := NewService(city, 2)
+	for i := 0; i < 10; i++ {
+		svc.Freq(geo.Point{X: float64(i), Y: 0}, 100)
+	}
+	// Must not grow unbounded; just verify correctness after eviction.
+	f := svc.Freq(geo.Point{X: 150, Y: 120}, 100)
+	if !f.Equal(poi.FreqVector{2, 1, 0}) {
+		t.Errorf("Freq after eviction = %v", f)
+	}
+}
+
+func TestServiceConcurrent(t *testing.T) {
+	city := testCity(t)
+	svc := NewService(city, 50)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l := geo.Point{X: float64((g * i) % 300), Y: float64(i % 300)}
+				f := svc.Freq(l, 150)
+				if len(f) != 3 {
+					t.Errorf("bad vector length %d", len(f))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPOIsCopy(t *testing.T) {
+	city := testCity(t)
+	ps := city.POIs()
+	ps[0].Pos = geo.Point{X: -1, Y: -1}
+	if city.POIs()[0].Pos == (geo.Point{X: -1, Y: -1}) {
+		t.Error("POIs leaked internal slice")
+	}
+}
+
+// BenchmarkFreqCache is the GSP cache ablation from DESIGN.md: the
+// attacks re-probe the same anchor POIs, so the memoized path should beat
+// the uncached path by a wide margin.
+func BenchmarkFreqCache(b *testing.B) {
+	types := poi.NewTypeTable()
+	for i := 0; i < 50; i++ {
+		types.Intern(fmt.Sprintf("t%d", i))
+	}
+	pois := make([]poi.POI, 5000)
+	src := rng.New(1)
+	for i := range pois {
+		x, y := src.UniformIn(0, 0, 20_000, 20_000)
+		pois[i] = poi.POI{ID: poi.ID(i), Type: poi.TypeID(src.IntN(50)), Pos: geo.Point{X: x, Y: y}}
+	}
+	city, err := NewCity("bench", geo.Rect{MaxX: 20_000, MaxY: 20_000}, types, pois)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := geo.Point{X: 10_000, Y: 10_000}
+	b.Run("cached", func(b *testing.B) {
+		svc := NewService(city, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc.Freq(l, 2000)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		svc := NewService(city, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc.Freq(l, 2000)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package index provides spatial indexes over POI sets supporting disk
+// (circular range) queries — the only query interface the paper's
+// geo-information service provider exposes. A uniform grid index is the
+// production implementation; a brute-force index serves as the reference
+// for differential testing and as the baseline in the index ablation
+// benchmark.
+package index
+
+import (
+	"math"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+)
+
+// Index answers disk range queries over a fixed POI set.
+type Index interface {
+	// Within appends to dst the POIs whose position lies within radius of
+	// center (closed disk), and returns the extended slice. Order is
+	// unspecified but deterministic for a given index.
+	Within(dst []poi.POI, center geo.Point, radius float64) []poi.POI
+
+	// CountTypes accumulates the type frequency vector of the POIs within
+	// radius of center into out (which must be sized to the city's type
+	// count and zeroed by the caller).
+	CountTypes(out poi.FreqVector, center geo.Point, radius float64)
+
+	// Len returns the number of indexed POIs.
+	Len() int
+}
+
+// Brute is the O(n) reference implementation.
+type Brute struct {
+	pois []poi.POI
+}
+
+var _ Index = (*Brute)(nil)
+
+// NewBrute copies pois into a brute-force index.
+func NewBrute(pois []poi.POI) *Brute {
+	cp := make([]poi.POI, len(pois))
+	copy(cp, pois)
+	return &Brute{pois: cp}
+}
+
+// Within implements Index.
+func (b *Brute) Within(dst []poi.POI, center geo.Point, radius float64) []poi.POI {
+	r2 := radius * radius
+	for _, p := range b.pois {
+		if geo.Dist2(p.Pos, center) <= r2 {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// CountTypes implements Index.
+func (b *Brute) CountTypes(out poi.FreqVector, center geo.Point, radius float64) {
+	r2 := radius * radius
+	for _, p := range b.pois {
+		if geo.Dist2(p.Pos, center) <= r2 {
+			out[p.Type]++
+		}
+	}
+}
+
+// Len implements Index.
+func (b *Brute) Len() int { return len(b.pois) }
+
+// Grid is a uniform grid index. POIs are bucketed into square cells; a
+// disk query scans only the cells overlapping the disk's bounding box and
+// filters by exact distance. Cells fully inside the disk skip the
+// per-point distance check.
+type Grid struct {
+	bounds   geo.Rect
+	cellSize float64
+	cols     int
+	rows     int
+	cells    [][]poi.POI
+	n        int
+}
+
+var _ Index = (*Grid)(nil)
+
+// NewGrid builds a grid index over pois covering bounds with the given
+// cell size in meters. Cell size should be on the order of the typical
+// query radius; see BenchmarkIndexGridVsBrute for the ablation. POIs
+// outside bounds are clamped into the border cells so no point is lost.
+func NewGrid(pois []poi.POI, bounds geo.Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = 500
+	}
+	cols := int(math.Ceil(bounds.Width() / cellSize))
+	rows := int(math.Ceil(bounds.Height() / cellSize))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	g := &Grid{
+		bounds:   bounds,
+		cellSize: cellSize,
+		cols:     cols,
+		rows:     rows,
+		cells:    make([][]poi.POI, cols*rows),
+		n:        len(pois),
+	}
+	for _, p := range pois {
+		ci, cj := g.cellOf(p.Pos)
+		idx := cj*cols + ci
+		g.cells[idx] = append(g.cells[idx], p)
+	}
+	return g
+}
+
+func (g *Grid) cellOf(p geo.Point) (ci, cj int) {
+	ci = int((p.X - g.bounds.MinX) / g.cellSize)
+	cj = int((p.Y - g.bounds.MinY) / g.cellSize)
+	if ci < 0 {
+		ci = 0
+	}
+	if ci >= g.cols {
+		ci = g.cols - 1
+	}
+	if cj < 0 {
+		cj = 0
+	}
+	if cj >= g.rows {
+		cj = g.rows - 1
+	}
+	return ci, cj
+}
+
+// cellRect returns the rectangle covered by cell (ci, cj). Border cells
+// extend to infinity conceptually because out-of-bounds points are clamped
+// into them; for the fully-inside optimization we only use the nominal
+// rect, and the border cells simply fail that test and fall back to exact
+// distance checks, which is always correct.
+func (g *Grid) cellRect(ci, cj int) geo.Rect {
+	return geo.Rect{
+		MinX: g.bounds.MinX + float64(ci)*g.cellSize,
+		MinY: g.bounds.MinY + float64(cj)*g.cellSize,
+		MaxX: g.bounds.MinX + float64(ci+1)*g.cellSize,
+		MaxY: g.bounds.MinY + float64(cj+1)*g.cellSize,
+	}
+}
+
+// cellFullyInside reports whether every point of cell (ci, cj) is within
+// radius of center. Border cells are never "fully inside" because clamped
+// points may lie outside the nominal rect.
+func (g *Grid) cellFullyInside(ci, cj int, center geo.Point, radius float64) bool {
+	if ci == 0 || cj == 0 || ci == g.cols-1 || cj == g.rows-1 {
+		return false
+	}
+	r := g.cellRect(ci, cj)
+	corners := [4]geo.Point{
+		{X: r.MinX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MinY},
+		{X: r.MinX, Y: r.MaxY},
+		{X: r.MaxX, Y: r.MaxY},
+	}
+	r2 := radius * radius
+	for _, c := range corners {
+		if geo.Dist2(c, center) > r2 {
+			return false
+		}
+	}
+	return true
+}
+
+// Within implements Index.
+func (g *Grid) Within(dst []poi.POI, center geo.Point, radius float64) []poi.POI {
+	g.scan(center, radius, func(p poi.POI) { dst = append(dst, p) })
+	return dst
+}
+
+// CountTypes implements Index.
+func (g *Grid) CountTypes(out poi.FreqVector, center geo.Point, radius float64) {
+	g.scan(center, radius, func(p poi.POI) { out[p.Type]++ })
+}
+
+func (g *Grid) scan(center geo.Point, radius float64, emit func(poi.POI)) {
+	minCI, minCJ := g.cellOf(geo.Point{X: center.X - radius, Y: center.Y - radius})
+	maxCI, maxCJ := g.cellOf(geo.Point{X: center.X + radius, Y: center.Y + radius})
+	r2 := radius * radius
+	for cj := minCJ; cj <= maxCJ; cj++ {
+		for ci := minCI; ci <= maxCI; ci++ {
+			cell := g.cells[cj*g.cols+ci]
+			if len(cell) == 0 {
+				continue
+			}
+			if !g.cellRect(ci, cj).IntersectsCircle(center, radius) &&
+				ci != 0 && cj != 0 && ci != g.cols-1 && cj != g.rows-1 {
+				continue
+			}
+			if g.cellFullyInside(ci, cj, center, radius) {
+				for _, p := range cell {
+					emit(p)
+				}
+				continue
+			}
+			for _, p := range cell {
+				if geo.Dist2(p.Pos, center) <= r2 {
+					emit(p)
+				}
+			}
+		}
+	}
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return g.n }

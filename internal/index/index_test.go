@@ -1,0 +1,167 @@
+package index
+
+import (
+	"sort"
+	"testing"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+func makePOIs(n, types int, bounds geo.Rect, seed uint64) []poi.POI {
+	src := rng.New(seed)
+	pois := make([]poi.POI, n)
+	for i := range pois {
+		x, y := src.UniformIn(bounds.MinX, bounds.MinY, bounds.MaxX, bounds.MaxY)
+		pois[i] = poi.POI{
+			ID:   poi.ID(i),
+			Type: poi.TypeID(src.IntN(types)),
+			Pos:  geo.Point{X: x, Y: y},
+		}
+	}
+	return pois
+}
+
+func idsOf(ps []poi.POI) []int {
+	ids := make([]int, len(ps))
+	for i, p := range ps {
+		ids[i] = int(p.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func TestGridMatchesBruteForce(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10_000, MaxY: 8_000}
+	pois := makePOIs(2000, 20, bounds, 1)
+	brute := NewBrute(pois)
+	grid := NewGrid(pois, bounds, 700)
+
+	src := rng.New(2)
+	for trial := 0; trial < 200; trial++ {
+		// Mix centers inside and slightly outside bounds.
+		x, y := src.UniformIn(bounds.MinX-1000, bounds.MinY-1000, bounds.MaxX+1000, bounds.MaxY+1000)
+		center := geo.Point{X: x, Y: y}
+		radius := 100 + src.Float64()*4000
+
+		wantPs := brute.Within(nil, center, radius)
+		gotPs := grid.Within(nil, center, radius)
+		want, got := idsOf(wantPs), idsOf(gotPs)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: count %d vs brute %d (center %v r %v)",
+				trial, len(got), len(want), center, radius)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: ID mismatch at %d", trial, i)
+			}
+		}
+
+		wantF := poi.NewFreqVector(20)
+		gotF := poi.NewFreqVector(20)
+		brute.CountTypes(wantF, center, radius)
+		grid.CountTypes(gotF, center, radius)
+		if !wantF.Equal(gotF) {
+			t.Fatalf("trial %d: freq mismatch %v vs %v", trial, gotF, wantF)
+		}
+	}
+}
+
+func TestGridBoundaryInclusive(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	pois := []poi.POI{{ID: 1, Type: 0, Pos: geo.Point{X: 50, Y: 50}}}
+	grid := NewGrid(pois, bounds, 10)
+	// A point exactly at distance radius must be included (closed disk).
+	got := grid.Within(nil, geo.Point{X: 50, Y: 40}, 10)
+	if len(got) != 1 {
+		t.Errorf("boundary POI not returned: %v", got)
+	}
+}
+
+func TestGridOutOfBoundsPOIs(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	pois := []poi.POI{
+		{ID: 1, Type: 0, Pos: geo.Point{X: -50, Y: -50}},
+		{ID: 2, Type: 0, Pos: geo.Point{X: 150, Y: 150}},
+	}
+	grid := NewGrid(pois, bounds, 25)
+	if grid.Len() != 2 {
+		t.Fatalf("Len = %d", grid.Len())
+	}
+	got := grid.Within(nil, geo.Point{X: -50, Y: -50}, 5)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("out-of-bounds POI not found: %v", got)
+	}
+	got = grid.Within(nil, geo.Point{X: 150, Y: 150}, 5)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("out-of-bounds POI not found: %v", got)
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	grid := NewGrid(nil, bounds, 10)
+	if grid.Len() != 0 {
+		t.Errorf("Len = %d", grid.Len())
+	}
+	if got := grid.Within(nil, geo.Point{X: 50, Y: 50}, 1000); len(got) != 0 {
+		t.Errorf("empty grid returned %v", got)
+	}
+}
+
+func TestGridZeroRadius(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	pois := []poi.POI{{ID: 1, Type: 0, Pos: geo.Point{X: 10, Y: 10}}}
+	grid := NewGrid(pois, bounds, 10)
+	if got := grid.Within(nil, geo.Point{X: 10, Y: 10}, 0); len(got) != 1 {
+		t.Errorf("zero-radius query at POI position returned %v", got)
+	}
+	if got := grid.Within(nil, geo.Point{X: 11, Y: 10}, 0); len(got) != 0 {
+		t.Errorf("zero-radius query off POI returned %v", got)
+	}
+}
+
+func TestBruteDoesNotAliasInput(t *testing.T) {
+	pois := []poi.POI{{ID: 1, Type: 0, Pos: geo.Point{X: 1, Y: 1}}}
+	b := NewBrute(pois)
+	pois[0].Pos = geo.Point{X: 999, Y: 999}
+	if got := b.Within(nil, geo.Point{X: 1, Y: 1}, 0.5); len(got) != 1 {
+		t.Error("Brute aliased caller slice")
+	}
+}
+
+func TestNewGridDegenerateCellSize(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	g := NewGrid(makePOIs(10, 3, bounds, 3), bounds, -5)
+	if g.Len() != 10 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if got := g.Within(nil, geo.Point{X: 50, Y: 50}, 200); len(got) != 10 {
+		t.Errorf("big query returned %d, want 10", len(got))
+	}
+}
+
+func BenchmarkIndexGridVsBrute(b *testing.B) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 30_000, MaxY: 30_000}
+	pois := makePOIs(30_000, 272, bounds, 4)
+	center := geo.Point{X: 15_000, Y: 15_000}
+	out := poi.NewFreqVector(272)
+
+	b.Run("grid", func(b *testing.B) {
+		grid := NewGrid(pois, bounds, 1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			grid.CountTypes(out, center, 2000)
+		}
+	})
+	b.Run("brute", func(b *testing.B) {
+		brute := NewBrute(pois)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			brute.CountTypes(out, center, 2000)
+		}
+	})
+}

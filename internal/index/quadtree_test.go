@@ -1,0 +1,164 @@
+package index
+
+import (
+	"testing"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+func TestQuadtreeMatchesBruteForce(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10_000, MaxY: 8_000}
+	pois := makePOIs(3000, 25, bounds, 7)
+	brute := NewBrute(pois)
+	quad := NewQuadtree(pois, bounds)
+
+	src := rng.New(8)
+	for trial := 0; trial < 200; trial++ {
+		x, y := src.UniformIn(bounds.MinX-500, bounds.MinY-500, bounds.MaxX+500, bounds.MaxY+500)
+		center := geo.Point{X: x, Y: y}
+		radius := 50 + src.Float64()*3500
+
+		want := idsOf(brute.Within(nil, center, radius))
+		got := idsOf(quad.Within(nil, center, radius))
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: %d vs brute %d (center %v r %v)",
+				trial, len(got), len(want), center, radius)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: ID mismatch", trial)
+			}
+		}
+
+		wantF := poi.NewFreqVector(25)
+		gotF := poi.NewFreqVector(25)
+		brute.CountTypes(wantF, center, radius)
+		quad.CountTypes(gotF, center, radius)
+		if !wantF.Equal(gotF) {
+			t.Fatalf("trial %d: freq mismatch", trial)
+		}
+	}
+}
+
+func TestQuadtreeClustered(t *testing.T) {
+	// Heavy clustering exercises deep subtrees and the fully-covered
+	// fast path.
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10_000, MaxY: 10_000}
+	src := rng.New(9)
+	pois := make([]poi.POI, 4000)
+	for i := range pois {
+		// Two tight clusters plus sparse background.
+		var p geo.Point
+		switch i % 10 {
+		case 0:
+			x, y := src.UniformIn(0, 0, 10_000, 10_000)
+			p = geo.Point{X: x, Y: y}
+		default:
+			cx, cy := 2000.0, 2000.0
+			if i%2 == 0 {
+				cx, cy = 8000, 7000
+			}
+			p = geo.Point{X: src.Normal(cx, 150), Y: src.Normal(cy, 150)}
+		}
+		pois[i] = poi.POI{ID: poi.ID(i), Type: poi.TypeID(i % 5), Pos: bounds.Clamp(p)}
+	}
+	brute := NewBrute(pois)
+	quad := NewQuadtree(pois, bounds)
+	if quad.Depth() < 3 {
+		t.Errorf("clustered data should deepen the tree, depth = %d", quad.Depth())
+	}
+	for trial := 0; trial < 100; trial++ {
+		x, y := src.UniformIn(0, 0, 10_000, 10_000)
+		center := geo.Point{X: x, Y: y}
+		radius := 100 + src.Float64()*4000
+		want := idsOf(brute.Within(nil, center, radius))
+		got := idsOf(quad.Within(nil, center, radius))
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: %d vs %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestQuadtreeEmptyAndEdges(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	empty := NewQuadtree(nil, bounds)
+	if empty.Len() != 0 {
+		t.Errorf("Len = %d", empty.Len())
+	}
+	if got := empty.Within(nil, geo.Point{X: 50, Y: 50}, 1000); len(got) != 0 {
+		t.Errorf("empty tree returned %v", got)
+	}
+
+	// POIs exactly on the max edge (would escape half-open quadrants
+	// without clamping).
+	pois := []poi.POI{
+		{ID: 1, Type: 0, Pos: geo.Point{X: 100, Y: 100}},
+		{ID: 2, Type: 0, Pos: geo.Point{X: 0, Y: 0}},
+		{ID: 3, Type: 0, Pos: geo.Point{X: 150, Y: 50}}, // outside: clamped
+	}
+	tree := NewQuadtree(pois, bounds)
+	if tree.Len() != 3 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	got := tree.Within(nil, geo.Point{X: 100, Y: 100}, 1)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("max-edge POI lookup = %v", got)
+	}
+	got = tree.Within(nil, geo.Point{X: 100, Y: 50}, 1)
+	if len(got) != 1 || got[0].ID != 3 {
+		t.Errorf("clamped POI lookup = %v", got)
+	}
+}
+
+func TestQuadtreeDuplicatePositions(t *testing.T) {
+	// More identical points than leafCap must not split forever.
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	pois := make([]poi.POI, 200)
+	for i := range pois {
+		pois[i] = poi.POI{ID: poi.ID(i), Type: 0, Pos: geo.Point{X: 42, Y: 42}}
+	}
+	tree := NewQuadtree(pois, bounds)
+	got := tree.Within(nil, geo.Point{X: 42, Y: 42}, 0.5)
+	if len(got) != 200 {
+		t.Errorf("got %d of 200 duplicates", len(got))
+	}
+	if d := tree.Depth(); d > quadMaxDepth+1 {
+		t.Errorf("depth %d exceeds cap", d)
+	}
+}
+
+func BenchmarkIndexQuadVsGrid(b *testing.B) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 30_000, MaxY: 30_000}
+	// Clustered layout, the regime quadtrees are built for.
+	src := rng.New(10)
+	pois := make([]poi.POI, 30_000)
+	for i := range pois {
+		cx := float64(2000 + (i%7)*4000)
+		cy := float64(2000 + ((i/7)%7)*4000)
+		pois[i] = poi.POI{
+			ID:   poi.ID(i),
+			Type: poi.TypeID(i % 100),
+			Pos:  bounds.Clamp(geo.Point{X: src.Normal(cx, 300), Y: src.Normal(cy, 300)}),
+		}
+	}
+	center := geo.Point{X: 14_000, Y: 14_000}
+	out := poi.NewFreqVector(100)
+	b.Run("quadtree", func(b *testing.B) {
+		tree := NewQuadtree(pois, bounds)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			tree.CountTypes(out, center, 2000)
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		grid := NewGrid(pois, bounds, 1000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			grid.CountTypes(out, center, 2000)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+// Package ml is a from-scratch, stdlib-only learning substrate replacing
+// the scikit-learn models the paper uses: a soft-margin kernel SVM
+// classifier (the sanitization-recovery attack of Fig. 2-3), an ε-SVR
+// regressor (the trajectory-attack distance estimator of Fig. 8), a
+// standard scaler, and a k-NN baseline.
+//
+// Both SVM and SVR are trained by dual coordinate descent with the bias
+// folded into the kernel (K̃ = K + 1), a standard reformulation that
+// removes the equality constraint from the dual and lets each coordinate
+// be optimized in closed form. Kernel (Gram) matrices can be precomputed
+// once and shared across the many per-type models the recovery attack
+// trains over the same feature matrix.
+package ml
+
+import "math"
+
+// Kernel computes the inner product of two feature vectors in an implicit
+// feature space.
+type Kernel interface {
+	Eval(a, b []float64) float64
+}
+
+// RBF is the radial basis function kernel exp(−γ‖a−b‖²), the kernel the
+// paper's prediction models use.
+type RBF struct {
+	Gamma float64
+}
+
+var _ Kernel = RBF{}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-k.Gamma * s)
+}
+
+// Linear is the plain dot-product kernel.
+type Linear struct{}
+
+var _ Kernel = Linear{}
+
+// Eval implements Kernel.
+func (Linear) Eval(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Gram holds a precomputed kernel matrix over a training set, with the
+// +1 bias term already folded in. Build once with NewGram and share it
+// across every model trained on the same features.
+type Gram struct {
+	X      [][]float64
+	Kernel Kernel
+	K      [][]float64 // K[i][j] = Kernel(X[i], X[j]) + 1
+}
+
+// NewGram computes the biased kernel matrix of x.
+func NewGram(x [][]float64, kernel Kernel) *Gram {
+	n := len(x)
+	k := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range k {
+		k[i] = flat[i*n : (i+1)*n]
+	}
+	for i := 0; i < n; i++ {
+		k[i][i] = kernel.Eval(x[i], x[i]) + 1
+		for j := i + 1; j < n; j++ {
+			v := kernel.Eval(x[i], x[j]) + 1
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+	return &Gram{X: x, Kernel: kernel, K: k}
+}
+
+// Len returns the number of training rows.
+func (g *Gram) Len() int { return len(g.X) }
+
+// EvalRow computes the biased kernel values between q and every training
+// row. Models trained on the same Gram can share one row per query (see
+// SVC.PredictKernelRow).
+func (g *Gram) EvalRow(q []float64) []float64 { return g.evalRow(q) }
+
+// evalRow computes the biased kernel values between q and every training
+// row.
+func (g *Gram) evalRow(q []float64) []float64 {
+	out := make([]float64, len(g.X))
+	for i, xi := range g.X {
+		out[i] = g.Kernel.Eval(xi, q) + 1
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbour classifier used as the ablation baseline
+// for the sanitization-recovery attack (the paper's model family is SVM;
+// k-NN shows the attack is robust to the model choice).
+type KNN struct {
+	x [][]float64
+	y []int
+	k int
+}
+
+// NewKNN stores the training set for lazy classification. k is clamped to
+// the training size.
+func NewKNN(x [][]float64, y []int, k int) (*KNN, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ml: NewKNN: bad training set (%d rows, %d labels)", len(x), len(y))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(x) {
+		k = len(x)
+	}
+	return &KNN{x: x, y: y, k: k}, nil
+}
+
+// Predict returns the majority label among the k nearest training rows
+// (squared Euclidean), breaking ties toward the smaller label.
+func (m *KNN) Predict(q []float64) int {
+	type cand struct {
+		d2 float64
+		y  int
+	}
+	cands := make([]cand, len(m.x))
+	for i, xi := range m.x {
+		d2 := 0.0
+		for j := range xi {
+			d := xi[j] - q[j]
+			d2 += d * d
+		}
+		cands[i] = cand{d2: d2, y: m.y[i]}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d2 != cands[b].d2 {
+			return cands[a].d2 < cands[b].d2
+		}
+		return cands[a].y < cands[b].y
+	})
+	votes := make(map[int]int)
+	for i := 0; i < m.k; i++ {
+		votes[cands[i].y]++
+	}
+	best, bestVotes := 0, -1
+	for y, v := range votes {
+		if v > bestVotes || (v == bestVotes && y < best) {
+			best, bestVotes = y, v
+		}
+	}
+	return best
+}

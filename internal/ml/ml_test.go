@@ -1,0 +1,339 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"poiagg/internal/rng"
+)
+
+func TestRBFKernel(t *testing.T) {
+	k := RBF{Gamma: 0.5}
+	a := []float64{1, 2}
+	if got := k.Eval(a, a); got != 1 {
+		t.Errorf("self kernel = %v, want 1", got)
+	}
+	b := []float64{2, 2}
+	want := math.Exp(-0.5)
+	if got := k.Eval(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+	if k.Eval(a, b) != k.Eval(b, a) {
+		t.Error("kernel not symmetric")
+	}
+}
+
+func TestLinearKernel(t *testing.T) {
+	k := Linear{}
+	if got := k.Eval([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Eval = %v", got)
+	}
+}
+
+func TestGramSymmetricPSDDiagonal(t *testing.T) {
+	src := rng.New(1)
+	x := make([][]float64, 20)
+	for i := range x {
+		x[i] = []float64{src.Normal(0, 1), src.Normal(0, 1), src.Normal(0, 1)}
+	}
+	g := NewGram(x, RBF{Gamma: 1})
+	if g.Len() != 20 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	for i := 0; i < 20; i++ {
+		if math.Abs(g.K[i][i]-2) > 1e-12 { // 1 (RBF self) + 1 (bias)
+			t.Errorf("diag[%d] = %v", i, g.K[i][i])
+		}
+		for j := 0; j < 20; j++ {
+			if g.K[i][j] != g.K[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			if g.K[i][j] < 1 || g.K[i][j] > 2 {
+				t.Fatalf("K[%d][%d] = %v outside [1,2]", i, j, g.K[i][j])
+			}
+		}
+	}
+}
+
+func TestScaler(t *testing.T) {
+	x := [][]float64{{1, 10}, {3, 10}, {5, 10}}
+	s, err := FitScaler(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := s.TransformAll(x)
+	// Column 0: mean 3, std sqrt(8/3).
+	col0Mean := (scaled[0][0] + scaled[1][0] + scaled[2][0]) / 3
+	if math.Abs(col0Mean) > 1e-12 {
+		t.Errorf("scaled mean = %v", col0Mean)
+	}
+	// Zero-variance column stays centered, unscaled.
+	for i := range scaled {
+		if scaled[i][1] != 0 {
+			t.Errorf("constant column scaled to %v", scaled[i][1])
+		}
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	if _, err := FitScaler(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := FitScaler([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged accepted")
+	}
+}
+
+// twoBlobs builds a linearly separable 2-class dataset.
+func twoBlobs(n int, seed uint64) (x [][]float64, y []int) {
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			x = append(x, []float64{src.Normal(-2, 0.5), src.Normal(-2, 0.5)})
+			y = append(y, 0)
+		} else {
+			x = append(x, []float64{src.Normal(2, 0.5), src.Normal(2, 0.5)})
+			y = append(y, 1)
+		}
+	}
+	return x, y
+}
+
+func TestSVCSeparableBlobs(t *testing.T) {
+	x, y := twoBlobs(100, 2)
+	g := NewGram(x, RBF{Gamma: 0.5})
+	svc, err := TrainSVC(g, y, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := twoBlobs(50, 3)
+	correct := 0
+	for i := range xt {
+		if svc.Predict(xt[i]) == yt[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xt)); acc < 0.95 {
+		t.Errorf("accuracy = %v, want ≥0.95", acc)
+	}
+	if got := svc.Classes(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestSVCNonlinearXOR(t *testing.T) {
+	// XOR is not linearly separable; the RBF kernel must handle it.
+	src := rng.New(4)
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		a := src.Normal(0, 0.3)
+		b := src.Normal(0, 0.3)
+		qx := float64(1 - 2*(i%2))     // ±1
+		qy := float64(1 - 2*((i/2)%2)) // ±1
+		x = append(x, []float64{qx + a, qy + b})
+		if qx*qy > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	g := NewGram(x, RBF{Gamma: 1.0})
+	svc, err := TrainSVC(g, y, SVMConfig{C: 5, Epochs: 100, Tol: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := svc.PredictBatch(x)
+	correct := 0
+	for i := range pred {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(y)); acc < 0.95 {
+		t.Errorf("XOR training accuracy = %v, want ≥0.95", acc)
+	}
+}
+
+func TestSVCMulticlass(t *testing.T) {
+	src := rng.New(5)
+	var x [][]float64
+	var y []int
+	centers := [][2]float64{{-3, 0}, {3, 0}, {0, 4}}
+	for i := 0; i < 240; i++ {
+		c := i % 3
+		x = append(x, []float64{src.Normal(centers[c][0], 0.6), src.Normal(centers[c][1], 0.6)})
+		y = append(y, c+10) // arbitrary labels
+	}
+	g := NewGram(x, RBF{Gamma: 0.5})
+	svc, err := TrainSVC(g, y, DefaultSVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		if svc.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(y)); acc < 0.95 {
+		t.Errorf("multiclass accuracy = %v", acc)
+	}
+}
+
+func TestTrainSVCErrors(t *testing.T) {
+	g := NewGram([][]float64{{1}, {2}}, Linear{})
+	if _, err := TrainSVC(g, []int{1}, DefaultSVMConfig()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := TrainSVC(g, []int{1, 1}, DefaultSVMConfig()); err == nil {
+		t.Error("single class accepted")
+	}
+}
+
+func TestSVRLinearFunction(t *testing.T) {
+	src := rng.New(6)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 150; i++ {
+		a := src.Float64()*4 - 2
+		x = append(x, []float64{a})
+		y = append(y, 3*a+1)
+	}
+	g := NewGram(x, RBF{Gamma: 0.5})
+	svr, err := TrainSVR(g, y, SVRConfig{C: 50, Epsilon: 0.05, Epochs: 200, Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := -15; i <= 15; i++ {
+		a := float64(i) / 10
+		got := svr.Predict([]float64{a})
+		want := 3*a + 1
+		if e := math.Abs(got - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.4 {
+		t.Errorf("max abs error = %v, want < 0.4", maxErr)
+	}
+}
+
+func TestSVRNonlinear(t *testing.T) {
+	src := rng.New(7)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a := src.Float64()*6 - 3
+		x = append(x, []float64{a})
+		y = append(y, math.Sin(a))
+	}
+	g := NewGram(x, RBF{Gamma: 1})
+	svr, err := TrainSVR(g, y, SVRConfig{C: 20, Epsilon: 0.02, Epochs: 300, Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumErr := 0.0
+	const probes = 30
+	for i := 0; i < probes; i++ {
+		a := -2.5 + 5*float64(i)/probes
+		sumErr += math.Abs(svr.Predict([]float64{a}) - math.Sin(a))
+	}
+	if mae := sumErr / probes; mae > 0.1 {
+		t.Errorf("MAE = %v, want < 0.1", mae)
+	}
+	if sf := svr.SupportFraction(); sf <= 0 || sf > 1 {
+		t.Errorf("SupportFraction = %v", sf)
+	}
+}
+
+func TestTrainSVRErrors(t *testing.T) {
+	g := NewGram([][]float64{{1}}, Linear{})
+	if _, err := TrainSVR(g, []float64{1, 2}, DefaultSVRConfig()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSVRPredictBatch(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	y := []float64{0, 1, 2}
+	g := NewGram(x, Linear{})
+	svr, err := TrainSVR(g, y, SVRConfig{C: 10, Epsilon: 0.01, Epochs: 100, Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := svr.PredictBatch(x)
+	if len(out) != 3 {
+		t.Fatalf("batch len = %d", len(out))
+	}
+	for i := range out {
+		if math.Abs(out[i]-y[i]) > 0.3 {
+			t.Errorf("pred[%d] = %v, want ~%v", i, out[i], y[i])
+		}
+	}
+}
+
+func TestKNN(t *testing.T) {
+	x, y := twoBlobs(60, 8)
+	knn, err := NewKNN(x, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := twoBlobs(40, 9)
+	correct := 0
+	for i := range xt {
+		if knn.Predict(xt[i]) == yt[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(xt)); acc < 0.95 {
+		t.Errorf("kNN accuracy = %v", acc)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	if _, err := NewKNN(nil, nil, 3); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := NewKNN([][]float64{{1}}, []int{1, 2}, 3); err == nil {
+		t.Error("mismatch accepted")
+	}
+	// k clamping.
+	knn, err := NewKNN([][]float64{{0}, {1}}, []int{0, 1}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = knn.Predict([]float64{0.1})
+}
+
+func BenchmarkRecoverySVMVsKNN(b *testing.B) {
+	x, y := twoBlobs(400, 10)
+	b.Run("svm-train", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := NewGram(x, RBF{Gamma: 0.5})
+			if _, err := TrainSVC(g, y, DefaultSVMConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	g := NewGram(x, RBF{Gamma: 0.5})
+	svc, err := TrainSVC(g, y, DefaultSVMConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	b.Run("svm-predict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc.Predict(q)
+		}
+	})
+	knn, err := NewKNN(x, y, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("knn-predict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			knn.Predict(q)
+		}
+	})
+}

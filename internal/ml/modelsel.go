@@ -1,0 +1,200 @@
+package ml
+
+import (
+	"fmt"
+
+	"poiagg/internal/rng"
+)
+
+// Split partitions indices [0, n) into a train and test set with the
+// given test fraction, shuffled deterministically from seed.
+func Split(n int, testFrac float64, seed uint64) (train, test []int, err error) {
+	if n <= 1 {
+		return nil, nil, fmt.Errorf("ml: Split: need ≥2 samples, got %d", n)
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("ml: Split: test fraction must be in (0,1), got %v", testFrac)
+	}
+	src := rng.New(seed)
+	perm := src.Perm(n)
+	nTest := int(float64(n) * testFrac)
+	if nTest < 1 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	test = append(test, perm[:nTest]...)
+	train = append(train, perm[nTest:]...)
+	return train, test, nil
+}
+
+// KFold yields k deterministic folds of [0, n): fold i's test set is the
+// i-th shard of a seeded permutation, its train set the rest.
+func KFold(n, k int, seed uint64) (folds [][2][]int, err error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("ml: KFold: need 2 ≤ k ≤ n, got k=%d n=%d", k, n)
+	}
+	src := rng.New(seed)
+	perm := src.Perm(n)
+	folds = make([][2][]int, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		test := append([]int(nil), perm[lo:hi]...)
+		train := make([]int, 0, n-(hi-lo))
+		train = append(train, perm[:lo]...)
+		train = append(train, perm[hi:]...)
+		folds[i] = [2][]int{train, test}
+	}
+	return folds, nil
+}
+
+// gather selects the given rows of x.
+func gather[T any](x []T, idx []int) []T {
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+// CrossValidateSVC returns the mean k-fold accuracy of an SVC with the
+// given kernel parameters on (x, y). Features are scaled per fold (no
+// leakage from test rows).
+func CrossValidateSVC(x [][]float64, y []int, gamma float64, cfg SVMConfig, k int, seed uint64) (float64, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0, fmt.Errorf("ml: CrossValidateSVC: bad data (%d rows, %d labels)", len(x), len(y))
+	}
+	folds, err := KFold(len(x), k, seed)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, fold := range folds {
+		trainIdx, testIdx := fold[0], fold[1]
+		xt := gather(x, trainIdx)
+		yt := gather(y, trainIdx)
+		scaler, err := FitScaler(xt)
+		if err != nil {
+			return 0, err
+		}
+		gram := NewGram(scaler.TransformAll(xt), RBF{Gamma: gamma})
+		svc, err := TrainSVC(gram, yt, cfg)
+		if err != nil {
+			// Single-class folds count as chance-level accuracy via the
+			// majority constant.
+			total += constantAccuracy(yt, gather(y, testIdx))
+			continue
+		}
+		correct := 0
+		for _, j := range testIdx {
+			if svc.Predict(scaler.Transform(x[j])) == y[j] {
+				correct++
+			}
+		}
+		total += float64(correct) / float64(len(testIdx))
+	}
+	return total / float64(len(folds)), nil
+}
+
+// constantAccuracy scores predicting the training majority class.
+func constantAccuracy(trainY, testY []int) float64 {
+	counts := make(map[int]int)
+	for _, v := range trainY {
+		counts[v]++
+	}
+	best, bestN := 0, -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	correct := 0
+	for _, v := range testY {
+		if v == best {
+			correct++
+		}
+	}
+	if len(testY) == 0 {
+		return 0
+	}
+	return float64(correct) / float64(len(testY))
+}
+
+// SVCGrid is a hyperparameter grid for GridSearchSVC.
+type SVCGrid struct {
+	Gammas []float64
+	Cs     []float64
+}
+
+// GridSearchResult reports the best configuration found.
+type GridSearchResult struct {
+	Gamma    float64
+	C        float64
+	Accuracy float64
+}
+
+// GridSearchSVC selects (γ, C) by k-fold cross-validation, breaking ties
+// toward the first grid entry. The tuned constants in the attack package
+// (recovery γ = 0.05, C = 10) were chosen with this procedure.
+func GridSearchSVC(x [][]float64, y []int, grid SVCGrid, cfg SVMConfig, k int, seed uint64) (GridSearchResult, error) {
+	if len(grid.Gammas) == 0 || len(grid.Cs) == 0 {
+		return GridSearchResult{}, fmt.Errorf("ml: GridSearchSVC: empty grid")
+	}
+	best := GridSearchResult{Accuracy: -1}
+	for _, gamma := range grid.Gammas {
+		for _, c := range grid.Cs {
+			cc := cfg
+			cc.C = c
+			acc, err := CrossValidateSVC(x, y, gamma, cc, k, seed)
+			if err != nil {
+				return GridSearchResult{}, err
+			}
+			if acc > best.Accuracy {
+				best = GridSearchResult{Gamma: gamma, C: c, Accuracy: acc}
+			}
+		}
+	}
+	return best, nil
+}
+
+// ConfusionMatrix counts prediction outcomes: out[i][j] is the number of
+// samples with true class classes[i] predicted as classes[j]. The class
+// list is returned in sorted order.
+func ConfusionMatrix(truth, pred []int) (classes []int, matrix [][]int, err error) {
+	if len(truth) != len(pred) {
+		return nil, nil, fmt.Errorf("ml: ConfusionMatrix: length mismatch %d vs %d", len(truth), len(pred))
+	}
+	seen := make(map[int]bool)
+	for _, v := range truth {
+		seen[v] = true
+	}
+	for _, v := range pred {
+		seen[v] = true
+	}
+	for v := range seen {
+		classes = append(classes, v)
+	}
+	sortInts(classes)
+	idx := make(map[int]int, len(classes))
+	for i, v := range classes {
+		idx[v] = i
+	}
+	matrix = make([][]int, len(classes))
+	for i := range matrix {
+		matrix[i] = make([]int, len(classes))
+	}
+	for i := range truth {
+		matrix[idx[truth[i]]][idx[pred[i]]]++
+	}
+	return classes, matrix, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplit(t *testing.T) {
+	train, test, err := Split(100, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(test) != 20 || len(train) != 80 {
+		t.Errorf("split sizes %d/%d", len(train), len(test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, train...), test...) {
+		if i < 0 || i >= 100 || seen[i] {
+			t.Fatalf("bad index %d", i)
+		}
+		seen[i] = true
+	}
+	// Determinism.
+	train2, _, _ := Split(100, 0.2, 1)
+	for i := range train {
+		if train[i] != train2[i] {
+			t.Fatal("Split not deterministic")
+		}
+	}
+	if _, _, err := Split(1, 0.5, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := Split(10, 0, 1); err == nil {
+		t.Error("zero fraction accepted")
+	}
+	// Tiny fractions still yield at least one test sample.
+	_, test, err = Split(10, 0.01, 1)
+	if err != nil || len(test) != 1 {
+		t.Errorf("tiny fraction: %d test samples, err %v", len(test), err)
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds, err := KFold(10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("%d folds", len(folds))
+	}
+	testSeen := make(map[int]int)
+	for _, fold := range folds {
+		train, test := fold[0], fold[1]
+		if len(train)+len(test) != 10 {
+			t.Fatalf("fold sizes %d+%d", len(train), len(test))
+		}
+		inTrain := make(map[int]bool)
+		for _, i := range train {
+			inTrain[i] = true
+		}
+		for _, i := range test {
+			if inTrain[i] {
+				t.Fatal("index in both train and test")
+			}
+			testSeen[i]++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if testSeen[i] != 1 {
+			t.Errorf("index %d in %d test folds", i, testSeen[i])
+		}
+	}
+	if _, err := KFold(5, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := KFold(3, 5, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestCrossValidateSVCSeparable(t *testing.T) {
+	x, y := twoBlobs(120, 11)
+	acc, err := CrossValidateSVC(x, y, 0.5, DefaultSVMConfig(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("CV accuracy %v on separable blobs", acc)
+	}
+	if _, err := CrossValidateSVC(nil, nil, 0.5, DefaultSVMConfig(), 3, 1); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestCrossValidateSVCSingleClassFolds(t *testing.T) {
+	// All-one-class data: TrainSVC fails per fold; CV falls back to the
+	// majority constant, which is 100% accurate here.
+	x := make([][]float64, 20)
+	y := make([]int, 20)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		y[i] = 7
+	}
+	acc, err := CrossValidateSVC(x, y, 0.1, DefaultSVMConfig(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Errorf("constant-class CV accuracy %v", acc)
+	}
+}
+
+func TestGridSearchSVC(t *testing.T) {
+	x, y := twoBlobs(100, 12)
+	res, err := GridSearchSVC(x, y, SVCGrid{
+		Gammas: []float64{1e-6, 0.5},
+		Cs:     []float64{1e-6, 1},
+	}, SVMConfig{Epochs: 40, Tol: 1e-4}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The degenerate gamma collapses the kernel to a constant and
+	// underfits; the search must pick the sensible width (either C works
+	// on blobs this separable).
+	if res.Gamma != 0.5 {
+		t.Errorf("picked gamma=%v C=%v (acc %v)", res.Gamma, res.C, res.Accuracy)
+	}
+	if res.Accuracy < 0.9 {
+		t.Errorf("best accuracy %v", res.Accuracy)
+	}
+	if _, err := GridSearchSVC(x, y, SVCGrid{}, DefaultSVMConfig(), 3, 1); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2}
+	pred := []int{0, 1, 1, 1, 0}
+	classes, m, err := ConfusionMatrix(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 3 || classes[0] != 0 || classes[2] != 2 {
+		t.Fatalf("classes = %v", classes)
+	}
+	want := [][]int{{1, 1, 0}, {0, 2, 0}, {1, 0, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if m[i][j] != want[i][j] {
+				t.Errorf("m[%d][%d] = %d, want %d", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+	// Trace equals correct count.
+	trace := m[0][0] + m[1][1] + m[2][2]
+	if trace != 3 {
+		t.Errorf("trace = %d", trace)
+	}
+	if _, _, err := ConfusionMatrix([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestConfusionMatrixTotals(t *testing.T) {
+	truth := []int{1, 2, 3, 1, 2, 3, 1}
+	pred := []int{1, 1, 1, 2, 2, 3, 3}
+	_, m, err := ConfusionMatrix(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range m {
+		for j := range m[i] {
+			total += m[i][j]
+		}
+	}
+	if total != len(truth) {
+		t.Errorf("matrix total %d != %d samples", total, len(truth))
+	}
+	if math.IsNaN(float64(total)) {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,67 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// StandardScaler centers features to zero mean and scales them to unit
+// standard deviation, matching the preprocessing the paper applies to all
+// prediction-model samples. Features with zero variance are left centered
+// but unscaled.
+type StandardScaler struct {
+	mean []float64
+	std  []float64
+}
+
+// FitScaler computes per-feature means and standard deviations of x.
+func FitScaler(x [][]float64) (*StandardScaler, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("ml: FitScaler: empty training set")
+	}
+	d := len(x[0])
+	mean := make([]float64, d)
+	for _, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("ml: FitScaler: ragged rows (%d vs %d)", len(row), d)
+		}
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(x))
+	}
+	std := make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			dlt := v - mean[j]
+			std[j] += dlt * dlt
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(x)))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return &StandardScaler{mean: mean, std: std}, nil
+}
+
+// Transform returns a scaled copy of row.
+func (s *StandardScaler) Transform(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+// TransformAll returns scaled copies of every row.
+func (s *StandardScaler) TransformAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

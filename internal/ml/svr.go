@@ -1,0 +1,128 @@
+package ml
+
+import "fmt"
+
+// SVRConfig configures ε-SVR training.
+type SVRConfig struct {
+	// C is the regularization bound on the dual coefficients.
+	C float64
+	// Epsilon is the insensitive-tube half-width: training residuals
+	// smaller than it incur no loss.
+	Epsilon float64
+	// Epochs caps full passes of dual coordinate descent.
+	Epochs int
+	// Tol stops training early when the largest coefficient update in a
+	// pass falls below it.
+	Tol float64
+}
+
+// DefaultSVRConfig mirrors common library defaults.
+func DefaultSVRConfig() SVRConfig {
+	return SVRConfig{C: 1.0, Epsilon: 0.1, Epochs: 80, Tol: 1e-4}
+}
+
+// SVR is an ε-insensitive support vector regressor, the drop-in
+// replacement for the paper's scikit-learn SVR used to estimate the
+// distance between two successive releases.
+//
+// Training minimizes the SVR dual in the combined coefficients
+// β_i = α_i − α*_i ∈ [−C, C]:
+//
+//	min_β ½ βᵀK̃β − yᵀβ + ε‖β‖₁
+//
+// by exact coordinate descent (soft-thresholding per coordinate). The
+// bias is folded into the kernel (K̃ = K + 1) which removes the Σβ = 0
+// constraint.
+type SVR struct {
+	gram *Gram
+	beta []float64
+}
+
+// TrainSVR fits an SVR over the precomputed Gram matrix and targets y.
+func TrainSVR(g *Gram, y []float64, cfg SVRConfig) (*SVR, error) {
+	n := g.Len()
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("ml: TrainSVR: targets (%d) must match gram rows (%d)", len(y), n)
+	}
+	beta := make([]float64, n)
+	// resid[i] caches (K̃β)_i.
+	kb := make([]float64, n)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		maxDelta := 0.0
+		for i := 0; i < n; i++ {
+			kii := g.K[i][i]
+			if kii <= 0 {
+				continue
+			}
+			// Minimize over β_i with others fixed:
+			// ½K̃iiβ² + (kb_i − K̃iiβ_i^old)β − y_iβ + ε|β|.
+			u := y[i] - (kb[i] - kii*beta[i])
+			var newB float64
+			switch {
+			case u > cfg.Epsilon:
+				newB = (u - cfg.Epsilon) / kii
+			case u < -cfg.Epsilon:
+				newB = (u + cfg.Epsilon) / kii
+			default:
+				newB = 0
+			}
+			if newB > cfg.C {
+				newB = cfg.C
+			} else if newB < -cfg.C {
+				newB = -cfg.C
+			}
+			delta := newB - beta[i]
+			if delta == 0 {
+				continue
+			}
+			beta[i] = newB
+			if ad := abs(delta); ad > maxDelta {
+				maxDelta = ad
+			}
+			ki := g.K[i]
+			for j := 0; j < n; j++ {
+				kb[j] += delta * ki[j]
+			}
+		}
+		if maxDelta < cfg.Tol {
+			break
+		}
+	}
+	return &SVR{gram: g, beta: beta}, nil
+}
+
+// Predict evaluates the regressor at q.
+func (s *SVR) Predict(q []float64) float64 {
+	kRow := s.gram.evalRow(q)
+	out := 0.0
+	for i, b := range s.beta {
+		if b != 0 {
+			out += b * kRow[i]
+		}
+	}
+	return out
+}
+
+// PredictBatch predicts every row of x.
+func (s *SVR) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, q := range x {
+		out[i] = s.Predict(q)
+	}
+	return out
+}
+
+// SupportFraction returns the fraction of training rows with nonzero dual
+// coefficients — a sparsity diagnostic.
+func (s *SVR) SupportFraction() float64 {
+	if len(s.beta) == 0 {
+		return 0
+	}
+	nz := 0
+	for _, b := range s.beta {
+		if b != 0 {
+			nz++
+		}
+	}
+	return float64(nz) / float64(len(s.beta))
+}

@@ -1,0 +1,56 @@
+package mobsim
+
+import (
+	"poiagg/internal/attack"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+)
+
+// Adversary is an Observer that mounts the region re-identification
+// attack on every observed release and scores itself against the ground
+// truth.
+type Adversary struct {
+	svc *gsp.Service
+
+	// Seen is the number of releases observed.
+	Seen int
+	// Unique is the number of releases with exactly one surviving
+	// candidate.
+	Unique int
+	// Correct is the number of unique identifications whose radius-r
+	// disk actually contains the user.
+	Correct int
+	// PerUser tracks correct identifications per user ID.
+	PerUser map[int]int
+}
+
+var _ Observer = (*Adversary)(nil)
+
+// NewAdversary returns an adversary attacking over the given prior
+// knowledge (the public GSP).
+func NewAdversary(svc *gsp.Service) *Adversary {
+	return &Adversary{svc: svc, PerUser: make(map[int]int)}
+}
+
+// Observe implements Observer.
+func (a *Adversary) Observe(rel Release) {
+	a.Seen++
+	res := attack.Region(a.svc, rel.F, rel.R)
+	if !res.Success {
+		return
+	}
+	a.Unique++
+	if geo.Dist(res.Anchor.Pos, rel.Truth) <= rel.R {
+		a.Correct++
+		a.PerUser[rel.UserID]++
+	}
+}
+
+// SuccessRate returns the fraction of observed releases that correctly
+// re-identified the user.
+func (a *Adversary) SuccessRate() float64 {
+	if a.Seen == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Seen)
+}

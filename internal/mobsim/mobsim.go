@@ -1,0 +1,247 @@
+// Package mobsim is a discrete-event simulator for the paper's LBS
+// world: a population of users replays mobility traces in global
+// timestamp order; at each observation a release policy decides whether
+// the user queries, a release pipeline (a defense, or none) produces the
+// frequency vector, and observers — adversaries, auditors, metric
+// collectors — see exactly what the LBS application would see.
+//
+// The experiment drivers evaluate defenses location-by-location; the
+// simulator complements them with a time-faithful replay, which is what
+// trajectory-level attacks and per-session privacy budgets need.
+package mobsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+	"poiagg/internal/trajgen"
+)
+
+// Release is one observed release event, in the adversary's view: user
+// identity, aggregate, metadata — and, for evaluation only, the ground
+// truth location.
+type Release struct {
+	UserID int
+	F      poi.FreqVector
+	T      time.Time
+	R      float64
+	// Truth is the user's actual location. Observers implementing
+	// attacks must not read it except to score themselves.
+	Truth geo.Point
+}
+
+// Pipeline turns a location into the released vector (the defense).
+type Pipeline func(src *rng.Source, l geo.Point, r float64) (poi.FreqVector, error)
+
+// Policy decides whether a user issues a query at an observation.
+// Implementations must be deterministic given src.
+type Policy interface {
+	ShouldQuery(src *rng.Source, userID int, t time.Time, l geo.Point) bool
+}
+
+// AlwaysQuery queries at every observation.
+type AlwaysQuery struct{}
+
+// ShouldQuery implements Policy.
+func (AlwaysQuery) ShouldQuery(*rng.Source, int, time.Time, geo.Point) bool { return true }
+
+// ProbabilisticQuery queries with probability P at each observation.
+type ProbabilisticQuery struct{ P float64 }
+
+// ShouldQuery implements Policy.
+func (p ProbabilisticQuery) ShouldQuery(src *rng.Source, _ int, _ time.Time, _ geo.Point) bool {
+	return src.Float64() < p.P
+}
+
+// MinGapQuery queries at most once per Gap per user.
+type MinGapQuery struct {
+	Gap  time.Duration
+	last map[int]time.Time
+}
+
+// ShouldQuery implements Policy.
+func (p *MinGapQuery) ShouldQuery(_ *rng.Source, userID int, t time.Time, _ geo.Point) bool {
+	if p.last == nil {
+		p.last = make(map[int]time.Time)
+	}
+	if last, ok := p.last[userID]; ok && t.Sub(last) < p.Gap {
+		return false
+	}
+	p.last[userID] = t
+	return true
+}
+
+// Observer consumes release events in global time order.
+type Observer interface {
+	Observe(rel Release)
+}
+
+// ObserverFunc adapts a function to Observer.
+type ObserverFunc func(Release)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(rel Release) { f(rel) }
+
+// ErrorPolicy selects how pipeline failures are handled.
+type ErrorPolicy int
+
+// Error policies.
+const (
+	// FailFast aborts the simulation on the first pipeline error.
+	FailFast ErrorPolicy = iota + 1
+	// SkipErrors drops the failed release and continues; failures are
+	// counted in the result. This models budget-exhausted users going
+	// silent.
+	SkipErrors
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Trajectories is the user population's movement data; user IDs come
+	// from the trajectories.
+	Trajectories []trajgen.Trajectory
+	// R is the query range in meters.
+	R float64
+	// Pipeline produces releases; nil means no releases at all.
+	Pipeline Pipeline
+	// Policy gates queries (default AlwaysQuery).
+	Policy Policy
+	// Observers see every successful release in time order.
+	Observers []Observer
+	// OnError selects failure handling (default FailFast).
+	OnError ErrorPolicy
+	// Seed drives policy and pipeline randomness.
+	Seed uint64
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Observations is the number of trajectory points replayed.
+	Observations int
+	// Queries is the number of observations the policy turned into
+	// queries.
+	Queries int
+	// Releases is the number of successful releases delivered to
+	// observers.
+	Releases int
+	// Failures is the number of pipeline errors (only with SkipErrors).
+	Failures int
+	// Start and End are the simulated time span actually replayed.
+	Start, End time.Time
+}
+
+// cursor tracks one user's position in its trajectory.
+type cursor struct {
+	traj *trajgen.Trajectory
+	i    int
+}
+
+// eventHeap orders cursors by their next observation time (ties by user
+// ID for determinism).
+type eventHeap []cursor
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	ta := h[a].traj.Points[h[a].i].T
+	tb := h[b].traj.Points[h[b].i].T
+	if !ta.Equal(tb) {
+		return ta.Before(tb)
+	}
+	return h[a].traj.UserID < h[b].traj.UserID
+}
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(cursor)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run replays the configured world and returns the summary.
+func Run(cfg Config) (Result, error) {
+	var res Result
+	if len(cfg.Trajectories) == 0 {
+		return res, errors.New("mobsim: no trajectories")
+	}
+	if cfg.R <= 0 {
+		return res, fmt.Errorf("mobsim: query range must be positive, got %v", cfg.R)
+	}
+	if cfg.Pipeline == nil {
+		return res, errors.New("mobsim: nil pipeline")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = AlwaysQuery{}
+	}
+	if cfg.OnError == 0 {
+		cfg.OnError = FailFast
+	}
+
+	src := rng.New(cfg.Seed)
+	policySrc := src.Split(1)
+	pipeSrc := src.Split(2)
+
+	h := make(eventHeap, 0, len(cfg.Trajectories))
+	for i := range cfg.Trajectories {
+		tr := &cfg.Trajectories[i]
+		if len(tr.Points) == 0 {
+			continue
+		}
+		for j := 1; j < len(tr.Points); j++ {
+			if tr.Points[j].T.Before(tr.Points[j-1].T) {
+				return res, fmt.Errorf("mobsim: user %d has non-monotone timestamps", tr.UserID)
+			}
+		}
+		h = append(h, cursor{traj: tr, i: 0})
+	}
+	if len(h) == 0 {
+		return res, errors.New("mobsim: all trajectories empty")
+	}
+	heap.Init(&h)
+
+	first := true
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(cursor)
+		pt := c.traj.Points[c.i]
+		res.Observations++
+		if first {
+			res.Start = pt.T
+			first = false
+		}
+		res.End = pt.T
+
+		if cfg.Policy.ShouldQuery(policySrc, c.traj.UserID, pt.T, pt.Pos) {
+			res.Queries++
+			f, err := cfg.Pipeline(pipeSrc, pt.Pos, cfg.R)
+			switch {
+			case err != nil && cfg.OnError == FailFast:
+				return res, fmt.Errorf("mobsim: pipeline for user %d at %v: %w", c.traj.UserID, pt.T, err)
+			case err != nil:
+				res.Failures++
+			default:
+				res.Releases++
+				rel := Release{
+					UserID: c.traj.UserID,
+					F:      f,
+					T:      pt.T,
+					R:      cfg.R,
+					Truth:  pt.Pos,
+				}
+				for _, obs := range cfg.Observers {
+					obs.Observe(rel)
+				}
+			}
+		}
+
+		if c.i+1 < len(c.traj.Points) {
+			heap.Push(&h, cursor{traj: c.traj, i: c.i + 1})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package mobsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/cloak"
+	"poiagg/internal/defense"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+	"poiagg/internal/trajgen"
+)
+
+var (
+	simOnce sync.Once
+	simCity *citygen.City
+	simSvc  *gsp.Service
+	simTraj []trajgen.Trajectory
+	simErr  error
+)
+
+func simFixture(t *testing.T) (*citygen.City, *gsp.Service, []trajgen.Trajectory) {
+	t.Helper()
+	simOnce.Do(func() {
+		p := citygen.Beijing(41)
+		p.NumPOIs = 2000
+		p.NumTypes = 60
+		p.Width, p.Height = 12_000, 12_000
+		city, err := citygen.Generate(p)
+		if err != nil {
+			simErr = err
+			return
+		}
+		simCity = city
+		simSvc = gsp.NewService(city.City, 1<<14)
+		tp := trajgen.DefaultTaxiParams(42)
+		tp.NumTaxis = 12
+		tp.PointsPerTaxi = 25
+		simTraj, simErr = trajgen.Taxis(city.City, tp)
+	})
+	if simErr != nil {
+		t.Fatal(simErr)
+	}
+	return simCity, simSvc, simTraj
+}
+
+func plainPipeline(svc *gsp.Service) Pipeline {
+	return func(_ *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+		return svc.Freq(l, r), nil
+	}
+}
+
+func TestRunGlobalTimeOrder(t *testing.T) {
+	_, svc, trajs := simFixture(t)
+	var times []time.Time
+	obs := ObserverFunc(func(rel Release) { times = append(times, rel.T) })
+	res, err := Run(Config{
+		Trajectories: trajs,
+		R:            800,
+		Pipeline:     plainPipeline(svc),
+		Observers:    []Observer{obs},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantObs := 0
+	for _, tr := range trajs {
+		wantObs += len(tr.Points)
+	}
+	if res.Observations != wantObs || res.Queries != wantObs || res.Releases != wantObs {
+		t.Errorf("counts: %+v, want all %d", res, wantObs)
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i].Before(times[i-1]) {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+	if !res.Start.Before(res.End) {
+		t.Errorf("span %v..%v", res.Start, res.End)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	_, svc, trajs := simFixture(t)
+	res, err := Run(Config{
+		Trajectories: trajs,
+		R:            800,
+		Pipeline:     plainPipeline(svc),
+		Policy:       ProbabilisticQuery{P: 0.5},
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Queries) / float64(res.Observations)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("probabilistic policy queried %.2f of observations", frac)
+	}
+
+	res, err = Run(Config{
+		Trajectories: trajs,
+		R:            800,
+		Pipeline:     plainPipeline(svc),
+		Policy:       &MinGapQuery{Gap: 20 * time.Minute},
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries >= res.Observations {
+		t.Errorf("min-gap policy did not suppress any queries: %+v", res)
+	}
+	if res.Queries < len(trajs) {
+		t.Errorf("min-gap policy suppressed first queries: %d < %d users", res.Queries, len(trajs))
+	}
+}
+
+func TestRunErrorPolicies(t *testing.T) {
+	_, svc, trajs := simFixture(t)
+	boom := errors.New("boom")
+	n := 0
+	failing := func(_ *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+		n++
+		if n%3 == 0 {
+			return nil, boom
+		}
+		return svc.Freq(l, r), nil
+	}
+	if _, err := Run(Config{
+		Trajectories: trajs, R: 800, Pipeline: failing, OnError: FailFast, Seed: 4,
+	}); !errors.Is(err, boom) {
+		t.Errorf("FailFast: %v", err)
+	}
+	n = 0
+	res, err := Run(Config{
+		Trajectories: trajs, R: 800, Pipeline: failing, OnError: SkipErrors, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Error("SkipErrors recorded no failures")
+	}
+	if res.Releases+res.Failures != res.Queries {
+		t.Errorf("accounting: %d + %d != %d", res.Releases, res.Failures, res.Queries)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, svc, trajs := simFixture(t)
+	pipe := plainPipeline(svc)
+	if _, err := Run(Config{R: 800, Pipeline: pipe}); err == nil {
+		t.Error("no trajectories accepted")
+	}
+	if _, err := Run(Config{Trajectories: trajs, Pipeline: pipe}); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := Run(Config{Trajectories: trajs, R: 800}); err == nil {
+		t.Error("nil pipeline accepted")
+	}
+	bad := []trajgen.Trajectory{{UserID: 1, Points: []trajgen.TimedPoint{
+		{T: time.Unix(100, 0)}, {T: time.Unix(50, 0)},
+	}}}
+	if _, err := Run(Config{Trajectories: bad, R: 800, Pipeline: pipe}); err == nil {
+		t.Error("non-monotone trajectory accepted")
+	}
+	empty := []trajgen.Trajectory{{UserID: 1}}
+	if _, err := Run(Config{Trajectories: empty, R: 800, Pipeline: pipe}); err == nil {
+		t.Error("all-empty trajectories accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	_, svc, trajs := simFixture(t)
+	run := func() (Result, []int) {
+		var users []int
+		obs := ObserverFunc(func(rel Release) { users = append(users, rel.UserID) })
+		res, err := Run(Config{
+			Trajectories: trajs,
+			R:            800,
+			Pipeline:     plainPipeline(svc),
+			Policy:       ProbabilisticQuery{P: 0.7},
+			Observers:    []Observer{obs},
+			Seed:         9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, users
+	}
+	r1, u1 := run()
+	r2, u2 := run()
+	if r1 != r2 || len(u1) != len(u2) {
+		t.Fatalf("results differ: %+v vs %+v", r1, r2)
+	}
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			t.Fatal("event order differs between identical runs")
+		}
+	}
+}
+
+func TestAdversaryPlainVsDefended(t *testing.T) {
+	city, svc, trajs := simFixture(t)
+	advPlain := NewAdversary(svc)
+	if _, err := Run(Config{
+		Trajectories: trajs, R: 800,
+		Pipeline:  plainPipeline(svc),
+		Observers: []Observer{advPlain},
+		Seed:      5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if advPlain.Seen == 0 || advPlain.Correct == 0 {
+		t.Fatalf("plain adversary saw %d, correct %d", advPlain.Seen, advPlain.Correct)
+	}
+	if advPlain.Correct > advPlain.Unique {
+		t.Fatal("correct exceeds unique")
+	}
+
+	pop := cloak.UniformPopulation(city.Bounds, 5000, 43)
+	cfg := defense.DefaultDPReleaseConfig()
+	cfg.Eps = 0.5
+	mech, err := defense.NewDPRelease(svc, pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advDP := NewAdversary(svc)
+	if _, err := Run(Config{
+		Trajectories: trajs, R: 800,
+		Pipeline: func(src *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+			return mech.Release(src, l, r)
+		},
+		Observers: []Observer{advDP},
+		Seed:      5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if advDP.SuccessRate() >= advPlain.SuccessRate() {
+		t.Errorf("DP defense did not help: %.3f vs %.3f",
+			advDP.SuccessRate(), advPlain.SuccessRate())
+	}
+}

@@ -1,0 +1,248 @@
+// Package poi models points of interest and POI type frequency vectors —
+// the data objects exchanged in the paper's LBS architecture. A mobile
+// user queries a geo-information service provider for the POIs within
+// radius r of its location and releases only the aggregated type frequency
+// vector F_{l,r} to the LBS application.
+package poi
+
+import (
+	"fmt"
+	"sort"
+
+	"poiagg/internal/geo"
+)
+
+// TypeID identifies a POI type (e.g. "restaurant", "pharmacy") within a
+// city's type registry. IDs are dense indices into frequency vectors.
+type TypeID int
+
+// ID identifies a single POI within a city.
+type ID int
+
+// POI is a point of interest: a typed location in the city plane.
+type POI struct {
+	ID   ID        `json:"id"`
+	Type TypeID    `json:"type"`
+	Pos  geo.Point `json:"pos"`
+}
+
+// TypeTable is the registry of POI types for one city. It assigns dense
+// TypeIDs and keeps human-readable names.
+type TypeTable struct {
+	names []string
+	index map[string]TypeID
+}
+
+// NewTypeTable returns an empty registry.
+func NewTypeTable() *TypeTable {
+	return &TypeTable{index: make(map[string]TypeID)}
+}
+
+// Intern returns the TypeID for name, registering it if new.
+func (t *TypeTable) Intern(name string) TypeID {
+	if id, ok := t.index[name]; ok {
+		return id
+	}
+	id := TypeID(len(t.names))
+	t.names = append(t.names, name)
+	t.index[name] = id
+	return id
+}
+
+// Lookup returns the TypeID for name and whether it is registered.
+func (t *TypeTable) Lookup(name string) (TypeID, bool) {
+	id, ok := t.index[name]
+	return id, ok
+}
+
+// Name returns the registered name for id, or "" when out of range.
+func (t *TypeTable) Name(id TypeID) string {
+	if id < 0 || int(id) >= len(t.names) {
+		return ""
+	}
+	return t.names[id]
+}
+
+// Len returns the number of registered types (the M of the paper).
+func (t *TypeTable) Len() int { return len(t.names) }
+
+// Names returns a copy of all registered type names in TypeID order.
+func (t *TypeTable) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// FreqVector is a POI type frequency vector F_{l,r} = (n_1, …, n_M):
+// entry i counts POIs of type i in the queried range. Its length always
+// equals the city's number of types.
+type FreqVector []int
+
+// NewFreqVector returns a zero vector of dimension m.
+func NewFreqVector(m int) FreqVector { return make(FreqVector, m) }
+
+// Clone returns a deep copy of f.
+func (f FreqVector) Clone() FreqVector {
+	out := make(FreqVector, len(f))
+	copy(out, f)
+	return out
+}
+
+// Total returns the total POI count Σ n_i.
+func (f FreqVector) Total() int {
+	total := 0
+	for _, n := range f {
+		total += n
+	}
+	return total
+}
+
+// Support returns the number of types with a nonzero count.
+func (f FreqVector) Support() int {
+	s := 0
+	for _, n := range f {
+		if n != 0 {
+			s++
+		}
+	}
+	return s
+}
+
+// L1Dist returns Σ |f_i − g_i|. It panics when dimensions differ, as that
+// indicates vectors from different cities.
+func (f FreqVector) L1Dist(g FreqVector) int {
+	if len(f) != len(g) {
+		panic(fmt.Sprintf("poi: L1Dist dimension mismatch %d vs %d", len(f), len(g)))
+	}
+	d := 0
+	for i := range f {
+		if f[i] > g[i] {
+			d += f[i] - g[i]
+		} else {
+			d += g[i] - f[i]
+		}
+	}
+	return d
+}
+
+// Sub returns f − g element-wise.
+func (f FreqVector) Sub(g FreqVector) FreqVector {
+	if len(f) != len(g) {
+		panic(fmt.Sprintf("poi: Sub dimension mismatch %d vs %d", len(f), len(g)))
+	}
+	out := make(FreqVector, len(f))
+	for i := range f {
+		out[i] = f[i] - g[i]
+	}
+	return out
+}
+
+// Add returns f + g element-wise.
+func (f FreqVector) Add(g FreqVector) FreqVector {
+	if len(f) != len(g) {
+		panic(fmt.Sprintf("poi: Add dimension mismatch %d vs %d", len(f), len(g)))
+	}
+	out := make(FreqVector, len(f))
+	for i := range f {
+		out[i] = f[i] + g[i]
+	}
+	return out
+}
+
+// Dominates reports whether f_i ≥ g_i for every i. This is the pruning
+// predicate of the region re-identification attack: a candidate anchor p
+// survives only when F_{p,2r} dominates the released F_{l,r}.
+func (f FreqVector) Dominates(g FreqVector) bool {
+	if len(f) != len(g) {
+		panic(fmt.Sprintf("poi: Dominates dimension mismatch %d vs %d", len(f), len(g)))
+	}
+	for i := range f {
+		if f[i] < g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports element-wise equality.
+func (f FreqVector) Equal(g FreqVector) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i := range f {
+		if f[i] != g[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TopK returns the K types with the highest counts, breaking ties by
+// lower TypeID for determinism. Types with zero count are still eligible
+// (matching a plain sort of the vector), but in practice K ≪ support.
+func (f FreqVector) TopK(k int) []TypeID {
+	if k > len(f) {
+		k = len(f)
+	}
+	ids := make([]TypeID, len(f))
+	for i := range ids {
+		ids[i] = TypeID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if f[ids[a]] != f[ids[b]] {
+			return f[ids[a]] > f[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids[:k]
+}
+
+// Floats converts f to a float64 slice (feature vectors for the learning
+// substrate).
+func (f FreqVector) Floats() []float64 {
+	out := make([]float64, len(f))
+	for i, n := range f {
+		out[i] = float64(n)
+	}
+	return out
+}
+
+// RankByFrequency returns, for a city-wide frequency vector, the
+// infrequency rank R(i) of every type: the most infrequent type has rank
+// 1, the next rank 2, and so on. Ties break by lower TypeID.
+func RankByFrequency(cityFreq FreqVector) []int {
+	ids := make([]TypeID, len(cityFreq))
+	for i := range ids {
+		ids[i] = TypeID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if cityFreq[ids[a]] != cityFreq[ids[b]] {
+			return cityFreq[ids[a]] < cityFreq[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	rank := make([]int, len(cityFreq))
+	for r, id := range ids {
+		rank[id] = r + 1
+	}
+	return rank
+}
+
+// MostInfrequentPresent returns the type present in f (count > 0) that is
+// most infrequent city-wide according to cityFreq, i.e. the t_l of the
+// region re-identification attack. ok is false when f is all zero.
+func MostInfrequentPresent(f, cityFreq FreqVector) (TypeID, bool) {
+	best := TypeID(-1)
+	bestFreq := 0
+	for i, n := range f {
+		if n <= 0 {
+			continue
+		}
+		if best == -1 || cityFreq[i] < bestFreq ||
+			(cityFreq[i] == bestFreq && TypeID(i) < best) {
+			best = TypeID(i)
+			bestFreq = cityFreq[i]
+		}
+	}
+	return best, best != -1
+}

@@ -1,0 +1,189 @@
+package poi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeTableIntern(t *testing.T) {
+	tt := NewTypeTable()
+	a := tt.Intern("restaurant")
+	b := tt.Intern("pharmacy")
+	if a == b {
+		t.Fatal("distinct names share an ID")
+	}
+	if got := tt.Intern("restaurant"); got != a {
+		t.Errorf("re-intern gave %v, want %v", got, a)
+	}
+	if tt.Len() != 2 {
+		t.Errorf("Len = %d", tt.Len())
+	}
+	if tt.Name(a) != "restaurant" || tt.Name(b) != "pharmacy" {
+		t.Error("Name lookup wrong")
+	}
+	if tt.Name(TypeID(99)) != "" || tt.Name(TypeID(-1)) != "" {
+		t.Error("out-of-range Name should be empty")
+	}
+	if id, ok := tt.Lookup("pharmacy"); !ok || id != b {
+		t.Error("Lookup failed")
+	}
+	if _, ok := tt.Lookup("missing"); ok {
+		t.Error("Lookup of missing name succeeded")
+	}
+	names := tt.Names()
+	names[0] = "mutated"
+	if tt.Name(a) != "restaurant" {
+		t.Error("Names leaked internal slice")
+	}
+}
+
+func TestFreqVectorBasics(t *testing.T) {
+	f := FreqVector{3, 0, 2, 5}
+	if f.Total() != 10 {
+		t.Errorf("Total = %d", f.Total())
+	}
+	if f.Support() != 3 {
+		t.Errorf("Support = %d", f.Support())
+	}
+	g := f.Clone()
+	g[0] = 100
+	if f[0] != 3 {
+		t.Error("Clone aliases")
+	}
+}
+
+func TestL1Dist(t *testing.T) {
+	f := FreqVector{3, 0, 2}
+	g := FreqVector{1, 4, 2}
+	if d := f.L1Dist(g); d != 6 {
+		t.Errorf("L1Dist = %d, want 6", d)
+	}
+	if d := f.L1Dist(f); d != 0 {
+		t.Errorf("self L1Dist = %d", d)
+	}
+}
+
+func TestL1DistPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FreqVector{1}.L1Dist(FreqVector{1, 2})
+}
+
+func TestAddSub(t *testing.T) {
+	f := FreqVector{3, 1}
+	g := FreqVector{1, 2}
+	if got := f.Add(g); !got.Equal(FreqVector{4, 3}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := f.Sub(g); !got.Equal(FreqVector{2, -1}) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	tests := []struct {
+		f, g FreqVector
+		want bool
+	}{
+		{FreqVector{2, 3}, FreqVector{2, 3}, true},
+		{FreqVector{3, 3}, FreqVector{2, 3}, true},
+		{FreqVector{2, 2}, FreqVector{2, 3}, false},
+		{FreqVector{0, 0}, FreqVector{0, 0}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.f.Dominates(tt.g); got != tt.want {
+			t.Errorf("%v Dominates %v = %v, want %v", tt.f, tt.g, got, tt.want)
+		}
+	}
+}
+
+func TestDominatesProperty(t *testing.T) {
+	// f+g always dominates f for non-negative g; and dominance implies
+	// total ordering of sums.
+	f := func(a, b []uint8) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		x := make(FreqVector, n)
+		y := make(FreqVector, n)
+		for i := 0; i < n; i++ {
+			x[i] = int(a[i])
+			y[i] = int(b[i])
+		}
+		sum := x.Add(y)
+		if !sum.Dominates(x) {
+			return false
+		}
+		if x.Dominates(y) && x.Total() < y.Total() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	f := FreqVector{5, 1, 9, 9, 0}
+	got := f.TopK(3)
+	want := []TypeID{2, 3, 0} // ties break by lower ID
+	if len(got) != 3 {
+		t.Fatalf("TopK len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TopK = %v, want %v", got, want)
+			break
+		}
+	}
+	if got := f.TopK(100); len(got) != len(f) {
+		t.Errorf("TopK over-length = %d", len(got))
+	}
+}
+
+func TestRankByFrequency(t *testing.T) {
+	city := FreqVector{100, 2, 50, 2}
+	rank := RankByFrequency(city)
+	// type 1 (freq 2, lower ID) rank 1; type 3 (freq 2) rank 2;
+	// type 2 (freq 50) rank 3; type 0 (freq 100) rank 4.
+	want := []int{4, 1, 3, 2}
+	for i := range want {
+		if rank[i] != want[i] {
+			t.Errorf("rank = %v, want %v", rank, want)
+			break
+		}
+	}
+}
+
+func TestMostInfrequentPresent(t *testing.T) {
+	city := FreqVector{100, 2, 50, 1}
+	f := FreqVector{1, 0, 3, 0} // types 0 and 2 present
+	id, ok := MostInfrequentPresent(f, city)
+	if !ok || id != 2 {
+		t.Errorf("got %v/%v, want type 2", id, ok)
+	}
+	f2 := FreqVector{1, 1, 1, 1}
+	id, ok = MostInfrequentPresent(f2, city)
+	if !ok || id != 3 {
+		t.Errorf("got %v/%v, want type 3", id, ok)
+	}
+	if _, ok := MostInfrequentPresent(FreqVector{0, 0, 0, 0}, city); ok {
+		t.Error("all-zero vector should report !ok")
+	}
+}
+
+func TestFloats(t *testing.T) {
+	f := FreqVector{1, 0, 7}
+	fs := f.Floats()
+	if len(fs) != 3 || fs[0] != 1 || fs[2] != 7 {
+		t.Errorf("Floats = %v", fs)
+	}
+}

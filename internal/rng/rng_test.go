@@ -1,0 +1,265 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	d := New(42)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 equal samples", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child1 := parent.Split(1)
+	child2 := parent.Split(2)
+	child1Again := New(7).Split(1)
+	for i := 0; i < 50; i++ {
+		if child1.Uint64() != child1Again.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+	// Children with different labels differ.
+	c1, c2 := New(7).Split(1), New(7).Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split children correlated: %d/100 equal", same)
+	}
+	_ = child2
+}
+
+func TestSplitDoesNotPerturbParent(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	_ = a.Split(99)
+	for i := 0; i < 20; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split consumed parent state")
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(1)
+	const n = 200_000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Normal(3, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("variance = %v, want ~4", variance)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	s := New(2)
+	const n = 200_000
+	b := 1.5
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := s.Laplace(0, b)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if want := 2 * b * b; math.Abs(variance-want) > 0.2 {
+		t.Errorf("variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(3)
+	const n = 100_000
+	rate := 2.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(rate)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestLambertWm1Identity(t *testing.T) {
+	// W₋₁(x)·e^{W₋₁(x)} = x for x in [-1/e, 0).
+	xs := []float64{-1 / math.E, -0.367, -0.3, -0.2, -0.1, -0.01, -1e-4, -1e-8}
+	for _, x := range xs {
+		w := LambertWm1(x)
+		if got := w * math.Exp(w); math.Abs(got-x) > 1e-9*math.Max(1, math.Abs(x)) {
+			t.Errorf("W(-1)(%v) = %v; w·e^w = %v", x, w, got)
+		}
+		if w > -1 {
+			t.Errorf("W₋₁(%v) = %v must be ≤ -1", x, w)
+		}
+	}
+}
+
+func TestLambertWm1Domain(t *testing.T) {
+	for _, x := range []float64{0, 0.5, -1} {
+		if !math.IsNaN(LambertWm1(x)) {
+			t.Errorf("LambertWm1(%v) should be NaN", x)
+		}
+	}
+}
+
+func TestPlanarLaplaceRadialMean(t *testing.T) {
+	// The planar Laplace radial distribution is Gamma(2, 1/ε): mean 2/ε.
+	s := New(4)
+	eps := 0.01 // per meter
+	const n = 100_000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		dx, dy := s.PlanarLaplace(eps)
+		sum += math.Hypot(dx, dy)
+	}
+	mean := sum / n
+	want := 2 / eps
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Errorf("radial mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPlanarLaplaceAngleUniform(t *testing.T) {
+	s := New(5)
+	const n = 40_000
+	quad := [4]int{}
+	for i := 0; i < n; i++ {
+		dx, dy := s.PlanarLaplace(0.1)
+		idx := 0
+		if dx < 0 {
+			idx |= 1
+		}
+		if dy < 0 {
+			idx |= 2
+		}
+		quad[idx]++
+	}
+	for i, c := range quad {
+		if math.Abs(float64(c)-n/4.0) > 0.05*n {
+			t.Errorf("quadrant %d count %d, want ~%d", i, c, n/4)
+		}
+	}
+}
+
+func TestZipfProbabilities(t *testing.T) {
+	z := NewZipf(5, 1.0)
+	total := 0.0
+	for k := 0; k < 5; k++ {
+		p := z.Prob(k)
+		if p <= 0 {
+			t.Errorf("Prob(%d) = %v", k, p)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", total)
+	}
+	if z.Prob(0) <= z.Prob(4) {
+		t.Error("Zipf must be decreasing")
+	}
+	if z.Prob(-1) != 0 || z.Prob(5) != 0 {
+		t.Error("out-of-range Prob must be 0")
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	z := NewZipf(10, 1.2)
+	s := New(6)
+	const n = 200_000
+	counts := make([]int, 10)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	for k := 0; k < 10; k++ {
+		got := float64(counts[k]) / n
+		want := z.Prob(k)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: freq %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestUniformInDisk(t *testing.T) {
+	s := New(7)
+	const n = 50_000
+	inHalf := 0
+	for i := 0; i < n; i++ {
+		x, y := s.UniformInDisk(2)
+		r := math.Hypot(x, y)
+		if r > 2 {
+			t.Fatalf("point outside disk: %v", r)
+		}
+		if r <= 2/math.Sqrt2 {
+			inHalf++ // a disk of half the area
+		}
+	}
+	if frac := float64(inHalf) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("half-area fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestUniformInBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		x, y := s.UniformIn(-3, 2, 5, 10)
+		return x >= -3 && x < 5 && y >= 2 && y < 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	s := New(8)
+	p := s.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad perm %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	sum := 0
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}

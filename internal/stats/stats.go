@@ -1,0 +1,238 @@
+// Package stats provides the small descriptive-statistics toolkit used by
+// the experiment harness: means and deviations, empirical CDFs and
+// quantiles, histograms, Jaccard similarity, and classification accuracy
+// bookkeeping.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when fewer
+// than two samples are provided.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// MeanStd returns both Mean and StdDev in one pass over the data.
+func MeanStd(xs []float64) (mean, std float64) {
+	return Mean(xs), StdDev(xs)
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// CDF is an empirical cumulative distribution function over a fixed
+// sample.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied, then sorted).
+func NewCDF(xs []float64) *CDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// At returns the fraction of samples ≤ x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// Index of the first element > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) using nearest-rank
+// interpolation; q outside [0,1] is clamped.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	pos := q * float64(len(c.sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return c.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return c.sorted[lo]*(1-frac) + c.sorted[hi]*frac
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Series evaluates the CDF at n evenly spaced points spanning [min, max]
+// and returns (xs, ys) suitable for plotting or table rows.
+func (c *CDF) Series(minX, maxX float64, n int) (xs, ys []float64) {
+	if n < 2 {
+		n = 2
+	}
+	xs = make([]float64, n)
+	ys = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := minX + (maxX-minX)*float64(i)/float64(n-1)
+		xs[i] = x
+		ys[i] = c.At(x)
+	}
+	return xs, ys
+}
+
+// Histogram counts samples into nbins equal-width bins over [min, max].
+// Samples outside the range are clamped into the border bins.
+func Histogram(xs []float64, minX, maxX float64, nbins int) []int {
+	if nbins <= 0 {
+		return nil
+	}
+	counts := make([]int, nbins)
+	width := (maxX - minX) / float64(nbins)
+	if width <= 0 {
+		counts[0] = len(xs)
+		return counts
+	}
+	for _, x := range xs {
+		b := int((x - minX) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| for two sets of comparable elements.
+// Two empty sets have similarity 1 (identical).
+func Jaccard[T comparable](a, b []T) float64 {
+	setA := make(map[T]struct{}, len(a))
+	for _, x := range a {
+		setA[x] = struct{}{}
+	}
+	setB := make(map[T]struct{}, len(b))
+	for _, x := range b {
+		setB[x] = struct{}{}
+	}
+	if len(setA) == 0 && len(setB) == 0 {
+		return 1
+	}
+	inter := 0
+	for x := range setA {
+		if _, ok := setB[x]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	return float64(inter) / float64(union)
+}
+
+// Accuracy tracks classification accuracy.
+type Accuracy struct {
+	correct int
+	total   int
+}
+
+// Observe records one prediction outcome.
+func (a *Accuracy) Observe(correct bool) {
+	if correct {
+		a.correct++
+	}
+	a.total++
+}
+
+// Value returns the accuracy so far, or 0 when nothing was observed.
+func (a *Accuracy) Value() float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.correct) / float64(a.total)
+}
+
+// Count returns the number of observations.
+func (a *Accuracy) Count() int { return a.total }
+
+// String implements fmt.Stringer.
+func (a *Accuracy) String() string {
+	return fmt.Sprintf("%d/%d (%.3f)", a.correct, a.total, a.Value())
+}
+
+// MAE returns the mean absolute error between predictions and targets.
+// It panics when lengths differ.
+func MAE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("stats: MAE length mismatch %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - target[i])
+	}
+	return sum / float64(len(pred))
+}
+
+// RMSE returns the root mean squared error between predictions and
+// targets. It panics when lengths differ.
+func RMSE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("stats: RMSE length mismatch %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pred {
+		d := pred[i] - target[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}

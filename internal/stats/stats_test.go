@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Error("empty/one-sample cases wrong")
+	}
+	m, s := MeanStd(xs)
+	if m != 5 || math.Abs(s-2) > 1e-12 {
+		t.Errorf("MeanStd = %v, %v", m, s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max wrong")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {4, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if NewCDF(nil).At(1) != 0 {
+		t.Error("empty CDF At should be 0")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		c := NewCDF(xs)
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40, 50})
+	if q := c.Quantile(0); q != 10 {
+		t.Errorf("Q0 = %v", q)
+	}
+	if q := c.Quantile(1); q != 50 {
+		t.Errorf("Q1 = %v", q)
+	}
+	if q := c.Quantile(0.5); q != 30 {
+		t.Errorf("Q.5 = %v", q)
+	}
+	if q := c.Quantile(0.25); q != 20 {
+		t.Errorf("Q.25 = %v", q)
+	}
+	if !math.IsNaN(NewCDF(nil).Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	xs, ys := c.Series(0, 5, 6)
+	if len(xs) != 6 || len(ys) != 6 {
+		t.Fatalf("series lengths %d/%d", len(xs), len(ys))
+	}
+	if xs[0] != 0 || xs[5] != 5 {
+		t.Errorf("xs endpoints %v", xs)
+	}
+	if ys[0] != 0 || ys[5] != 1 {
+		t.Errorf("ys endpoints %v", ys)
+	}
+	if !sort.Float64sAreSorted(ys) {
+		t.Errorf("series not monotone: %v", ys)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 1.5, 2.9, -5, 99}
+	h := Histogram(xs, 0, 3, 3)
+	if h[0] != 3 || h[1] != 1 || h[2] != 2 {
+		t.Errorf("Histogram = %v", h)
+	}
+	if Histogram(xs, 0, 3, 0) != nil {
+		t.Error("zero bins should be nil")
+	}
+	h = Histogram(xs, 5, 5, 2) // degenerate range
+	if h[0] != len(xs) {
+		t.Errorf("degenerate range histogram = %v", h)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want float64
+	}{
+		{[]int{1, 2, 3}, []int{1, 2, 3}, 1},
+		{[]int{1, 2}, []int{3, 4}, 0},
+		{[]int{1, 2, 3}, []int{2, 3, 4}, 0.5},
+		{nil, nil, 1},
+		{[]int{1}, nil, 0},
+		{[]int{1, 1, 2}, []int{1, 2}, 1}, // duplicates collapse
+	}
+	for _, tt := range tests {
+		if got := Jaccard(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Jaccard(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	if a.Value() != 0 || a.Count() != 0 {
+		t.Error("zero value wrong")
+	}
+	a.Observe(true)
+	a.Observe(true)
+	a.Observe(false)
+	if math.Abs(a.Value()-2.0/3) > 1e-12 || a.Count() != 3 {
+		t.Errorf("Accuracy = %v after 3", a.Value())
+	}
+	if a.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestMAERMSE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	target := []float64{1, 4, 3}
+	if got := MAE(pred, target); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("MAE = %v", got)
+	}
+	if got := RMSE(pred, target); math.Abs(got-2/math.Sqrt(3)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if MAE(nil, nil) != 0 || RMSE(nil, nil) != 0 {
+		t.Error("empty MAE/RMSE wrong")
+	}
+}
+
+func TestMAEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,282 @@
+// Package trajgen generates synthetic user mobility data substituting for
+// the paper's two real-world traces:
+//
+//   - Taxi trajectories (T-drive, Beijing): waypoint motion between
+//     POI-biased destinations at urban driving speeds, sampled at a fixed
+//     reporting interval. The trajectory attack (Fig. 8) consumes
+//     successive (position, timestamp) pairs; realistic speeds and
+//     POI-dense stops are the properties that matter, and both are
+//     reproduced.
+//   - Check-ins (Foursquare, NYC): a preferential-return user model that
+//     snaps visits to POIs with a time-of-day rhythm. Check-ins are
+//     POI-adjacent locations with timestamps, which is all the
+//     re-identification experiments use.
+package trajgen
+
+import (
+	"fmt"
+	"time"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/rng"
+)
+
+// TimedPoint is a position observed at a time.
+type TimedPoint struct {
+	Pos geo.Point `json:"pos"`
+	T   time.Time `json:"t"`
+}
+
+// Trajectory is one user's ordered sequence of observations.
+type Trajectory struct {
+	UserID int          `json:"userId"`
+	Points []TimedPoint `json:"points"`
+}
+
+// baseTime anchors all synthetic timestamps; the absolute epoch is
+// irrelevant to every experiment, only durations and time-of-day matter.
+var baseTime = time.Date(2008, time.February, 2, 8, 0, 0, 0, time.UTC)
+
+// TaxiParams configures taxi trajectory generation.
+type TaxiParams struct {
+	// NumTaxis is the number of trajectories.
+	NumTaxis int
+	// PointsPerTaxi is the number of reported samples per trajectory.
+	PointsPerTaxi int
+	// ReportInterval and ReportIntervalMax bound the randomized gap
+	// between successive reports; real traces report irregularly, and the
+	// gap length is the primary signal the trajectory attack's distance
+	// regressor learns from.
+	ReportInterval    time.Duration
+	ReportIntervalMax time.Duration
+	// SpeedMinMPS and SpeedMaxMPS bound driving speed in meters/second.
+	SpeedMinMPS, SpeedMaxMPS float64
+	// DwellProb is the chance a taxi idles (stays near its position) at a
+	// report instead of driving.
+	DwellProb float64
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultTaxiParams returns a T-drive-like configuration: ~10 km/h to
+// ~50 km/h urban speeds sampled every 2 minutes.
+func DefaultTaxiParams(seed uint64) TaxiParams {
+	return TaxiParams{
+		NumTaxis:          300,
+		PointsPerTaxi:     60,
+		ReportInterval:    30 * time.Second,
+		ReportIntervalMax: 8 * time.Minute,
+		SpeedMinMPS:       3,
+		SpeedMaxMPS:       14,
+		DwellProb:         0.15,
+		Seed:              seed,
+	}
+}
+
+// Taxis generates taxi trajectories over the city. Destinations are drawn
+// from POI positions (with noise), so taxis concentrate where POIs do —
+// matching how real taxi traces oversample commercial districts.
+func Taxis(city *gsp.City, p TaxiParams) ([]Trajectory, error) {
+	if p.NumTaxis <= 0 || p.PointsPerTaxi <= 0 {
+		return nil, fmt.Errorf("trajgen: Taxis: need positive NumTaxis and PointsPerTaxi")
+	}
+	if p.ReportInterval <= 0 {
+		return nil, fmt.Errorf("trajgen: Taxis: need positive ReportInterval")
+	}
+	if p.ReportIntervalMax < p.ReportInterval {
+		p.ReportIntervalMax = p.ReportInterval
+	}
+	if p.SpeedMaxMPS < p.SpeedMinMPS || p.SpeedMinMPS < 0 {
+		return nil, fmt.Errorf("trajgen: Taxis: bad speed range [%v, %v]", p.SpeedMinMPS, p.SpeedMaxMPS)
+	}
+	pois := city.POIs()
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("trajgen: Taxis: city has no POIs")
+	}
+	src := rng.New(p.Seed)
+	trajs := make([]Trajectory, p.NumTaxis)
+	for taxi := 0; taxi < p.NumTaxis; taxi++ {
+		ts := src.Split(uint64(taxi))
+		pickDest := func() geo.Point {
+			base := pois[ts.IntN(len(pois))].Pos
+			return city.Bounds.Clamp(geo.Point{
+				X: ts.Normal(base.X, 120),
+				Y: ts.Normal(base.Y, 120),
+			})
+		}
+		pos := pickDest()
+		dest := pickDest()
+		now := baseTime.Add(time.Duration(ts.IntN(12*3600)) * time.Second)
+		gapSpan := p.ReportIntervalMax - p.ReportInterval
+		points := make([]TimedPoint, 0, p.PointsPerTaxi)
+		for i := 0; i < p.PointsPerTaxi; i++ {
+			points = append(points, TimedPoint{Pos: pos, T: now})
+			gap := p.ReportInterval
+			if gapSpan > 0 {
+				gap += time.Duration(ts.Float64() * float64(gapSpan))
+			}
+			now = now.Add(gap)
+			if ts.Float64() < p.DwellProb {
+				// Idle: small jitter only.
+				pos = city.Bounds.Clamp(geo.Point{
+					X: ts.Normal(pos.X, 15),
+					Y: ts.Normal(pos.Y, 15),
+				})
+				continue
+			}
+			speed := p.SpeedMinMPS + ts.Float64()*(p.SpeedMaxMPS-p.SpeedMinMPS)
+			step := speed * gap.Seconds()
+			for step > 0 {
+				d := geo.Dist(pos, dest)
+				if d <= step {
+					step -= d
+					pos = dest
+					dest = pickDest()
+					continue
+				}
+				dir := dest.Sub(pos).Scale(1 / d)
+				pos = pos.Add(dir.Scale(step))
+				step = 0
+			}
+			// Road-network jitter: GPS points rarely sit on the straight
+			// line between waypoints.
+			pos = city.Bounds.Clamp(geo.Point{
+				X: ts.Normal(pos.X, 25),
+				Y: ts.Normal(pos.Y, 25),
+			})
+		}
+		trajs[taxi] = Trajectory{UserID: taxi, Points: points}
+	}
+	return trajs, nil
+}
+
+// CheckinParams configures check-in stream generation.
+type CheckinParams struct {
+	// NumUsers is the number of users.
+	NumUsers int
+	// CheckinsPerUser is the number of check-ins per user.
+	CheckinsPerUser int
+	// FavoritePOIs is the size of each user's preferred POI set.
+	FavoritePOIs int
+	// ReturnProb is the chance a check-in revisits a favorite rather than
+	// exploring a new POI.
+	ReturnProb float64
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultCheckinParams returns a Foursquare-like configuration.
+func DefaultCheckinParams(seed uint64) CheckinParams {
+	return CheckinParams{
+		NumUsers:        200,
+		CheckinsPerUser: 50,
+		FavoritePOIs:    8,
+		ReturnProb:      0.7,
+		Seed:            seed,
+	}
+}
+
+// Checkins generates check-in trajectories over the city using a
+// preferential-return model.
+func Checkins(city *gsp.City, p CheckinParams) ([]Trajectory, error) {
+	if p.NumUsers <= 0 || p.CheckinsPerUser <= 0 {
+		return nil, fmt.Errorf("trajgen: Checkins: need positive NumUsers and CheckinsPerUser")
+	}
+	if p.FavoritePOIs <= 0 {
+		return nil, fmt.Errorf("trajgen: Checkins: need positive FavoritePOIs")
+	}
+	pois := city.POIs()
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("trajgen: Checkins: city has no POIs")
+	}
+	src := rng.New(p.Seed)
+	trajs := make([]Trajectory, p.NumUsers)
+	for u := 0; u < p.NumUsers; u++ {
+		us := src.Split(uint64(u))
+		favs := make([]geo.Point, p.FavoritePOIs)
+		for i := range favs {
+			favs[i] = pois[us.IntN(len(pois))].Pos
+		}
+		t := baseTime.Add(time.Duration(us.IntN(7*24*3600)) * time.Second)
+		points := make([]TimedPoint, 0, p.CheckinsPerUser)
+		for i := 0; i < p.CheckinsPerUser; i++ {
+			var at geo.Point
+			if us.Float64() < p.ReturnProb {
+				at = favs[us.IntN(len(favs))]
+			} else {
+				at = pois[us.IntN(len(pois))].Pos
+			}
+			// Check-in GPS noise.
+			at = city.Bounds.Clamp(geo.Point{
+				X: us.Normal(at.X, 30),
+				Y: us.Normal(at.Y, 30),
+			})
+			points = append(points, TimedPoint{Pos: at, T: t})
+			// Inter-check-in gap: minutes to hours, skewed short, plus a
+			// diurnal pause around night hours.
+			gap := time.Duration(5+us.Exp(1.0/90)) * time.Minute
+			t = t.Add(gap)
+			if t.Hour() >= 1 && t.Hour() <= 6 {
+				t = t.Add(6 * time.Hour)
+			}
+		}
+		trajs[u] = Trajectory{UserID: u, Points: points}
+	}
+	return trajs, nil
+}
+
+// SampleLocations draws n locations from the trajectory set uniformly
+// over all points — the "T-drive user locations" / "Foursquare check-ins"
+// evaluation workloads of the paper.
+func SampleLocations(trajs []Trajectory, n int, seed uint64) []geo.Point {
+	var all []geo.Point
+	for _, tr := range trajs {
+		for _, pt := range tr.Points {
+			all = append(all, pt.Pos)
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	src := rng.New(seed)
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = all[src.IntN(len(all))]
+	}
+	return out
+}
+
+// Segment is a pair of successive observations of one user — the unit of
+// the trajectory-uniqueness attack.
+type Segment struct {
+	UserID   int
+	From, To TimedPoint
+}
+
+// Duration returns the elapsed time of the segment.
+func (s Segment) Duration() time.Duration { return s.To.T.Sub(s.From.T) }
+
+// Distance returns the ground-truth distance between the two positions.
+func (s Segment) Distance() float64 { return geo.Dist(s.From.Pos, s.To.Pos) }
+
+// Segments extracts every successive pair with duration in (0, maxGap]
+// from the trajectories. The paper discards pairs with gaps over 10
+// minutes (a new session) and pairs with no movement.
+func Segments(trajs []Trajectory, maxGap time.Duration, minMove float64) []Segment {
+	var out []Segment
+	for _, tr := range trajs {
+		for i := 0; i+1 < len(tr.Points); i++ {
+			a, b := tr.Points[i], tr.Points[i+1]
+			gap := b.T.Sub(a.T)
+			if gap <= 0 || gap > maxGap {
+				continue
+			}
+			if geo.Dist(a.Pos, b.Pos) < minMove {
+				continue
+			}
+			out = append(out, Segment{UserID: tr.UserID, From: a, To: b})
+		}
+	}
+	return out
+}

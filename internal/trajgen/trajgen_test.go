@@ -1,0 +1,256 @@
+package trajgen
+
+import (
+	"testing"
+	"time"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/geo"
+)
+
+func smallCity(t testing.TB) *citygen.City {
+	t.Helper()
+	p := citygen.Beijing(1)
+	p.NumPOIs = 1500
+	p.NumTypes = 60
+	city, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func TestTaxisBasics(t *testing.T) {
+	city := smallCity(t)
+	p := DefaultTaxiParams(2)
+	p.NumTaxis = 10
+	p.PointsPerTaxi = 30
+	trajs, err := Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajs) != 10 {
+		t.Fatalf("got %d trajectories", len(trajs))
+	}
+	for _, tr := range trajs {
+		if len(tr.Points) != 30 {
+			t.Fatalf("taxi %d has %d points", tr.UserID, len(tr.Points))
+		}
+		for i, pt := range tr.Points {
+			if !city.Bounds.ContainsClosed(pt.Pos) {
+				t.Fatalf("taxi %d point %d outside bounds", tr.UserID, i)
+			}
+			if i > 0 {
+				gap := pt.T.Sub(tr.Points[i-1].T)
+				if gap < p.ReportInterval || gap > p.ReportIntervalMax {
+					t.Fatalf("taxi %d gap %v outside [%v, %v]",
+						tr.UserID, gap, p.ReportInterval, p.ReportIntervalMax)
+				}
+			}
+		}
+	}
+}
+
+func TestTaxiSpeedsPlausible(t *testing.T) {
+	city := smallCity(t)
+	p := DefaultTaxiParams(3)
+	p.NumTaxis = 20
+	trajs, err := Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between successive reports the taxi can cover at most
+	// maxSpeed · gap plus jitter slack.
+	moved := 0
+	for _, tr := range trajs {
+		for i := 1; i < len(tr.Points); i++ {
+			gap := tr.Points[i].T.Sub(tr.Points[i-1].T)
+			maxStep := p.SpeedMaxMPS*gap.Seconds() + 200
+			d := geo.Dist(tr.Points[i].Pos, tr.Points[i-1].Pos)
+			if d > maxStep {
+				t.Fatalf("taxi %d step %d moved %.0f m > %.0f m", tr.UserID, i, d, maxStep)
+			}
+			if d > 100 {
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("taxis never moved")
+	}
+}
+
+func TestTaxisDeterministic(t *testing.T) {
+	city := smallCity(t)
+	p := DefaultTaxiParams(4)
+	p.NumTaxis = 5
+	a, err := Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				t.Fatal("taxi generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestTaxisValidation(t *testing.T) {
+	city := smallCity(t)
+	bad := DefaultTaxiParams(1)
+	bad.NumTaxis = 0
+	if _, err := Taxis(city.City, bad); err == nil {
+		t.Error("zero taxis accepted")
+	}
+	bad = DefaultTaxiParams(1)
+	bad.ReportInterval = 0
+	if _, err := Taxis(city.City, bad); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad = DefaultTaxiParams(1)
+	bad.SpeedMinMPS, bad.SpeedMaxMPS = 5, 1
+	if _, err := Taxis(city.City, bad); err == nil {
+		t.Error("inverted speeds accepted")
+	}
+}
+
+func TestCheckinsBasics(t *testing.T) {
+	city := smallCity(t)
+	p := DefaultCheckinParams(5)
+	p.NumUsers = 15
+	p.CheckinsPerUser = 25
+	trajs, err := Checkins(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajs) != 15 {
+		t.Fatalf("got %d users", len(trajs))
+	}
+	for _, tr := range trajs {
+		if len(tr.Points) != 25 {
+			t.Fatalf("user %d has %d check-ins", tr.UserID, len(tr.Points))
+		}
+		for i := 1; i < len(tr.Points); i++ {
+			if !tr.Points[i].T.After(tr.Points[i-1].T) {
+				t.Fatalf("user %d timestamps not increasing", tr.UserID)
+			}
+		}
+	}
+}
+
+func TestCheckinsPreferentialReturn(t *testing.T) {
+	city := smallCity(t)
+	p := DefaultCheckinParams(6)
+	p.NumUsers = 10
+	p.CheckinsPerUser = 60
+	p.ReturnProb = 0.9
+	trajs, err := Checkins(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With high return probability, users revisit a small set of areas:
+	// most check-ins should be within 200 m of another check-in by the
+	// same user.
+	for _, tr := range trajs {
+		near := 0
+		for i, a := range tr.Points {
+			for j, b := range tr.Points {
+				if i != j && geo.Dist(a.Pos, b.Pos) < 200 {
+					near++
+					break
+				}
+			}
+		}
+		if frac := float64(near) / float64(len(tr.Points)); frac < 0.5 {
+			t.Errorf("user %d: only %.2f of check-ins are revisits", tr.UserID, frac)
+		}
+	}
+}
+
+func TestCheckinsValidation(t *testing.T) {
+	city := smallCity(t)
+	bad := DefaultCheckinParams(1)
+	bad.NumUsers = 0
+	if _, err := Checkins(city.City, bad); err == nil {
+		t.Error("zero users accepted")
+	}
+	bad = DefaultCheckinParams(1)
+	bad.FavoritePOIs = 0
+	if _, err := Checkins(city.City, bad); err == nil {
+		t.Error("zero favorites accepted")
+	}
+}
+
+func TestSampleLocations(t *testing.T) {
+	city := smallCity(t)
+	p := DefaultTaxiParams(7)
+	p.NumTaxis = 5
+	trajs, err := Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := SampleLocations(trajs, 50, 1)
+	if len(locs) != 50 {
+		t.Fatalf("got %d locations", len(locs))
+	}
+	for _, l := range locs {
+		if !city.Bounds.ContainsClosed(l) {
+			t.Errorf("sampled location outside bounds: %v", l)
+		}
+	}
+	if got := SampleLocations(nil, 10, 1); got != nil {
+		t.Errorf("empty trajectories gave %v", got)
+	}
+}
+
+func TestSegments(t *testing.T) {
+	now := time.Date(2020, 1, 1, 12, 0, 0, 0, time.UTC)
+	trajs := []Trajectory{{
+		UserID: 1,
+		Points: []TimedPoint{
+			{Pos: geo.Point{X: 0, Y: 0}, T: now},
+			{Pos: geo.Point{X: 500, Y: 0}, T: now.Add(5 * time.Minute)},
+			{Pos: geo.Point{X: 500, Y: 5}, T: now.Add(6 * time.Minute)},   // < minMove
+			{Pos: geo.Point{X: 2000, Y: 0}, T: now.Add(30 * time.Minute)}, // gap too long
+			{Pos: geo.Point{X: 2500, Y: 0}, T: now.Add(32 * time.Minute)},
+		},
+	}}
+	segs := Segments(trajs, 10*time.Minute, 50)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if segs[0].Distance() != 500 {
+		t.Errorf("segment 0 distance = %v", segs[0].Distance())
+	}
+	if segs[0].Duration() != 5*time.Minute {
+		t.Errorf("segment 0 duration = %v", segs[0].Duration())
+	}
+}
+
+func TestSegmentsFromTaxis(t *testing.T) {
+	city := smallCity(t)
+	p := DefaultTaxiParams(8)
+	p.NumTaxis = 20
+	trajs, err := Taxis(city.City, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := Segments(trajs, 10*time.Minute, 100)
+	if len(segs) == 0 {
+		t.Fatal("no segments extracted from taxi traces")
+	}
+	for _, s := range segs {
+		if s.Duration() <= 0 || s.Duration() > 10*time.Minute {
+			t.Fatalf("bad duration %v", s.Duration())
+		}
+		if s.Distance() < 100 {
+			t.Fatalf("segment below minMove: %v", s.Distance())
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+)
+
+// ErrBadRequest marks 4xx replies from a server; match with errors.Is.
+var ErrBadRequest = errors.New("wire: bad request")
+
+// GSPClient is the mobile user's client for a GSP server.
+type GSPClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewGSPClient returns a client for the GSP at baseURL. hc may be nil to
+// use http.DefaultClient (callers running against real networks should
+// pass a client with timeouts).
+func NewGSPClient(baseURL string, hc *http.Client) *GSPClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &GSPClient{base: baseURL, hc: hc}
+}
+
+// Stats fetches the city description.
+func (c *GSPClient) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.getJSON(ctx, PathStats, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query fetches the POIs within radius r of l (the paper's Query(l, r)).
+func (c *GSPClient) Query(ctx context.Context, l geo.Point, r float64) ([]poi.POI, error) {
+	var out QueryResponse
+	if err := c.getJSON(ctx, PathQuery, locationParams(l, r), &out); err != nil {
+		return nil, err
+	}
+	return out.POIs, nil
+}
+
+// Freq fetches the POI type frequency vector within radius r of l (the
+// paper's Freq(l, r)).
+func (c *GSPClient) Freq(ctx context.Context, l geo.Point, r float64) (poi.FreqVector, error) {
+	var out FreqResponse
+	if err := c.getJSON(ctx, PathFreq, locationParams(l, r), &out); err != nil {
+		return nil, err
+	}
+	return out.Freq, nil
+}
+
+func locationParams(l geo.Point, r float64) url.Values {
+	v := url.Values{}
+	v.Set("x", strconv.FormatFloat(l.X, 'f', -1, 64))
+	v.Set("y", strconv.FormatFloat(l.Y, 'f', -1, 64))
+	v.Set("r", strconv.FormatFloat(r, 'f', -1, 64))
+	return v
+}
+
+func (c *GSPClient) getJSON(ctx context.Context, path string, params url.Values, out any) error {
+	u := c.base + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("wire: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("wire: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	return decodeReply(resp, path, out)
+}
+
+// LBSClient is the user's client for an LBS application server.
+type LBSClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewLBSClient returns a client for the LBS app at baseURL.
+func NewLBSClient(baseURL string, hc *http.Client) *LBSClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &LBSClient{base: baseURL, hc: hc}
+}
+
+// Release posts a POI-aggregate release.
+func (c *LBSClient) Release(ctx context.Context, rel ReleaseRequest) (*ReleaseResponse, error) {
+	body, err := json.Marshal(rel)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal release: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathRelease, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("wire: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %s: %w", PathRelease, err)
+	}
+	defer resp.Body.Close()
+	var out ReleaseResponse
+	if err := decodeReply(resp, PathRelease, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Releases fetches a user's stored release history.
+func (c *LBSClient) Releases(ctx context.Context, userID string) (*ReleasesResponse, error) {
+	v := url.Values{}
+	v.Set("user", userID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathReleases+"?"+v.Encode(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("wire: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %s: %w", PathReleases, err)
+	}
+	defer resp.Body.Close()
+	var out ReleasesResponse
+	if err := decodeReply(resp, PathReleases, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// decodeReply maps non-2xx replies to errors and decodes 2xx bodies.
+func decodeReply(resp *http.Response, path string, out any) error {
+	if resp.StatusCode/100 != 2 {
+		var errResp ErrorResponse
+		msg := resp.Status
+		if body, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
+			if json.Unmarshal(body, &errResp) == nil && errResp.Error != "" {
+				msg = errResp.Error
+			}
+		}
+		if resp.StatusCode/100 == 4 {
+			return fmt.Errorf("%w: %s: %s", ErrBadRequest, path, msg)
+		}
+		return fmt.Errorf("wire: %s: server error: %s", path, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("wire: %s: decode: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+)
+
+// GSPServer serves the geo-information provider's query interface over
+// HTTP. It is an http.Handler; callers own the http.Server (timeouts,
+// TLS, shutdown).
+type GSPServer struct {
+	svc *gsp.Service
+	mux *http.ServeMux
+	log *log.Logger
+	// maxRadius rejects abusive range queries.
+	maxRadius float64
+}
+
+var _ http.Handler = (*GSPServer)(nil)
+
+// GSPServerOption customizes a GSPServer.
+type GSPServerOption func(*GSPServer)
+
+// WithLogger sets the request logger (default: log.Default()).
+func WithLogger(l *log.Logger) GSPServerOption {
+	return func(s *GSPServer) { s.log = l }
+}
+
+// WithMaxRadius caps the accepted query radius in meters (default 10 km).
+func WithMaxRadius(r float64) GSPServerOption {
+	return func(s *GSPServer) { s.maxRadius = r }
+}
+
+// NewGSPServer wraps a GSP service as an HTTP handler.
+func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
+	s := &GSPServer{
+		svc:       svc,
+		mux:       http.NewServeMux(),
+		log:       log.Default(),
+		maxRadius: 10_000,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("GET "+PathStats, s.handleStats)
+	s.mux.HandleFunc("GET "+PathQuery, s.handleQuery)
+	s.mux.HandleFunc("GET "+PathFreq, s.handleFreq)
+	s.registerPOIDump()
+	return s
+}
+
+// ServeHTTP implements http.Handler with request logging.
+func (s *GSPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+}
+
+// statusWriter records the response status for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *GSPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	city := s.svc.City()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Name:     city.Name,
+		Bounds:   city.Bounds,
+		NumPOIs:  city.NumPOIs(),
+		NumTypes: city.M(),
+		Types:    city.Types.Names(),
+	})
+}
+
+// parseLocation extracts and validates the x, y, r query parameters.
+func (s *GSPServer) parseLocation(w http.ResponseWriter, r *http.Request) (geo.Point, float64, bool) {
+	q := r.URL.Query()
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	radius, errR := strconv.ParseFloat(q.Get("r"), 64)
+	if errX != nil || errY != nil || errR != nil {
+		writeError(w, http.StatusBadRequest, "x, y, r must be numeric")
+		return geo.Point{}, 0, false
+	}
+	if radius <= 0 || radius > s.maxRadius {
+		writeError(w, http.StatusBadRequest, "r out of range")
+		return geo.Point{}, 0, false
+	}
+	return geo.Point{X: x, Y: y}, radius, true
+}
+
+func (s *GSPServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	l, radius, ok := s.parseLocation(w, r)
+	if !ok {
+		return
+	}
+	pois := s.svc.Query(l, radius)
+	writeJSON(w, http.StatusOK, QueryResponse{POIs: pois})
+}
+
+func (s *GSPServer) handleFreq(w http.ResponseWriter, r *http.Request) {
+	l, radius, ok := s.parseLocation(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, FreqResponse{Freq: s.svc.Freq(l, radius)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do than note it.
+		log.Printf("wire: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// Auditor examines an incoming release. The LBS application is exactly
+// the adversary of the threat model — it holds the user identity, the
+// query range, and the public GSP — so an auditor wired to the attacks
+// shows a service operator how identifying each accepted release is.
+type Auditor interface {
+	// Audit returns whether the release uniquely re-identifies its
+	// location and the surviving candidate count.
+	Audit(f poi.FreqVector, r float64) (reIdentified bool, candidates int)
+}
+
+// RegionAuditor audits with the region re-identification attack.
+type RegionAuditor struct {
+	Svc *gsp.Service
+}
+
+var _ Auditor = RegionAuditor{}
+
+// Audit implements Auditor.
+func (a RegionAuditor) Audit(f poi.FreqVector, r float64) (bool, int) {
+	res := attack.Region(a.Svc, f, r)
+	return res.Success, len(res.Candidates)
+}
+
+// LBSServer is the POI-based application service: it accepts frequency
+// vector releases, stores a bounded per-user history, and optionally
+// audits each release for re-identifiability.
+type LBSServer struct {
+	mux     *http.ServeMux
+	auditor Auditor // nil disables auditing
+	m       int     // expected vector dimension
+
+	mu       sync.Mutex
+	history  map[string][]ReleaseRequest
+	maxPerID int
+}
+
+var _ http.Handler = (*LBSServer)(nil)
+
+// LBSServerOption customizes an LBSServer.
+type LBSServerOption func(*LBSServer)
+
+// WithAuditor enables release auditing.
+func WithAuditor(a Auditor) LBSServerOption {
+	return func(s *LBSServer) { s.auditor = a }
+}
+
+// WithHistoryLimit caps stored releases per user (default 1000).
+func WithHistoryLimit(n int) LBSServerOption {
+	return func(s *LBSServer) { s.maxPerID = n }
+}
+
+// NewLBSServer returns an LBS application server expecting frequency
+// vectors of dimension m (the city's type count).
+func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
+	s := &LBSServer{
+		mux:      http.NewServeMux(),
+		m:        m,
+		history:  make(map[string][]ReleaseRequest),
+		maxPerID: 1000,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("POST "+PathRelease, s.handleRelease)
+	s.mux.HandleFunc("GET "+PathReleases, s.handleReleases)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *LBSServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var rel ReleaseRequest
+	body := io.LimitReader(r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&rel); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body")
+		return
+	}
+	switch {
+	case rel.UserID == "":
+		writeError(w, http.StatusBadRequest, "missing userId")
+		return
+	case len(rel.Freq) != s.m:
+		writeError(w, http.StatusBadRequest, "freq has wrong dimension")
+		return
+	case rel.R <= 0:
+		writeError(w, http.StatusBadRequest, "r must be positive")
+		return
+	}
+	for _, n := range rel.Freq {
+		if n < 0 {
+			writeError(w, http.StatusBadRequest, "negative frequency")
+			return
+		}
+	}
+	if rel.Time.IsZero() {
+		rel.Time = time.Now().UTC()
+	}
+
+	s.mu.Lock()
+	h := append(s.history[rel.UserID], rel)
+	if len(h) > s.maxPerID {
+		h = h[len(h)-s.maxPerID:]
+	}
+	s.history[rel.UserID] = h
+	s.mu.Unlock()
+
+	resp := ReleaseResponse{Accepted: true}
+	if s.auditor != nil {
+		resp.Audited = true
+		resp.ReIdentified, resp.CandidateCount = s.auditor.Audit(rel.Freq, rel.R)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *LBSServer) handleReleases(w http.ResponseWriter, r *http.Request) {
+	userID := r.URL.Query().Get("user")
+	if userID == "" {
+		writeError(w, http.StatusBadRequest, "missing user parameter")
+		return
+	}
+	s.mu.Lock()
+	stored := s.history[userID]
+	out := make([]ReleaseRequest, len(stored))
+	copy(out, stored)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ReleasesResponse{UserID: userID, Releases: out})
+}

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// PathPOIs serves the full POI dump — the public geo-data the paper's
+// adversary is assumed to hold (it "can be obtained from publicly
+// available geo-information service providers").
+const PathPOIs = "/v1/pois"
+
+// POIsResponse carries the full POI dump.
+type POIsResponse struct {
+	POIs []poi.POI `json:"pois"`
+}
+
+// registerPOIDump adds the dump endpoint; called from NewGSPServer.
+func (s *GSPServer) registerPOIDump() {
+	s.mux.HandleFunc("GET "+PathPOIs, func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, POIsResponse{POIs: s.svc.City().POIs()})
+	})
+}
+
+// POIs fetches the full POI dump.
+func (c *GSPClient) POIs(ctx context.Context) ([]poi.POI, error) {
+	var out POIsResponse
+	if err := c.getJSON(ctx, PathPOIs, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.POIs, nil
+}
+
+// FetchCity materializes a remote GSP's city locally: stats plus the full
+// POI dump, rebuilt into an indexed gsp.City. This is the adversary's
+// prior-knowledge acquisition step — after it, every attack in the
+// library runs against data obtained purely over the wire.
+func FetchCity(ctx context.Context, c *GSPClient) (*gsp.City, error) {
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("wire: FetchCity: %w", err)
+	}
+	pois, err := c.POIs(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("wire: FetchCity: %w", err)
+	}
+	types := poi.NewTypeTable()
+	for _, name := range stats.Types {
+		types.Intern(name)
+	}
+	if types.Len() != stats.NumTypes {
+		return nil, fmt.Errorf("wire: FetchCity: inconsistent type table (%d names, %d types)",
+			types.Len(), stats.NumTypes)
+	}
+	city, err := gsp.NewCity(stats.Name, stats.Bounds, types, pois)
+	if err != nil {
+		return nil, fmt.Errorf("wire: FetchCity: %w", err)
+	}
+	return city, nil
+}

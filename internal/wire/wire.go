@@ -1,0 +1,84 @@
+// Package wire implements the paper's Fig. 1 LBS architecture over HTTP:
+// a geo-information service provider (GSP) exposing the Query/Freq
+// interface, a typed Go client for mobile users, and an LBS application
+// server that accepts POI-aggregate releases. All payloads are JSON over
+// net/http, stdlib only.
+//
+// The trust boundaries follow the paper: users send coordinates only to
+// the GSP; the LBS application receives frequency vectors plus the
+// metadata the threat model grants the adversary (user identity, query
+// range, timestamp) — and can therefore mount the re-identification
+// attacks, which the AuditingLBS demonstrates.
+package wire
+
+import (
+	"time"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+)
+
+// API paths served by GSPServer.
+const (
+	PathStats = "/v1/stats"
+	PathQuery = "/v1/query"
+	PathFreq  = "/v1/freq"
+)
+
+// API paths served by LBSServer.
+const (
+	PathRelease  = "/v1/release"
+	PathReleases = "/v1/releases"
+)
+
+// StatsResponse describes the GSP's city.
+type StatsResponse struct {
+	Name     string   `json:"name"`
+	Bounds   geo.Rect `json:"bounds"`
+	NumPOIs  int      `json:"numPois"`
+	NumTypes int      `json:"numTypes"`
+	Types    []string `json:"types"`
+}
+
+// QueryResponse carries the POIs within the requested range.
+type QueryResponse struct {
+	POIs []poi.POI `json:"pois"`
+}
+
+// FreqResponse carries a POI type frequency vector.
+type FreqResponse struct {
+	Freq poi.FreqVector `json:"freq"`
+}
+
+// ReleaseRequest is what a user (or its defense middleware) sends to the
+// LBS application: the aggregate plus the metadata of the threat model.
+type ReleaseRequest struct {
+	UserID string         `json:"userId"`
+	Freq   poi.FreqVector `json:"freq"`
+	R      float64        `json:"r"`
+	Time   time.Time      `json:"time"`
+}
+
+// ReleaseResponse acknowledges a release and optionally reports the
+// audit outcome when the LBS server runs in auditing mode.
+type ReleaseResponse struct {
+	Accepted bool `json:"accepted"`
+	// Audited is true when an auditor examined the release.
+	Audited bool `json:"audited"`
+	// ReIdentified is true when the auditor uniquely re-identified the
+	// release's location.
+	ReIdentified bool `json:"reIdentified,omitempty"`
+	// CandidateCount is the auditor's surviving candidate count.
+	CandidateCount int `json:"candidateCount,omitempty"`
+}
+
+// ReleasesResponse lists a user's stored releases.
+type ReleasesResponse struct {
+	UserID   string           `json:"userId"`
+	Releases []ReleaseRequest `json:"releases"`
+}
+
+// ErrorResponse is the error envelope for non-2xx replies.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,293 @@
+// Package poiagg is a research library reproducing "Practical Location
+// Privacy Attacks and Defense on Point-of-interest Aggregates" (Tong,
+// Xia, Hua, Li, Zhong — ICDCS 2021).
+//
+// It models the paper's LBS architecture end to end: a geo-information
+// service provider (GSP) answering POI range queries over a city, users
+// that release only POI *type frequency vectors* to applications, the
+// location re-identification attacks that exploit location uniqueness in
+// those aggregates, and the defenses — including the paper's
+// (ε,δ)-differentially private optimization-based release.
+//
+// # Quick start
+//
+//	city, _ := poiagg.GenerateBeijing(42)
+//	user := city.RandomLocations(1, 7)[0]
+//	release := city.Freq(user, 1000) // what the user sends to the app
+//
+//	res := city.RegionAttack(release, 1000)
+//	if res.Success {
+//	    // the adversary knows the user is within 1 km of res.Anchor
+//	}
+//
+//	fg := city.FineGrainedAttack(release, 1000, poiagg.DefaultFineGrainedConfig())
+//	_ = fg.Area // m², typically ≤ πr²/4
+//
+//	// Defend with the paper's DP mechanism:
+//	mech, _ := city.NewDPRelease(poiagg.DefaultDPReleaseConfig())
+//	protected, _ := mech.Release(poiagg.NewRand(1), user, 1000)
+//	_ = city.RegionAttack(protected, 1000).Success // almost always false
+//
+// The experiment drivers that regenerate every figure of the paper live
+// in the poirepro command; see EXPERIMENTS.md for measured-vs-paper
+// numbers.
+package poiagg
+
+import (
+	"fmt"
+	"time"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/citygen"
+	"poiagg/internal/cloak"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+	"poiagg/internal/trajgen"
+)
+
+// Core geometry and data types, aliased from the implementation packages
+// so downstream code only imports poiagg.
+type (
+	// Point is a planar city-local coordinate in meters.
+	Point = geo.Point
+	// LatLon is a WGS84 coordinate.
+	LatLon = geo.LatLon
+	// Rect is an axis-aligned rectangle.
+	Rect = geo.Rect
+	// Circle is a disk boundary.
+	Circle = geo.Circle
+	// POI is a typed point of interest.
+	POI = poi.POI
+	// TypeID identifies a POI type within a city.
+	TypeID = poi.TypeID
+	// FreqVector is a POI type frequency vector — the object users
+	// release.
+	FreqVector = poi.FreqVector
+	// TypeTable registers POI type names.
+	TypeTable = poi.TypeTable
+	// Rand is a deterministic random stream.
+	Rand = rng.Source
+	// Trajectory is a user's timestamped movement trace.
+	Trajectory = trajgen.Trajectory
+	// TimedPoint is one timestamped observation.
+	TimedPoint = trajgen.TimedPoint
+	// Segment is a pair of successive observations.
+	Segment = trajgen.Segment
+)
+
+// NewRand returns a deterministic random stream seeded with seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewTypeTable returns an empty POI type registry for building custom
+// cities.
+func NewTypeTable() *TypeTable { return poi.NewTypeTable() }
+
+// City bundles a city's geo-information with its query service. It is
+// both the honest GSP of the LBS architecture and the adversary's prior
+// knowledge (the paper assumes the two coincide).
+type City struct {
+	gen *citygen.City
+	svc *gsp.Service
+}
+
+// GenerateBeijing generates the synthetic Beijing calibrated to the
+// paper's dataset (10,249 POIs, 177 types). See DESIGN.md for the
+// OSM-substitution rationale.
+func GenerateBeijing(seed uint64) (*City, error) {
+	return generate(citygen.Beijing(seed))
+}
+
+// GenerateNewYork generates the synthetic New York City calibrated to
+// the paper's dataset (30,056 POIs, 272 types).
+func GenerateNewYork(seed uint64) (*City, error) {
+	return generate(citygen.NewYork(seed))
+}
+
+// CityParams re-exports the synthetic city generator parameters for
+// custom cities.
+type CityParams = citygen.Params
+
+// GenerateCity generates a synthetic city from explicit parameters.
+func GenerateCity(p CityParams) (*City, error) { return generate(p) }
+
+func generate(p citygen.Params) (*City, error) {
+	gen, err := citygen.Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return &City{gen: gen, svc: gsp.NewService(gen.City, 1<<18)}, nil
+}
+
+// NewCityFromPOIs builds a city from an explicit POI set — the entry
+// point for plugging in real map extracts.
+func NewCityFromPOIs(name string, bounds Rect, types *TypeTable, pois []POI) (*City, error) {
+	c, err := gsp.NewCity(name, bounds, types, pois)
+	if err != nil {
+		return nil, fmt.Errorf("poiagg: %w", err)
+	}
+	return &City{
+		gen: &citygen.City{City: c},
+		svc: gsp.NewService(c, 1<<18),
+	}, nil
+}
+
+// Name returns the city name.
+func (c *City) Name() string { return c.gen.Name }
+
+// Bounds returns the city extent.
+func (c *City) Bounds() Rect { return c.gen.Bounds }
+
+// M returns the number of POI types.
+func (c *City) M() int { return c.gen.M() }
+
+// NumPOIs returns the number of POIs.
+func (c *City) NumPOIs() int { return c.gen.NumPOIs() }
+
+// Types returns the type registry.
+func (c *City) Types() *TypeTable { return c.gen.Types }
+
+// POIs returns a copy of the POI set.
+func (c *City) POIs() []POI { return c.gen.POIs() }
+
+// CityFreq returns the city-wide type frequency vector (copy).
+func (c *City) CityFreq() FreqVector { return c.gen.CityFreq().Clone() }
+
+// Query returns the POIs within radius r of l — the paper's Query(l, r).
+func (c *City) Query(l Point, r float64) []POI { return c.svc.Query(l, r) }
+
+// Freq returns the POI type frequency vector within radius r of l — the
+// paper's Freq(l, r), the aggregate a user releases.
+func (c *City) Freq(l Point, r float64) FreqVector { return c.svc.Freq(l, r) }
+
+// RandomLocations samples n uniform user locations.
+func (c *City) RandomLocations(n int, seed uint64) []Point {
+	return c.gen.RandomLocations(n, seed)
+}
+
+// TaxiParams re-exports the synthetic taxi-trace generator parameters.
+type TaxiParams = trajgen.TaxiParams
+
+// DefaultTaxiParams returns a T-drive-like configuration.
+func DefaultTaxiParams(seed uint64) TaxiParams { return trajgen.DefaultTaxiParams(seed) }
+
+// GenerateTaxis generates synthetic taxi trajectories over the city.
+func (c *City) GenerateTaxis(p TaxiParams) ([]Trajectory, error) {
+	return trajgen.Taxis(c.gen.City, p)
+}
+
+// CheckinParams re-exports the synthetic check-in generator parameters.
+type CheckinParams = trajgen.CheckinParams
+
+// DefaultCheckinParams returns a Foursquare-like configuration.
+func DefaultCheckinParams(seed uint64) CheckinParams { return trajgen.DefaultCheckinParams(seed) }
+
+// GenerateCheckins generates synthetic check-in traces over the city.
+func (c *City) GenerateCheckins(p CheckinParams) ([]Trajectory, error) {
+	return trajgen.Checkins(c.gen.City, p)
+}
+
+// SampleTrajectoryLocations draws n locations from trajectory points.
+func SampleTrajectoryLocations(trajs []Trajectory, n int, seed uint64) []Point {
+	return trajgen.SampleLocations(trajs, n, seed)
+}
+
+// ExtractSegments returns successive observation pairs with gap in
+// (0, maxGap] and movement of at least minMove meters.
+func ExtractSegments(trajs []Trajectory, maxGap time.Duration, minMove float64) []Segment {
+	return trajgen.Segments(trajs, maxGap, minMove)
+}
+
+// UniformPopulation places n cloaking users uniformly over the city, as
+// the paper's k-cloaking experiments assume.
+func (c *City) UniformPopulation(n int, seed uint64) *Population {
+	return cloak.UniformPopulation(c.gen.Bounds, n, seed)
+}
+
+// Population is a user population for spatial cloaking.
+type Population = cloak.Population
+
+// Attack result/config re-exports.
+type (
+	// RegionResult reports a region re-identification attempt.
+	RegionResult = attack.RegionResult
+	// FineGrainedResult reports a fine-grained attack.
+	FineGrainedResult = attack.FineGrainedResult
+	// FineGrainedConfig configures the fine-grained attack.
+	FineGrainedConfig = attack.FineGrainedConfig
+	// TrajectoryResult reports a two-release attack.
+	TrajectoryResult = attack.TrajectoryResult
+	// TrajectoryConfig configures the trajectory attack.
+	TrajectoryConfig = attack.TrajectoryConfig
+	// Release is one observed aggregate release with metadata.
+	Release = attack.Release
+	// Recoverer reconstructs sanitized frequencies.
+	Recoverer = attack.Recoverer
+	// RecoveryConfig configures recovery-model training.
+	RecoveryConfig = attack.RecoveryConfig
+	// DistanceEstimator predicts inter-release distance.
+	DistanceEstimator = attack.DistanceEstimator
+)
+
+// DefaultFineGrainedConfig returns the paper's MAXaux = 20 setting.
+func DefaultFineGrainedConfig() FineGrainedConfig { return attack.DefaultFineGrainedConfig() }
+
+// DefaultTrajectoryConfig returns a balanced trajectory-attack setting.
+func DefaultTrajectoryConfig() TrajectoryConfig { return attack.DefaultTrajectoryConfig() }
+
+// DefaultRecoveryConfig returns a balanced recovery-training setting.
+func DefaultRecoveryConfig(seed uint64) RecoveryConfig { return attack.DefaultRecoveryConfig(seed) }
+
+// RegionAttack runs the Cao et al. region re-identification attack
+// against a released vector.
+func (c *City) RegionAttack(f FreqVector, r float64) RegionResult {
+	return attack.Region(c.svc, f, r)
+}
+
+// FineGrainedAttack runs the paper's Algorithm 1 and returns the shrunken
+// feasible region.
+func (c *City) FineGrainedAttack(f FreqVector, r float64, cfg FineGrainedConfig) FineGrainedResult {
+	return attack.FineGrained(c.svc, f, r, cfg)
+}
+
+// TrainRecoverer trains the learning-based attack that reconstructs the
+// given sanitized types from released vectors at query range r.
+func (c *City) TrainRecoverer(sanitized []TypeID, r float64, cfg RecoveryConfig) (*Recoverer, error) {
+	return attack.TrainRecoverer(c.svc, sanitized, r, cfg)
+}
+
+// ReleaseTransform is a public frequency-level defense, as seen by an
+// adversary that can simulate it.
+type ReleaseTransform = attack.ReleaseTransform
+
+// TrainTransformRecoverer trains the recovery attack against an
+// arbitrary public frequency-level defense (see the ext-robust
+// experiment): the adversary simulates the defense on random locations
+// and learns to predict the targets' true counts from defended releases.
+func (c *City) TrainTransformRecoverer(transform ReleaseTransform, targets []TypeID, r float64, cfg RecoveryConfig) (*Recoverer, error) {
+	return attack.TrainTransformRecoverer(c.svc, transform, targets, r, cfg)
+}
+
+// TrainDistanceEstimator trains the trajectory attack's distance
+// regressor from ground-truth segments.
+func (c *City) TrainDistanceEstimator(segs []Segment, r float64, cfg TrajectoryConfig) (*DistanceEstimator, error) {
+	return attack.TrainDistanceEstimator(c.svc, segs, r, cfg)
+}
+
+// TrajectoryAttack runs the trajectory-uniqueness attack on two
+// successive releases of the same user.
+func (c *City) TrajectoryAttack(est *DistanceEstimator, first, second Release, cfg TrajectoryConfig) TrajectoryResult {
+	return attack.Trajectory(c.svc, est, first, second, cfg)
+}
+
+// SequenceResult reports the multi-release trajectory attack.
+type SequenceResult = attack.SequenceResult
+
+// TrajectorySequenceAttack generalizes the trajectory attack to an
+// arbitrary run of successive releases (the paper's Eq. 6), propagating
+// distance constraints along the chain until fixpoint. An extension
+// beyond the paper's two-release evaluation.
+func (c *City) TrajectorySequenceAttack(est *DistanceEstimator, releases []Release, cfg TrajectoryConfig) SequenceResult {
+	return attack.TrajectorySequence(c.svc, est, releases, cfg)
+}

@@ -1,0 +1,228 @@
+package poiagg
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	rootOnce sync.Once
+	rootCity *City
+)
+
+func rootFixture(t testing.TB) *City {
+	t.Helper()
+	rootOnce.Do(func() {
+		p := CityParams{
+			Name:                 "mini",
+			NumPOIs:              2500,
+			NumTypes:             80,
+			ZipfExponent:         1.3,
+			Width:                15_000,
+			Height:               15_000,
+			NumDistricts:         30,
+			DistrictSigmaMin:     250,
+			DistrictSigmaMax:     1500,
+			HomeDistrictsPerType: 4,
+			HomeAffinity:         0.8,
+			BackgroundFrac:       0.06,
+			Seed:                 51,
+		}
+		city, err := GenerateCity(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rootCity = city
+	})
+	return rootCity
+}
+
+func TestGeneratePresets(t *testing.T) {
+	bj, err := GenerateBeijing(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bj.NumPOIs() != 10_249 || bj.M() != 177 || bj.Name() != "beijing" {
+		t.Errorf("Beijing stats: %d POIs, %d types", bj.NumPOIs(), bj.M())
+	}
+	if bj.Bounds().Area() <= 0 {
+		t.Error("empty bounds")
+	}
+	if len(bj.POIs()) != bj.NumPOIs() {
+		t.Error("POIs() length mismatch")
+	}
+	if bj.CityFreq().Total() != bj.NumPOIs() {
+		t.Error("CityFreq total mismatch")
+	}
+	if bj.Types().Len() != bj.M() {
+		t.Error("Types().Len() mismatch")
+	}
+}
+
+func TestEndToEndAttackAndDefense(t *testing.T) {
+	city := rootFixture(t)
+	const r = 1000.0
+	locs := city.RandomLocations(60, 2)
+
+	var plainSucc int
+	for _, l := range locs {
+		release := city.Freq(l, r)
+		res := city.RegionAttack(release, r)
+		if res.Success {
+			plainSucc++
+			fg := city.FineGrainedAttack(release, r, DefaultFineGrainedConfig())
+			if !fg.Success {
+				t.Fatal("fine-grained lost region success")
+			}
+			if fg.Area <= 0 {
+				t.Fatal("empty feasible region")
+			}
+		}
+	}
+	if plainSucc == 0 {
+		t.Fatal("attack never succeeded")
+	}
+
+	mech, err := city.NewDPRelease(DefaultDPReleaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewRand(3)
+	var dpSucc int
+	for _, l := range locs {
+		protected, err := mech.Release(src, l, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A success must locate the actual user: unique candidate whose
+		// radius-r disk contains l (a unique-but-wrong anchor is a failed
+		// attack).
+		res := city.RegionAttack(protected, r)
+		if res.Success && res.Covers(l, r) {
+			dpSucc++
+		}
+	}
+	if dpSucc >= plainSucc {
+		t.Errorf("DP defense did not reduce success: %d vs %d", dpSucc, plainSucc)
+	}
+}
+
+func TestNewCityFromPOIs(t *testing.T) {
+	types := NewTypeTable()
+	a := types.Intern("cafe")
+	b := types.Intern("museum")
+	pois := []POI{
+		{ID: 0, Type: a, Pos: Point{X: 100, Y: 100}},
+		{ID: 1, Type: b, Pos: Point{X: 300, Y: 300}},
+	}
+	city, err := NewCityFromPOIs("custom", Rect{MaxX: 1000, MaxY: 1000}, types, pois)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := city.Freq(Point{X: 120, Y: 120}, 100)
+	if f[a] != 1 || f[b] != 0 {
+		t.Errorf("Freq = %v", f)
+	}
+	if got := city.Query(Point{X: 120, Y: 120}, 500); len(got) != 2 {
+		t.Errorf("Query = %v", got)
+	}
+}
+
+func TestNewCityFromPOIsValidation(t *testing.T) {
+	if _, err := NewCityFromPOIs("bad", Rect{}, nil, nil); err == nil {
+		t.Error("nil types accepted")
+	}
+}
+
+func TestTrajectoryFacade(t *testing.T) {
+	city := rootFixture(t)
+	p := DefaultTaxiParams(4)
+	p.NumTaxis = 15
+	p.PointsPerTaxi = 30
+	trajs, err := city.GenerateTaxis(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := ExtractSegments(trajs, 10*time.Minute, 100)
+	if len(segs) < 20 {
+		t.Fatalf("only %d segments", len(segs))
+	}
+	const r = 1000.0
+	est, err := city.TrainDistanceEstimator(segs, r, DefaultTrajectoryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := segs[0]
+	res := city.TrajectoryAttack(est,
+		Release{F: city.Freq(s.From.Pos, r), T: s.From.T, R: r},
+		Release{F: city.Freq(s.To.Pos, r), T: s.To.T, R: r},
+		DefaultTrajectoryConfig())
+	if res.PredictedDist < 0 {
+		t.Error("negative distance")
+	}
+}
+
+func TestCheckinFacade(t *testing.T) {
+	city := rootFixture(t)
+	p := DefaultCheckinParams(5)
+	p.NumUsers = 10
+	p.CheckinsPerUser = 20
+	trajs, err := city.GenerateCheckins(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := SampleTrajectoryLocations(trajs, 25, 1)
+	if len(locs) != 25 {
+		t.Fatalf("got %d locations", len(locs))
+	}
+}
+
+func TestDefenseFacades(t *testing.T) {
+	city := rootFixture(t)
+	if _, err := city.NewSanitizer(10); err != nil {
+		t.Error(err)
+	}
+	if _, err := city.NewGeoInd(0.1); err != nil {
+		t.Error(err)
+	}
+	if _, err := city.NewGeoInd(-1); err == nil {
+		t.Error("bad eps accepted")
+	}
+	pop := city.UniformPopulation(1000, 6)
+	if _, err := city.NewCloaking(pop, 10); err != nil {
+		t.Error(err)
+	}
+	if _, err := city.NewOptRelease(); err != nil {
+		t.Error(err)
+	}
+	if _, err := city.NewDPReleaseWithPopulation(pop, DefaultDPReleaseConfig()); err != nil {
+		t.Error(err)
+	}
+	bad := DefaultDPReleaseConfig()
+	bad.K = 0
+	if _, err := city.NewDPReleaseWithPopulation(pop, bad); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestRecovererFacade(t *testing.T) {
+	city := rootFixture(t)
+	san, err := city.NewSanitizer(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRecoveryConfig(7)
+	cfg.TrainSamples = 200
+	cfg.ValSamples = 50
+	rec, err := city.TrainRecoverer(san.Sanitized(), 1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := city.RandomLocations(1, 8)[0]
+	f := city.Freq(l, 1000)
+	recovered := rec.Recover(san.Apply(f))
+	if len(recovered) != city.M() {
+		t.Errorf("recovered dim %d", len(recovered))
+	}
+}

@@ -1,0 +1,66 @@
+package poiagg
+
+import (
+	"poiagg/internal/mobsim"
+)
+
+// Simulation re-exports: a discrete-event replay of mobility traces
+// through a release pipeline, with observers (adversaries, metrics)
+// consuming releases in global time order.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = mobsim.Config
+	// SimResult summarizes a run.
+	SimResult = mobsim.Result
+	// SimRelease is one observed release event.
+	SimRelease = mobsim.Release
+	// Pipeline turns a location into a released vector (a defense).
+	Pipeline = mobsim.Pipeline
+	// Observer consumes release events.
+	Observer = mobsim.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = mobsim.ObserverFunc
+	// SimAdversary attacks every observed release and scores itself.
+	SimAdversary = mobsim.Adversary
+	// QueryPolicy gates which observations become queries.
+	QueryPolicy = mobsim.Policy
+	// AlwaysQuery queries at every observation.
+	AlwaysQuery = mobsim.AlwaysQuery
+	// ProbabilisticQuery queries with a fixed probability.
+	ProbabilisticQuery = mobsim.ProbabilisticQuery
+	// MinGapQuery rate-limits queries per user.
+	MinGapQuery = mobsim.MinGapQuery
+)
+
+// Simulation error policies.
+const (
+	// FailFast aborts the simulation on the first pipeline error.
+	FailFast = mobsim.FailFast
+	// SkipErrors drops failed releases and keeps going.
+	SkipErrors = mobsim.SkipErrors
+)
+
+// RunSimulation replays the configured world.
+func RunSimulation(cfg SimConfig) (SimResult, error) {
+	return mobsim.Run(cfg)
+}
+
+// PlainPipeline releases exact aggregates (no protection).
+func (c *City) PlainPipeline() Pipeline {
+	return func(_ *Rand, l Point, r float64) (FreqVector, error) {
+		return c.svc.Freq(l, r), nil
+	}
+}
+
+// DPPipeline adapts a DP release mechanism to a simulation pipeline.
+func DPPipeline(mech *DPRelease) Pipeline {
+	return func(src *Rand, l Point, r float64) (FreqVector, error) {
+		return mech.Release(src, l, r)
+	}
+}
+
+// NewSimAdversary returns a simulation adversary attacking with this
+// city as prior knowledge.
+func (c *City) NewSimAdversary() *SimAdversary {
+	return mobsim.NewAdversary(c.svc)
+}
