@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race bench repro repro-full cover clean
+.PHONY: all check build vet test race bench repro repro-full cover clean
 
-all: build vet test
+all: check
+
+# check is the CI gate: compile, vet, the full suite, and the race
+# detector over everything (including the wire e2e and fault-injection
+# tests).
+check: build vet test race
 
 build:
 	$(GO) build ./...

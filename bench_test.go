@@ -9,10 +9,18 @@
 package poiagg_test
 
 import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"poiagg/internal/citygen"
 	"poiagg/internal/experiments"
+	"poiagg/internal/gsp"
+	"poiagg/internal/wire"
 )
 
 var (
@@ -95,3 +103,47 @@ func BenchmarkExtSeq(b *testing.B) { benchFigure(b, "ext-seq") }
 // BenchmarkExtRobust regenerates the defense-robustness extension figure
 // (trains transform-recovery models; the heaviest target).
 func BenchmarkExtRobust(b *testing.B) { benchFigure(b, "ext-robust") }
+
+// BenchmarkGSPServerParallel prices the observability middleware: the
+// same /v1/freq workload through the instrumented handler (metrics +
+// operational endpoints) and the bare one, driven from all procs in
+// parallel as a production GSP would be. The instrumented/bare delta is
+// the middleware's overhead, recorded in DESIGN.md.
+func BenchmarkGSPServerParallel(b *testing.B) {
+	p := citygen.Beijing(51)
+	p.NumPOIs = 2000
+	p.NumTypes = 60
+	p.Width, p.Height = 12_000, 12_000
+	city, err := citygen.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := gsp.NewService(city.City, 1<<14)
+	discard := log.New(io.Discard, "", 0)
+	l := city.RandomLocations(1, 52)[0]
+	target := fmt.Sprintf("/v1/freq?x=%f&y=%f&r=700", l.X, l.Y)
+
+	for _, variant := range []struct {
+		name         string
+		instrumented bool
+	}{{"instrumented", true}, {"bare", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			handler := wire.NewGSPServer(svc,
+				wire.WithLogger(discard),
+				wire.WithInstrumentation(variant.instrumented),
+			)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodGet, target, nil)
+					rec := httptest.NewRecorder()
+					handler.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("status %d", rec.Code)
+					}
+				}
+			})
+		})
+	}
+}

@@ -7,16 +7,24 @@
 // Usage:
 //
 //	attackdemo -city beijing -r 1000 -seed 7
+//	attackdemo -gsp http://host:8080 -r 1000     # remote mode
+//
+// Remote mode fetches the adversary's prior knowledge (the full POI set)
+// from a running gspd over HTTP with the hardened wire client: -timeout
+// bounds each attempt, -retries recovers from transient failures.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"poiagg"
+	"poiagg/internal/wire"
 )
 
 func main() {
@@ -32,6 +40,9 @@ func run(args []string, w io.Writer) error {
 	r := fs.Float64("r", 1000, "query range in meters")
 	seed := fs.Uint64("seed", 7, "random seed")
 	tries := fs.Int("tries", 200, "user locations to try until one is unique")
+	gspURL := fs.String("gsp", "", "fetch the city from this remote GSP base URL instead of generating it")
+	timeout := fs.Duration("timeout", 10*time.Second, "remote mode: per-attempt request timeout")
+	retries := fs.Int("retries", 3, "remote mode: retries on transient GSP failures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,10 +51,15 @@ func run(args []string, w io.Writer) error {
 		city *poiagg.City
 		err  error
 	)
-	switch *cityName {
-	case "beijing":
+	switch {
+	case *gspURL != "":
+		city, err = fetchRemoteCity(*gspURL, *timeout, *retries)
+		if err == nil {
+			fmt.Fprintf(w, "fetched city over the wire from %s\n", *gspURL)
+		}
+	case *cityName == "beijing":
 		city, err = poiagg.GenerateBeijing(*seed)
-	case "nyc":
+	case *cityName == "nyc":
 		city, err = poiagg.GenerateNewYork(*seed)
 	default:
 		return fmt.Errorf("unknown city %q", *cityName)
@@ -99,4 +115,18 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	return fmt.Errorf("no unique location found in %d tries; raise -tries or -r", *tries)
+}
+
+// fetchRemoteCity acquires the demo's prior knowledge from a running
+// gspd, exactly as the paper's adversary would.
+func fetchRemoteCity(baseURL string, timeout time.Duration, retries int) (*poiagg.City, error) {
+	client := wire.NewGSPClient(baseURL, nil,
+		wire.WithRequestTimeout(timeout),
+		wire.WithRetries(retries),
+	)
+	remote, err := wire.FetchCity(context.Background(), client)
+	if err != nil {
+		return nil, fmt.Errorf("fetch city from %s: %w", baseURL, err)
+	}
+	return poiagg.NewCityFromPOIs(remote.Name, remote.Bounds, remote.Types, remote.POIs())
 }

@@ -2,9 +2,50 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/gsp"
+	"poiagg/internal/wire"
 )
+
+// TestRunRemoteMode drives the demo against an in-process gspd handler:
+// the prior knowledge arrives over real HTTP through the hardened client.
+func TestRunRemoteMode(t *testing.T) {
+	p := citygen.Beijing(61)
+	p.NumPOIs = 2000
+	p.NumTypes = 60
+	p.Width, p.Height = 12_000, 12_000
+	city, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := gsp.NewService(city.City, 1<<14)
+	ts := httptest.NewServer(wire.NewGSPServer(svc))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-gsp", ts.URL, "-r", "1000", "-tries", "300"}, &buf); err != nil {
+		t.Fatalf("remote run: %v (output %q)", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fetched city over the wire") {
+		t.Errorf("missing remote-mode banner:\n%s", out)
+	}
+	if !strings.Contains(out, "REGION ATTACK") {
+		t.Errorf("attack never ran against the fetched city:\n%s", out)
+	}
+}
+
+func TestRunRemoteModeBadURL(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-gsp", "http://127.0.0.1:1", "-retries", "0", "-timeout", "100ms"}, &buf)
+	if err == nil {
+		t.Error("unreachable GSP accepted")
+	}
+}
 
 func TestRunWalkthrough(t *testing.T) {
 	var buf bytes.Buffer

@@ -7,7 +7,8 @@
 //	gspd -addr :8080 -city beijing
 //	gspd -addr :8080 -load beijing.json   # dataset.CityFile snapshot
 //
-// Endpoints: GET /v1/stats, /v1/query?x=&y=&r=, /v1/freq?x=&y=&r=.
+// Endpoints: GET /v1/stats, /v1/query?x=&y=&r=, /v1/freq?x=&y=&r=, plus
+// the operational /v1/metrics, /healthz, and /readyz.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"poiagg/internal/citygen"
 	"poiagg/internal/dataset"
 	"poiagg/internal/gsp"
+	"poiagg/internal/obs"
 	"poiagg/internal/wire"
 )
 
@@ -42,6 +44,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "generation seed")
 	load := fs.String("load", "", "load a city snapshot (dataset JSON) instead of generating")
 	maxRadius := fs.Float64("max-radius", 10_000, "maximum accepted query radius in meters")
+	statsInterval := fs.Duration("stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,10 +55,16 @@ func run(args []string) error {
 	}
 	svc := gsp.NewService(city, 1<<18)
 	logger := log.New(os.Stderr, "gspd ", log.LstdFlags)
+	reg := obs.NewRegistry()
 	handler := wire.NewGSPServer(svc,
 		wire.WithLogger(logger),
 		wire.WithMaxRadius(*maxRadius),
+		wire.WithMetrics(reg),
 	)
+
+	obsCtx, obsCancel := context.WithCancel(context.Background())
+	defer obsCancel()
+	obs.StartSummary(obsCtx, logger, reg, *statsInterval)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -68,8 +77,8 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %s (%d POIs, %d types) on %s",
-			city.Name, city.NumPOIs(), city.M(), *addr)
+		logger.Printf("serving %s (%d POIs, %d types) on %s (metrics at %s)",
+			city.Name, city.NumPOIs(), city.M(), *addr, obs.PathMetrics)
 		errCh <- srv.ListenAndServe()
 	}()
 

@@ -9,7 +9,8 @@
 //	lbsd -addr :8081 -city beijing          # audit against a local city copy
 //	lbsd -addr :8081 -city beijing -no-audit
 //
-// Endpoints: POST /v1/release, GET /v1/releases?user=.
+// Endpoints: POST /v1/release, GET /v1/releases?user=, plus the
+// operational /v1/metrics, /healthz, and /readyz.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 
 	"poiagg/internal/citygen"
 	"poiagg/internal/gsp"
+	"poiagg/internal/obs"
 	"poiagg/internal/wire"
 )
 
@@ -43,6 +45,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "city generation seed (must match the GSP's)")
 	noAudit := fs.Bool("no-audit", false, "disable re-identification auditing")
 	historyLimit := fs.Int("history", 1000, "stored releases per user")
+	statsInterval := fs.Duration("stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,14 +64,22 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := []wire.LBSServerOption{wire.WithHistoryLimit(*historyLimit)}
+	logger := log.New(os.Stderr, "lbsd ", log.LstdFlags)
+	reg := obs.NewRegistry()
+	opts := []wire.LBSServerOption{
+		wire.WithHistoryLimit(*historyLimit),
+		wire.WithLBSMetrics(reg),
+		wire.WithLBSLogger(logger),
+	}
 	if !*noAudit {
 		svc := gsp.NewService(city.City, 1<<18)
 		opts = append(opts, wire.WithAuditor(wire.RegionAuditor{Svc: svc}))
 	}
 	handler := wire.NewLBSServer(city.M(), opts...)
 
-	logger := log.New(os.Stderr, "lbsd ", log.LstdFlags)
+	obsCtx, obsCancel := context.WithCancel(context.Background())
+	defer obsCancel()
+	obs.StartSummary(obsCtx, logger, reg, *statsInterval)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -80,7 +91,8 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("LBS app for %s on %s (audit=%v)", city.Name, *addr, !*noAudit)
+		logger.Printf("LBS app for %s on %s (audit=%v, metrics at %s)",
+			city.Name, *addr, !*noAudit, obs.PathMetrics)
 		errCh <- srv.ListenAndServe()
 	}()
 

@@ -5,6 +5,11 @@
 //	poirepro -fig 6                # one figure, quick scale
 //	poirepro -fig all -scale full  # every figure at paper scale
 //	poirepro -fig 11 -seed 7 -locations 500 -json
+//	poirepro -fig 6 -gsp http://host:8080 -gsp-city beijing
+//
+// Remote mode: -gsp fetches the named city (-gsp-city) from a running
+// gspd over HTTP instead of generating it locally, using the hardened
+// wire client (-timeout per attempt, -retries on transient failures).
 //
 // Figure IDs: datasets, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12 (matching the
 // paper's figure numbering), the extensions ext-seq and ext-robust, or
@@ -12,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,7 +26,9 @@ import (
 	"strings"
 	"time"
 
+	"poiagg/internal/citygen"
 	"poiagg/internal/experiments"
+	"poiagg/internal/wire"
 )
 
 func main() {
@@ -38,11 +46,24 @@ func run(args []string, out io.Writer) error {
 	locations := fs.Int("locations", 0, "evaluation locations per dataset (0 = scale default)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text tables")
 	asCSV := fs.Bool("csv", false, "emit long-format CSV instead of text tables")
+	gspURL := fs.String("gsp", "", "fetch a city from this remote GSP base URL instead of generating it")
+	gspCity := fs.String("gsp-city", "beijing", "which city preset the remote GSP replaces (beijing or nyc)")
+	timeout := fs.Duration("timeout", 10*time.Second, "remote mode: per-attempt request timeout")
+	retries := fs.Int("retries", 3, "remote mode: retries on transient GSP failures")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := experiments.Config{Seed: *seed, Locations: *locations}
+	if *gspURL != "" {
+		remote, err := fetchRemoteCity(*gspURL, *gspCity, *timeout, *retries)
+		if err != nil {
+			return err
+		}
+		cfg.Cities = map[string]*citygen.City{*gspCity: remote}
+		fmt.Fprintf(out, "using remote city %q (%d POIs, %d types) from %s\n",
+			remote.Name, remote.NumPOIs(), remote.M(), *gspURL)
+	}
 	switch strings.ToLower(*scale) {
 	case "quick":
 		cfg.Scale = experiments.ScaleQuick
@@ -65,6 +86,28 @@ func run(args []string, out io.Writer) error {
 		ids = []string{*figID}
 	}
 
+	return render(out, env, ids, *asJSON, *asCSV)
+}
+
+// fetchRemoteCity materializes a city from a running gspd with the
+// hardened wire client.
+func fetchRemoteCity(baseURL, name string, timeout time.Duration, retries int) (*citygen.City, error) {
+	if name != "beijing" && name != "nyc" {
+		return nil, fmt.Errorf("unknown -gsp-city %q (want beijing or nyc)", name)
+	}
+	client := wire.NewGSPClient(baseURL, nil,
+		wire.WithRequestTimeout(timeout),
+		wire.WithRetries(retries),
+	)
+	city, err := wire.FetchCity(context.Background(), client)
+	if err != nil {
+		return nil, fmt.Errorf("fetch city from %s: %w", baseURL, err)
+	}
+	return &citygen.City{City: city}, nil
+}
+
+func render(out io.Writer, env *experiments.Env, ids []string, asJSON, asCSV bool) error {
+	registry := experiments.Registry()
 	for _, id := range ids {
 		start := time.Now()
 		fig, err := registry[id](env)
@@ -72,13 +115,13 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("figure %s: %w", id, err)
 		}
 		switch {
-		case *asJSON:
+		case asJSON:
 			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(fig); err != nil {
 				return err
 			}
-		case *asCSV:
+		case asCSV:
 			if _, err := fmt.Fprint(out, fig.CSV()); err != nil {
 				return err
 			}

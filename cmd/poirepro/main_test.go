@@ -3,8 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/gsp"
+	"poiagg/internal/wire"
 )
 
 func TestRunSingleFigure(t *testing.T) {
@@ -53,6 +58,43 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, &buf); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunRemoteMode regenerates the dataset table with the Beijing
+// substrate fetched from an in-process gspd over HTTP.
+func TestRunRemoteMode(t *testing.T) {
+	p := citygen.Beijing(71)
+	p.NumPOIs = 2000
+	p.NumTypes = 60
+	p.Width, p.Height = 12_000, 12_000
+	city, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := gsp.NewService(city.City, 1<<14)
+	ts := httptest.NewServer(wire.NewGSPServer(svc))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err = run([]string{"-fig", "datasets", "-locations", "20",
+		"-gsp", ts.URL, "-gsp-city", "beijing"}, &buf)
+	if err != nil {
+		t.Fatalf("remote run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "using remote city") {
+		t.Errorf("missing remote banner:\n%s", out)
+	}
+	if !strings.Contains(out, "Dataset statistics") {
+		t.Errorf("figure not rendered:\n%s", out)
+	}
+
+	if err := run([]string{"-gsp", ts.URL, "-gsp-city", "metropolis"}, &buf); err == nil {
+		t.Error("unknown -gsp-city accepted")
+	}
+	if err := run([]string{"-gsp", "http://127.0.0.1:1", "-retries", "0", "-timeout", "100ms"}, &buf); err == nil {
+		t.Error("unreachable GSP accepted")
 	}
 }
 

@@ -45,6 +45,10 @@ type Config struct {
 	// Locations overrides the evaluation sample size per dataset
 	// (default: 120 quick, 1000 full).
 	Locations int
+	// Cities overrides named city substrates ("beijing", "nyc") with
+	// externally supplied snapshots — e.g. fetched from a remote GSP via
+	// wire.FetchCity — instead of generating them locally.
+	Cities map[string]*citygen.City
 }
 
 // Dataset names accepted by Env.Dataset, matching the paper's four
@@ -131,6 +135,10 @@ func (e *Env) City(name string) (*citygen.City, error) {
 
 func (e *Env) cityLocked(name string) (*citygen.City, error) {
 	if c, ok := e.cities[name]; ok {
+		return c, nil
+	}
+	if c, ok := e.cfg.Cities[name]; ok && c != nil {
+		e.cities[name] = c
 		return c, nil
 	}
 	p, err := e.cityParams(name)

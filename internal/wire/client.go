@@ -7,37 +7,223 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"poiagg/internal/geo"
+	"poiagg/internal/obs"
 	"poiagg/internal/poi"
 )
 
 // ErrBadRequest marks 4xx replies from a server; match with errors.Is.
 var ErrBadRequest = errors.New("wire: bad request")
 
-// GSPClient is the mobile user's client for a GSP server.
-type GSPClient struct {
+// Client metric names recorded in the registry passed via
+// WithClientMetrics.
+const (
+	// MetricClientAttempts counts every HTTP attempt, including retries.
+	MetricClientAttempts = "client.attempts"
+	// MetricClientRetries counts retried attempts only.
+	MetricClientRetries = "client.retries"
+	// MetricClientFailures counts requests that exhausted their retries.
+	MetricClientFailures = "client.failures"
+)
+
+// clientCore holds the transport policy shared by GSPClient and
+// LBSClient: per-attempt timeout, bounded retries with exponential
+// backoff and jitter on transient failures, and metrics.
+type clientCore struct {
 	base string
 	hc   *http.Client
+
+	retries     int           // extra attempts after the first
+	timeout     time.Duration // per-attempt; 0 = rely on hc / ctx
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	reg         *obs.Registry // nil disables client metrics
+}
+
+// ClientOption customizes a GSPClient or LBSClient.
+type ClientOption func(*clientCore)
+
+// WithRetries sets how many times a transient failure (connection error,
+// timeout, 429, or 5xx) is retried after the first attempt (default 0 —
+// the pre-hardening behavior). 4xx replies are never retried.
+func WithRetries(n int) ClientOption {
+	return func(c *clientCore) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithRequestTimeout bounds each attempt (not the whole call, which the
+// caller's context bounds). 0 disables the per-attempt bound.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *clientCore) {
+		if d >= 0 {
+			c.timeout = d
+		}
+	}
+}
+
+// WithBackoff sets the exponential backoff's base and cap (defaults
+// 50ms and 2s). Sleep before retry k is base<<k with equal jitter,
+// capped at max.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *clientCore) {
+		if base > 0 {
+			c.backoffBase = base
+		}
+		if max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
+// WithClientMetrics records attempt/retry/failure counters into reg —
+// pass the same registry the server side exposes at /v1/metrics to see
+// client resilience next to server traffic.
+func WithClientMetrics(reg *obs.Registry) ClientOption {
+	return func(c *clientCore) { c.reg = reg }
+}
+
+func newClientCore(baseURL string, hc *http.Client, opts []ClientOption) clientCore {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := clientCore{
+		base:        baseURL,
+		hc:          hc,
+		backoffBase: 50 * time.Millisecond,
+		backoffMax:  2 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
+
+func (c *clientCore) count(name string) {
+	if c.reg != nil {
+		c.reg.Counter(name).Inc()
+	}
+}
+
+// do performs one logical request with the retry policy. body may be nil
+// (GET); non-nil bodies are replayed from the byte slice on retry, so
+// POSTs are retried too — the wire API's writes are idempotent per
+// (user, release) history-append semantics, and at-least-once delivery
+// is the price of resilience.
+func (c *clientCore) do(ctx context.Context, method, path string, params url.Values, body []byte, out any) error {
+	u := c.base + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c.count(MetricClientAttempts)
+		retryable, err := c.attempt(ctx, method, u, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.retries {
+			break
+		}
+		if err := c.sleepBackoff(ctx, attempt); err != nil {
+			// The caller's context ended while we waited; report the
+			// last attempt's error, which is what the deadline killed.
+			break
+		}
+		c.count(MetricClientRetries)
+	}
+	c.count(MetricClientFailures)
+	return lastErr
+}
+
+// attempt performs one HTTP exchange. The returned bool reports whether
+// the failure is transient (worth retrying).
+func (c *clientCore) attempt(ctx context.Context, method, u, path string, body []byte, out any) (bool, error) {
+	actx := ctx
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, u, rd)
+	if err != nil {
+		return false, fmt.Errorf("wire: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Transport-level failure (refused, reset, timeout). Retry
+		// unless the caller's own context is done.
+		return ctx.Err() == nil, fmt.Errorf("wire: %s: %w", path, err)
+	}
+	defer drainClose(resp.Body)
+	if err := decodeReply(resp, path, out); err != nil {
+		// 5xx and 429 are transient server states; 4xx and decode
+		// failures are not.
+		transient := resp.StatusCode/100 == 5 || resp.StatusCode == http.StatusTooManyRequests
+		return transient && ctx.Err() == nil, err
+	}
+	return false, nil
+}
+
+// sleepBackoff waits base<<attempt with equal jitter (half fixed, half
+// uniform), capped, or returns early when ctx ends.
+func (c *clientCore) sleepBackoff(ctx context.Context, attempt int) error {
+	d := c.backoffBase << uint(attempt)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// drainClose consumes what remains of a response body before closing so
+// the transport can reuse the connection, and so fault-injection tests
+// can assert no body is ever leaked.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<18))
+	body.Close()
+}
+
+// GSPClient is the mobile user's client for a GSP server.
+type GSPClient struct {
+	core clientCore
 }
 
 // NewGSPClient returns a client for the GSP at baseURL. hc may be nil to
 // use http.DefaultClient (callers running against real networks should
-// pass a client with timeouts).
-func NewGSPClient(baseURL string, hc *http.Client) *GSPClient {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	return &GSPClient{base: baseURL, hc: hc}
+// pass a client with timeouts or use WithRequestTimeout). Options add
+// retry, timeout, and metrics policies.
+func NewGSPClient(baseURL string, hc *http.Client, opts ...ClientOption) *GSPClient {
+	return &GSPClient{core: newClientCore(baseURL, hc, opts)}
 }
 
 // Stats fetches the city description.
 func (c *GSPClient) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
-	if err := c.getJSON(ctx, PathStats, nil, &out); err != nil {
+	if err := c.core.do(ctx, http.MethodGet, PathStats, nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -46,7 +232,7 @@ func (c *GSPClient) Stats(ctx context.Context) (*StatsResponse, error) {
 // Query fetches the POIs within radius r of l (the paper's Query(l, r)).
 func (c *GSPClient) Query(ctx context.Context, l geo.Point, r float64) ([]poi.POI, error) {
 	var out QueryResponse
-	if err := c.getJSON(ctx, PathQuery, locationParams(l, r), &out); err != nil {
+	if err := c.core.do(ctx, http.MethodGet, PathQuery, locationParams(l, r), nil, &out); err != nil {
 		return nil, err
 	}
 	return out.POIs, nil
@@ -56,7 +242,7 @@ func (c *GSPClient) Query(ctx context.Context, l geo.Point, r float64) ([]poi.PO
 // paper's Freq(l, r)).
 func (c *GSPClient) Freq(ctx context.Context, l geo.Point, r float64) (poi.FreqVector, error) {
 	var out FreqResponse
-	if err := c.getJSON(ctx, PathFreq, locationParams(l, r), &out); err != nil {
+	if err := c.core.do(ctx, http.MethodGet, PathFreq, locationParams(l, r), nil, &out); err != nil {
 		return nil, err
 	}
 	return out.Freq, nil
@@ -70,35 +256,14 @@ func locationParams(l geo.Point, r float64) url.Values {
 	return v
 }
 
-func (c *GSPClient) getJSON(ctx context.Context, path string, params url.Values, out any) error {
-	u := c.base + path
-	if len(params) > 0 {
-		u += "?" + params.Encode()
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return fmt.Errorf("wire: build request: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("wire: %s: %w", path, err)
-	}
-	defer resp.Body.Close()
-	return decodeReply(resp, path, out)
-}
-
 // LBSClient is the user's client for an LBS application server.
 type LBSClient struct {
-	base string
-	hc   *http.Client
+	core clientCore
 }
 
 // NewLBSClient returns a client for the LBS app at baseURL.
-func NewLBSClient(baseURL string, hc *http.Client) *LBSClient {
-	if hc == nil {
-		hc = http.DefaultClient
-	}
-	return &LBSClient{base: baseURL, hc: hc}
+func NewLBSClient(baseURL string, hc *http.Client, opts ...ClientOption) *LBSClient {
+	return &LBSClient{core: newClientCore(baseURL, hc, opts)}
 }
 
 // Release posts a POI-aggregate release.
@@ -107,18 +272,8 @@ func (c *LBSClient) Release(ctx context.Context, rel ReleaseRequest) (*ReleaseRe
 	if err != nil {
 		return nil, fmt.Errorf("wire: marshal release: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+PathRelease, bytes.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("wire: build request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("wire: %s: %w", PathRelease, err)
-	}
-	defer resp.Body.Close()
 	var out ReleaseResponse
-	if err := decodeReply(resp, PathRelease, &out); err != nil {
+	if err := c.core.do(ctx, http.MethodPost, PathRelease, nil, body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -128,17 +283,8 @@ func (c *LBSClient) Release(ctx context.Context, rel ReleaseRequest) (*ReleaseRe
 func (c *LBSClient) Releases(ctx context.Context, userID string) (*ReleasesResponse, error) {
 	v := url.Values{}
 	v.Set("user", userID)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathReleases+"?"+v.Encode(), nil)
-	if err != nil {
-		return nil, fmt.Errorf("wire: build request: %w", err)
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("wire: %s: %w", PathReleases, err)
-	}
-	defer resp.Body.Close()
 	var out ReleasesResponse
-	if err := decodeReply(resp, PathReleases, &out); err != nil {
+	if err := c.core.do(ctx, http.MethodGet, PathReleases, v, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/defense"
+	"poiagg/internal/gsp"
+	"poiagg/internal/obs"
+)
+
+// fetchSnapshot GETs /v1/metrics from a test server and decodes it.
+func fetchSnapshot(t *testing.T, baseURL string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + obs.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s returned %d", obs.PathMetrics, resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func assertProbe(t *testing.T, baseURL, path string) {
+	t.Helper()
+	resp, err := http.Get(baseURL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("%s = %d", path, resp.StatusCode)
+	}
+	var v map[string]string
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Errorf("%s body is not JSON: %q", path, body)
+	}
+}
+
+// TestE2EUserFlowWithMetrics boots a GSP and an LBS over real sockets
+// and drives the paper's full user flow — Freq from the GSP, the
+// optimization defense on the vector, the release POSTed to the auditing
+// LBS — then asserts the audit outcomes and that /v1/metrics on both
+// handlers counted every request with matching latency tallies.
+// Table-driven over the two city presets.
+func TestE2EUserFlowWithMetrics(t *testing.T) {
+	cases := []struct {
+		name   string
+		params citygen.Params
+	}{
+		{"beijing", citygen.Beijing(41)},
+		{"nyc", citygen.NewYork(43)},
+	}
+	totalRawReID := 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.params
+			p.NumPOIs = 2000
+			p.NumTypes = 60
+			p.Width, p.Height = 12_000, 12_000
+			city, err := citygen.Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc := gsp.NewService(city.City, 1<<14)
+
+			gspSrv := httptest.NewServer(NewGSPServer(svc, WithLogger(log.New(io.Discard, "", 0))))
+			defer gspSrv.Close()
+			lbsSrv := httptest.NewServer(NewLBSServer(city.M(),
+				WithAuditor(RegionAuditor{Svc: svc})))
+			defer lbsSrv.Close()
+
+			clientReg := obs.NewRegistry()
+			gspClient := NewGSPClient(gspSrv.URL, gspSrv.Client(),
+				WithRetries(2), WithClientMetrics(clientReg))
+			lbsClient := NewLBSClient(lbsSrv.URL, lbsSrv.Client(),
+				WithRetries(2), WithClientMetrics(clientReg))
+			opt, err := defense.NewOptRelease(city.City)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := context.Background()
+			const r = 1000.0
+			locs := city.RandomLocations(25, 44)
+			rawReID, defendedReID := 0, 0
+			for i, l := range locs {
+				f, err := gspClient.Freq(ctx, l, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				user := "user-" + string(rune('a'+i%26))
+
+				raw, err := lbsClient.Release(ctx, ReleaseRequest{UserID: user, Freq: f, R: r})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !raw.Accepted || !raw.Audited {
+					t.Fatalf("raw release not audited: %+v", raw)
+				}
+				if raw.ReIdentified {
+					rawReID++
+				}
+
+				protected, err := opt.Solve(f, 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				def, err := lbsClient.Release(ctx, ReleaseRequest{UserID: user, Freq: protected, R: r})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !def.Accepted || !def.Audited {
+					t.Fatalf("defended release not audited: %+v", def)
+				}
+				if def.ReIdentified {
+					defendedReID++
+				}
+			}
+			totalRawReID += rawReID
+			if defendedReID > rawReID {
+				t.Errorf("optimization defense increased re-identification: raw %d, defended %d",
+					rawReID, defendedReID)
+			}
+
+			// One history read on top of the releases.
+			hist, err := lbsClient.Releases(ctx, "user-a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(hist.Releases) == 0 {
+				t.Error("user-a has no stored releases")
+			}
+
+			// Health and readiness on both daemons' handlers.
+			for _, base := range []string{gspSrv.URL, lbsSrv.URL} {
+				assertProbe(t, base, obs.PathHealthz)
+				assertProbe(t, base, obs.PathReadyz)
+			}
+
+			// The metrics endpoints must have counted every request.
+			n := uint64(len(locs))
+			gspSnap := fetchSnapshot(t, gspSrv.URL)
+			freq := gspSnap.Routes["GET "+PathFreq]
+			if freq.Requests != n || freq.Status["2xx"] != n || freq.Latency.Count != n {
+				t.Errorf("GSP freq route = %+v, want %d requests", freq, n)
+			}
+			if freq.InFlight != 0 {
+				t.Errorf("GSP freq in-flight = %d after quiesce", freq.InFlight)
+			}
+			if freq.Latency.MaxMs < freq.Latency.P50Ms || freq.Latency.P99Ms < freq.Latency.P50Ms {
+				t.Errorf("inconsistent latency quantiles: %+v", freq.Latency)
+			}
+
+			lbsSnap := fetchSnapshot(t, lbsSrv.URL)
+			rel := lbsSnap.Routes["POST "+PathRelease]
+			if rel.Requests != 2*n || rel.Status["2xx"] != 2*n || rel.Latency.Count != 2*n {
+				t.Errorf("LBS release route = %+v, want %d requests", rel, 2*n)
+			}
+			if got := lbsSnap.Routes["GET "+PathReleases].Requests; got != 1 {
+				t.Errorf("LBS releases route counted %d, want 1", got)
+			}
+
+			// Client-side counters: every call one attempt, no retries
+			// against healthy servers.
+			attempts := clientReg.Counter(MetricClientAttempts).Value()
+			if want := 3*n + 1; attempts != want {
+				t.Errorf("client attempts = %d, want %d", attempts, want)
+			}
+			if retries := clientReg.Counter(MetricClientRetries).Value(); retries != 0 {
+				t.Errorf("client retried %d times against healthy servers", retries)
+			}
+		})
+	}
+	if totalRawReID == 0 {
+		t.Error("no raw release was re-identified in any city; audit signal missing")
+	}
+}

@@ -3,23 +3,30 @@ package wire
 import (
 	"encoding/json"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
 
 	"poiagg/internal/geo"
 	"poiagg/internal/gsp"
+	"poiagg/internal/obs"
 )
 
 // GSPServer serves the geo-information provider's query interface over
 // HTTP. It is an http.Handler; callers own the http.Server (timeouts,
-// TLS, shutdown).
+// TLS, shutdown). Unless instrumentation is disabled it also serves the
+// operational endpoints /v1/metrics, /healthz, and /readyz.
 type GSPServer struct {
 	svc *gsp.Service
 	mux *http.ServeMux
 	log *log.Logger
 	// maxRadius rejects abusive range queries.
 	maxRadius float64
+
+	reg        *obs.Registry
+	instrument bool
+	handler    http.Handler
 }
 
 var _ http.Handler = (*GSPServer)(nil)
@@ -37,13 +44,33 @@ func WithMaxRadius(r float64) GSPServerOption {
 	return func(s *GSPServer) { s.maxRadius = r }
 }
 
+// WithMetrics shares an externally owned metrics registry (default: a
+// fresh private one). Daemons pass their process registry so client
+// counters and server routes appear in one /v1/metrics document.
+func WithMetrics(reg *obs.Registry) GSPServerOption {
+	return func(s *GSPServer) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
+}
+
+// WithInstrumentation toggles the metrics middleware and operational
+// endpoints (default on). Disabling it yields the bare handler — used by
+// BenchmarkGSPServerParallel to price the middleware.
+func WithInstrumentation(on bool) GSPServerOption {
+	return func(s *GSPServer) { s.instrument = on }
+}
+
 // NewGSPServer wraps a GSP service as an HTTP handler.
 func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 	s := &GSPServer{
-		svc:       svc,
-		mux:       http.NewServeMux(),
-		log:       log.Default(),
-		maxRadius: 10_000,
+		svc:        svc,
+		mux:        http.NewServeMux(),
+		log:        log.Default(),
+		maxRadius:  10_000,
+		reg:        obs.NewRegistry(),
+		instrument: true,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -52,15 +79,38 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 	s.mux.HandleFunc("GET "+PathQuery, s.handleQuery)
 	s.mux.HandleFunc("GET "+PathFreq, s.handleFreq)
 	s.registerPOIDump()
+	if s.instrument {
+		s.handler = obs.Instrument(s.reg, s.mux, obs.WithRequestHook(s.logRequest))
+	} else {
+		s.handler = loggedHandler{mux: s.mux, hook: s.logRequest}
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler with request logging.
+// Metrics returns the server's metrics registry.
+func (s *GSPServer) Metrics() *obs.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
 func (s *GSPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
+}
+
+func (s *GSPServer) logRequest(method, path string, status int, d time.Duration) {
+	s.log.Printf("%s %s %d %s", method, path, status, d.Round(time.Microsecond))
+}
+
+// loggedHandler is the uninstrumented fallback: status capture for the
+// log line only, no metrics.
+type loggedHandler struct {
+	mux  *http.ServeMux
+	hook func(method, path string, status int, d time.Duration)
+}
+
+func (h loggedHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(sw, r)
-	s.log.Printf("%s %s %d %s", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	h.mux.ServeHTTP(sw, r)
+	h.hook(r.Method, r.URL.Path, sw.status, time.Since(start))
 }
 
 // statusWriter records the response status for logging.
@@ -86,6 +136,8 @@ func (s *GSPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 // parseLocation extracts and validates the x, y, r query parameters.
+// Coordinates must be finite — strconv accepts "NaN" and "Inf", which
+// would otherwise flow into the spatial index as poison values.
 func (s *GSPServer) parseLocation(w http.ResponseWriter, r *http.Request) (geo.Point, float64, bool) {
 	q := r.URL.Query()
 	x, errX := strconv.ParseFloat(q.Get("x"), 64)
@@ -95,11 +147,19 @@ func (s *GSPServer) parseLocation(w http.ResponseWriter, r *http.Request) (geo.P
 		writeError(w, http.StatusBadRequest, "x, y, r must be numeric")
 		return geo.Point{}, 0, false
 	}
+	if !isFinite(x) || !isFinite(y) || !isFinite(radius) {
+		writeError(w, http.StatusBadRequest, "x, y, r must be finite")
+		return geo.Point{}, 0, false
+	}
 	if radius <= 0 || radius > s.maxRadius {
 		writeError(w, http.StatusBadRequest, "r out of range")
 		return geo.Point{}, 0, false
 	}
 	return geo.Point{X: x, Y: y}, radius, true
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 func (s *GSPServer) handleQuery(w http.ResponseWriter, r *http.Request) {

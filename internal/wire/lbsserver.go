@@ -3,12 +3,14 @@ package wire
 import (
 	"encoding/json"
 	"io"
+	"log"
 	"net/http"
 	"sync"
 	"time"
 
 	"poiagg/internal/attack"
 	"poiagg/internal/gsp"
+	"poiagg/internal/obs"
 	"poiagg/internal/poi"
 )
 
@@ -37,11 +39,17 @@ func (a RegionAuditor) Audit(f poi.FreqVector, r float64) (bool, int) {
 
 // LBSServer is the POI-based application service: it accepts frequency
 // vector releases, stores a bounded per-user history, and optionally
-// audits each release for re-identifiability.
+// audits each release for re-identifiability. Like GSPServer it serves
+// /v1/metrics, /healthz, and /readyz.
 type LBSServer struct {
 	mux     *http.ServeMux
 	auditor Auditor // nil disables auditing
 	m       int     // expected vector dimension
+	maxR    float64 // reject implausible query ranges
+
+	reg     *obs.Registry
+	log     *log.Logger // nil disables per-request logging
+	handler http.Handler
 
 	mu       sync.Mutex
 	history  map[string][]ReleaseRequest
@@ -63,12 +71,36 @@ func WithHistoryLimit(n int) LBSServerOption {
 	return func(s *LBSServer) { s.maxPerID = n }
 }
 
+// WithLBSMaxRadius caps the accepted release query range in meters
+// (default 10 km, matching the GSP's cap).
+func WithLBSMaxRadius(r float64) LBSServerOption {
+	return func(s *LBSServer) { s.maxR = r }
+}
+
+// WithLBSMetrics shares an externally owned metrics registry (default: a
+// fresh private one).
+func WithLBSMetrics(reg *obs.Registry) LBSServerOption {
+	return func(s *LBSServer) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
+}
+
+// WithLBSLogger enables per-request logging (default: off, preserving
+// the server's historically quiet behavior; lbsd turns it on).
+func WithLBSLogger(l *log.Logger) LBSServerOption {
+	return func(s *LBSServer) { s.log = l }
+}
+
 // NewLBSServer returns an LBS application server expecting frequency
 // vectors of dimension m (the city's type count).
 func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 	s := &LBSServer{
 		mux:      http.NewServeMux(),
 		m:        m,
+		maxR:     10_000,
+		reg:      obs.NewRegistry(),
 		history:  make(map[string][]ReleaseRequest),
 		maxPerID: 1000,
 	}
@@ -77,12 +109,22 @@ func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 	}
 	s.mux.HandleFunc("POST "+PathRelease, s.handleRelease)
 	s.mux.HandleFunc("GET "+PathReleases, s.handleReleases)
+	obsOpts := []obs.Option{}
+	if s.log != nil {
+		obsOpts = append(obsOpts, obs.WithRequestHook(func(method, path string, status int, d time.Duration) {
+			s.log.Printf("%s %s %d %s", method, path, status, d.Round(time.Microsecond))
+		}))
+	}
+	s.handler = obs.Instrument(s.reg, s.mux, obsOpts...)
 	return s
 }
 
+// Metrics returns the server's metrics registry.
+func (s *LBSServer) Metrics() *obs.Registry { return s.reg }
+
 // ServeHTTP implements http.Handler.
 func (s *LBSServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -99,8 +141,10 @@ func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
 	case len(rel.Freq) != s.m:
 		writeError(w, http.StatusBadRequest, "freq has wrong dimension")
 		return
-	case rel.R <= 0:
-		writeError(w, http.StatusBadRequest, "r must be positive")
+	case !isFinite(rel.R) || rel.R <= 0 || rel.R > s.maxR:
+		// NaN fails every comparison, so test it explicitly — a NaN
+		// radius would otherwise sail through <= 0.
+		writeError(w, http.StatusBadRequest, "r out of range")
 		return
 	}
 	for _, n := range rel.Freq {

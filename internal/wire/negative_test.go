@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// getStatusAndBody performs a raw request and returns status plus body.
+func getStatusAndBody(t *testing.T, method, url string, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// assertJSONError decodes b as the error envelope and requires a
+// non-empty message — every rejection must be machine-readable JSON.
+func assertJSONError(t *testing.T, name string, b []byte) {
+	t.Helper()
+	var e ErrorResponse
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Errorf("%s: error body is not valid JSON: %q", name, b)
+		return
+	}
+	if e.Error == "" {
+		t.Errorf("%s: error body has empty message: %q", name, b)
+	}
+}
+
+// TestGSPServerRejectsMalformedLocations drives every malformed-location
+// class through the real HTTP surface: non-numeric, NaN/Inf poison
+// values, and out-of-range radii must all yield 400 with a JSON error.
+func TestGSPServerRejectsMalformedLocations(t *testing.T) {
+	ts, _ := newGSPTestServer(t, WithMaxRadius(2000))
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"nan x", "x=NaN&y=0&r=100"},
+		{"nan y", "x=0&y=nan&r=100"},
+		{"nan r", "x=0&y=0&r=NaN"},
+		{"pos inf x", "x=Inf&y=0&r=100"},
+		{"neg inf y", "x=0&y=-Inf&r=100"},
+		{"inf r", "x=0&y=0&r=+Inf"},
+		{"zero r", "x=0&y=0&r=0"},
+		{"negative r", "x=0&y=0&r=-5"},
+		{"r above cap", "x=0&y=0&r=5000"},
+		{"non-numeric x", "x=abc&y=0&r=100"},
+		{"missing y", "x=0&r=100"},
+		{"empty query", ""},
+	}
+	for _, path := range []string{PathQuery, PathFreq} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/%s", strings.TrimPrefix(path, "/v1/"), tc.name), func(t *testing.T) {
+				status, body := getStatusAndBody(t, http.MethodGet, ts.URL+path+"?"+tc.query, "")
+				if status != http.StatusBadRequest {
+					t.Errorf("status = %d, want 400 (body %q)", status, body)
+				}
+				assertJSONError(t, tc.name, body)
+			})
+		}
+	}
+}
+
+// TestLBSServerRejectsMalformedReleases covers the release decoder:
+// malformed JSON, wrong freq-vector length, bad radii, and negative
+// frequencies — exact status codes, JSON error bodies.
+func TestLBSServerRejectsMalformedReleases(t *testing.T) {
+	city, _ := wireFixture(t)
+	ts, _ := newLBSTestServer(t)
+	m := city.M()
+	goodFreq := func() string {
+		parts := make([]string, m)
+		for i := range parts {
+			parts[i] = "1"
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	}()
+
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+	}{
+		{"malformed json", "{", http.StatusBadRequest},
+		{"empty body", "", http.StatusBadRequest},
+		{"json array", "[1,2,3]", http.StatusBadRequest},
+		{"missing user", fmt.Sprintf(`{"freq":%s,"r":900}`, goodFreq), http.StatusBadRequest},
+		{"short freq", `{"userId":"u","freq":[1,2,3],"r":900}`, http.StatusBadRequest},
+		{"long freq", fmt.Sprintf(`{"userId":"u","freq":%s,"r":900}`,
+			"["+strings.Repeat("1,", m)+"1]"), http.StatusBadRequest},
+		{"null freq", `{"userId":"u","freq":null,"r":900}`, http.StatusBadRequest},
+		{"zero r", fmt.Sprintf(`{"userId":"u","freq":%s,"r":0}`, goodFreq), http.StatusBadRequest},
+		{"negative r", fmt.Sprintf(`{"userId":"u","freq":%s,"r":-10}`, goodFreq), http.StatusBadRequest},
+		{"huge r", fmt.Sprintf(`{"userId":"u","freq":%s,"r":1e9}`, goodFreq), http.StatusBadRequest},
+		{"negative freq entry", fmt.Sprintf(`{"userId":"u","freq":[-1%s,"r":900}`,
+			strings.Repeat(",1", m-1)+"]"), http.StatusBadRequest},
+		{"fractional freq entry", fmt.Sprintf(`{"userId":"u","freq":[1.5%s,"r":900}`,
+			strings.Repeat(",1", m-1)+"]"), http.StatusBadRequest},
+		{"valid release", fmt.Sprintf(`{"userId":"u","freq":%s,"r":900}`, goodFreq), http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := getStatusAndBody(t, http.MethodPost, ts.URL+PathRelease, tc.body)
+			if status != tc.wantStatus {
+				t.Errorf("status = %d, want %d (body %q)", status, tc.wantStatus, body)
+			}
+			if tc.wantStatus != http.StatusOK {
+				assertJSONError(t, tc.name, body)
+			}
+		})
+	}
+
+	// History endpoint without a user parameter.
+	status, body := getStatusAndBody(t, http.MethodGet, ts.URL+PathReleases, "")
+	if status != http.StatusBadRequest {
+		t.Errorf("missing user = %d, want 400", status)
+	}
+	assertJSONError(t, "missing user", body)
+
+	// Wrong methods fall through to the mux's 405.
+	if status, _ := getStatusAndBody(t, http.MethodGet, ts.URL+PathRelease, ""); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET release = %d, want 405", status)
+	}
+	if status, _ := getStatusAndBody(t, http.MethodDelete, ts.URL+PathReleases+"?user=u", ""); status != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE releases = %d, want 405", status)
+	}
+}
+
+// TestServersRejectOversizedReleaseBody proves the 1 MiB release body
+// cap holds: a massive but syntactically valid body is rejected rather
+// than buffered.
+func TestServersRejectOversizedReleaseBody(t *testing.T) {
+	ts, _ := newLBSTestServer(t)
+	huge := `{"userId":"u","freq":[` + strings.Repeat("1,", 1<<20) + `1],"r":900}`
+	status, _ := getStatusAndBody(t, http.MethodPost, ts.URL+PathRelease, huge)
+	if status != http.StatusBadRequest {
+		t.Errorf("oversized body = %d, want 400", status)
+	}
+}

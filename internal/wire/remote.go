@@ -29,7 +29,7 @@ func (s *GSPServer) registerPOIDump() {
 // POIs fetches the full POI dump.
 func (c *GSPClient) POIs(ctx context.Context) ([]poi.POI, error) {
 	var out POIsResponse
-	if err := c.getJSON(ctx, PathPOIs, nil, &out); err != nil {
+	if err := c.core.do(ctx, http.MethodGet, PathPOIs, nil, nil, &out); err != nil {
 		return nil, err
 	}
 	return out.POIs, nil
