@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench repro repro-full cover clean
+.PHONY: all check build vet test race bench bench-core repro repro-full cover clean
 
 all: check
 
@@ -23,6 +23,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-core runs the PR-critical ablation benchmarks (sharded cache,
+# batched wire queries, parallel sweep engine) at a fixed -benchtime and
+# writes the parsed numbers to BENCH_core.json for DESIGN.md §5.
+bench-core:
+	$(GO) test -run '^$$' -bench 'FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial' \
+		-benchmem -benchtime=1s -count=1 ./internal/gsp ./internal/wire ./internal/eval \
+		| $(GO) run ./cmd/benchjson -out BENCH_core.json
 
 # Regenerate every paper figure at quick scale (seconds).
 repro:

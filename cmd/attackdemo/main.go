@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"poiagg"
+	"poiagg/internal/gsp"
 	"poiagg/internal/wire"
 )
 
@@ -50,10 +51,15 @@ func run(args []string, w io.Writer) error {
 	var (
 		city *poiagg.City
 		err  error
+		// Remote mode keeps the wire client and the fetched city so the
+		// walk-through can re-run the region attack over the batch
+		// endpoint and show the two engines agree.
+		gspClient  *wire.GSPClient
+		remoteCity *gsp.City
 	)
 	switch {
 	case *gspURL != "":
-		city, err = fetchRemoteCity(*gspURL, *timeout, *retries)
+		city, gspClient, remoteCity, err = fetchRemoteCity(*gspURL, *timeout, *retries)
 		if err == nil {
 			fmt.Fprintf(w, "fetched city over the wire from %s\n", *gspURL)
 		}
@@ -87,6 +93,18 @@ func run(args []string, w io.Writer) error {
 			city.Types().Name(res.Anchor.Type), res.Anchor.Pos, *r)
 		fmt.Fprintf(w, "  search area: %.2f km² (πr²)\n", math.Pi*(*r)*(*r)/1e6)
 
+		if gspClient != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			rres, stats, err := wire.RemoteRegion(ctx, gspClient, remoteCity, release, *r, wire.DefaultMaxBatch)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("remote region attack: %w", err)
+			}
+			agree := rres.Success == res.Success && rres.Anchor.ID == res.Anchor.ID
+			fmt.Fprintf(w, "REMOTE REGION ATTACK (batched wire probes): agrees with local: %v\n", agree)
+			fmt.Fprintf(w, "  %d anchor probes in %d batched round trips\n", stats.Probes, stats.RoundTrips)
+		}
+
 		fg := city.FineGrainedAttack(release, *r, poiagg.DefaultFineGrainedConfig())
 		fmt.Fprintf(w, "FINE-GRAINED ATTACK: %d auxiliary anchors\n", len(fg.AuxAnchors))
 		fmt.Fprintf(w, "  search area shrinks to %.3f km² (%.1f%% of πr²)\n",
@@ -118,15 +136,21 @@ func run(args []string, w io.Writer) error {
 }
 
 // fetchRemoteCity acquires the demo's prior knowledge from a running
-// gspd, exactly as the paper's adversary would.
-func fetchRemoteCity(baseURL string, timeout time.Duration, retries int) (*poiagg.City, error) {
+// gspd, exactly as the paper's adversary would. It also returns the
+// client and the fetched city so the demo can mount the batched remote
+// attack against the same server.
+func fetchRemoteCity(baseURL string, timeout time.Duration, retries int) (*poiagg.City, *wire.GSPClient, *gsp.City, error) {
 	client := wire.NewGSPClient(baseURL, nil,
 		wire.WithRequestTimeout(timeout),
 		wire.WithRetries(retries),
 	)
 	remote, err := wire.FetchCity(context.Background(), client)
 	if err != nil {
-		return nil, fmt.Errorf("fetch city from %s: %w", baseURL, err)
+		return nil, nil, nil, fmt.Errorf("fetch city from %s: %w", baseURL, err)
 	}
-	return poiagg.NewCityFromPOIs(remote.Name, remote.Bounds, remote.Types, remote.POIs())
+	city, err := poiagg.NewCityFromPOIs(remote.Name, remote.Bounds, remote.Types, remote.POIs())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return city, client, remote, nil
 }

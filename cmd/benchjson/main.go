@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document, teeing the raw text through to stderr so the run stays
+// watchable. It backs the `make bench-core` target, which pins the PR's
+// performance claims (sharded cache, batched wire queries, parallel
+// sweeps) to machine-readable numbers in BENCH_core.json.
+//
+// Usage:
+//
+//	go test -bench 'FreqCacheSharded' -benchmem ./internal/gsp | benchjson -out BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// Document is the emitted JSON file.
+type Document struct {
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, tee io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "BENCH.json", "output JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var doc Document
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(tee, line)
+		if res, ok := parseBenchLine(line); ok {
+			doc.Results = append(doc.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(doc.Results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(tee, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+	return nil
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFreqCacheSharded/sharded-8   2262099   530.6 ns/op   216 B/op   3 allocs/op
+//
+// Lines that are not benchmark results (headers, PASS, ok ...) report
+// false.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			ns, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			res.NsPerOp = ns
+			seen = true
+		case "B/op":
+			res.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return res, seen
+}

@@ -7,8 +7,11 @@
 //	gspd -addr :8080 -city beijing
 //	gspd -addr :8080 -load beijing.json   # dataset.CityFile snapshot
 //
-// Endpoints: GET /v1/stats, /v1/query?x=&y=&r=, /v1/freq?x=&y=&r=, plus
-// the operational /v1/metrics, /healthz, and /readyz.
+// Endpoints: GET /v1/stats, /v1/query?x=&y=&r=, /v1/freq?x=&y=&r=,
+// POST /v1/query/batch and /v1/freq/batch (JSON {"items":[{x,y,r}...]}
+// with per-item results), plus the operational /v1/metrics, /healthz,
+// and /readyz. The Freq cache's hit/miss/eviction counters are exported
+// through /v1/metrics.
 package main
 
 import (
@@ -56,6 +59,7 @@ func run(args []string) error {
 	svc := gsp.NewService(city, 1<<18)
 	logger := log.New(os.Stderr, "gspd ", log.LstdFlags)
 	reg := obs.NewRegistry()
+	svc.ExportMetrics(reg)
 	handler := wire.NewGSPServer(svc,
 		wire.WithLogger(logger),
 		wire.WithMaxRadius(*maxRadius),

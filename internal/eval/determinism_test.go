@@ -1,0 +1,195 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"poiagg/internal/cloak"
+	"poiagg/internal/defense"
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+// figureReleasers builds one releaser per defense family the paper's
+// figures sweep — exactly the configurations whose results must not
+// move when the sweep engine parallelizes.
+func figureReleasers(t *testing.T) map[string]Releaser {
+	t.Helper()
+	city, svc := fixture(t)
+	pop := cloak.UniformPopulation(city.Bounds, 2000, 71)
+
+	san, err := defense.NewSanitizer(city.City, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geoInd, err := defense.NewGeoInd(svc, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := defense.NewCloaking(svc, pop, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := defense.NewOptRelease(city.City)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := defense.NewDPRelease(svc, pop, defense.DefaultDPReleaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return map[string]Releaser{
+		"plain": PlainReleaser(svc),
+		"sanitizer": func(_ *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+			return san.Apply(svc.Freq(l, r)), nil
+		},
+		"geo-ind": func(src *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+			return geoInd.Release(src, l, r), nil
+		},
+		"cloaking": func(_ *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+			return cl.Release(l, r), nil
+		},
+		"opt-release": func(_ *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+			return opt.Solve(svc.Freq(l, r), 0.03)
+		},
+		"dp-release": func(src *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+			return dp.Release(src, l, r)
+		},
+	}
+}
+
+// TestSweepDeterminismSuccessRate is the differential proof that the
+// parallel SuccessRate engine reproduces the serial reference
+// bit-for-bit — same seed, same result, for every figure-relevant
+// releaser, including the stochastic ones — and that repeated parallel
+// runs are scheduling-independent.
+func TestSweepDeterminismSuccessRate(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(80, 6)
+	const r, seed = 1000.0, 99
+	for name, rel := range figureReleasers(t) {
+		t.Run(name, func(t *testing.T) {
+			serial, err := SuccessRateSerial(svc, locs, r, rel, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := SuccessRate(svc, locs, r, rel, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel != serial {
+				t.Errorf("parallel = %v, serial = %v (must be bit-identical)", parallel, serial)
+			}
+			again, err := SuccessRate(svc, locs, r, rel, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != parallel {
+				t.Errorf("parallel rerun = %v, first run = %v (scheduling leaked in)", again, parallel)
+			}
+		})
+	}
+}
+
+// TestSweepDeterminismTopKJaccard is the same differential for the
+// utility metric, whose mean over per-location scores is
+// order-sensitive in floating point — the parallel engine must place
+// every score at its location index before averaging.
+func TestSweepDeterminismTopKJaccard(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(80, 7)
+	const r, k, seed = 1000.0, 10, 101
+	for name, rel := range figureReleasers(t) {
+		t.Run(name, func(t *testing.T) {
+			serial, err := TopKJaccardSerial(svc, locs, r, rel, k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := TopKJaccard(svc, locs, r, rel, k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parallel != serial {
+				t.Errorf("parallel = %v, serial = %v (must be bit-identical)", parallel, serial)
+			}
+			again, err := TopKJaccard(svc, locs, r, rel, k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != parallel {
+				t.Errorf("parallel rerun = %v, first run = %v (scheduling leaked in)", again, parallel)
+			}
+		})
+	}
+}
+
+// TestSweepDeterminismSeedSensitivity guards against a degenerate
+// splitter: different seeds must actually produce different stochastic
+// sweeps (otherwise the differential tests above prove nothing).
+func TestSweepDeterminismSeedSensitivity(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(60, 8)
+	rel := figureReleasers(t)["dp-release"]
+	a, err := TopKJaccard(svc, locs, 1000, rel, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TopKJaccard(svc, locs, 1000, rel, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Errorf("seeds 1 and 2 gave identical Jaccard %v — per-location streams look seed-independent", a)
+	}
+}
+
+// TestSweepDeterministicError proves failure is deterministic too: the
+// parallel engine reports the same (lowest-index) error the serial one
+// does, regardless of which worker hit its failure first.
+func TestSweepDeterministicError(t *testing.T) {
+	city, svc := fixture(t)
+	locs := city.RandomLocations(50, 9)
+	bad := map[geo.Point]bool{locs[7]: true, locs[13]: true, locs[44]: true}
+	rel := func(_ *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
+		if bad[l] {
+			return nil, fmt.Errorf("refused release at (%.3f, %.3f)", l.X, l.Y)
+		}
+		return svc.Freq(l, r), nil
+	}
+	_, serialErr := SuccessRateSerial(svc, locs, 1000, rel, 1)
+	_, parallelErr := SuccessRate(svc, locs, 1000, rel, 1)
+	if serialErr == nil || parallelErr == nil {
+		t.Fatalf("expected errors, got serial=%v parallel=%v", serialErr, parallelErr)
+	}
+	if serialErr.Error() != parallelErr.Error() {
+		t.Errorf("parallel error %q != serial error %q", parallelErr, serialErr)
+	}
+}
+
+// BenchmarkSweepParallelVsSerial is the sweep-engine ablation: the same
+// plain-release SuccessRate sweep through the parallel engine and the
+// serial reference. The delta is the worker pool's win (bounded by the
+// core count; the two are equal-cost on a single-core box).
+func BenchmarkSweepParallelVsSerial(b *testing.B) {
+	city, svc := fixture(b)
+	locs := city.RandomLocations(200, 10)
+	rel := PlainReleaser(svc)
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SuccessRate(svc, locs, 1000, rel, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SuccessRateSerial(svc, locs, 1000, rel, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -30,6 +30,57 @@ func PlainReleaser(svc *gsp.Service) Releaser {
 	}
 }
 
+// locSource derives the random stream for location index i of a sweep
+// seeded with seed. Every sweep engine — serial or parallel — MUST
+// obtain per-location randomness through this single function: keying
+// the stream to the location index (instead of consuming one shared
+// sequential stream) is what makes the parallel sweeps reproduce the
+// serial ones bit-for-bit regardless of scheduling
+// (TestSweepDeterminism*).
+func locSource(root *rng.Source, i int) *rng.Source {
+	return root.Split(uint64(i))
+}
+
+// forEachLoc runs fn(0..n-1) across a worker pool pulling indices from a
+// shared counter. All indices run even when some fail; the error
+// reported is the one at the lowest index, so failure is as
+// deterministic as success.
+func forEachLoc(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SuccessRate releases a vector for every location through rel and runs
 // the region re-identification attack against it, returning the fraction
 // of successful attacks: |Φ| = 1 and the re-identified region (the
@@ -39,22 +90,60 @@ func PlainReleaser(svc *gsp.Service) Releaser {
 // (geo-indistinguishability, cloaking) the containment check is what
 // distinguishes re-identifying the user from confidently re-identifying
 // the wrong place.
+//
+// The sweep fans out across a worker pool; each location draws from its
+// own split random stream, so the result is bit-identical to
+// SuccessRateSerial at the same seed.
 func SuccessRate(svc *gsp.Service, locs []geo.Point, r float64, rel Releaser, seed uint64) (float64, error) {
 	if len(locs) == 0 {
 		return 0, fmt.Errorf("eval: SuccessRate: no locations")
 	}
-	src := rng.New(seed)
-	succ := 0
-	for _, l := range locs {
-		f, err := rel(src, l, r)
+	root := rng.New(seed)
+	succ := make([]bool, len(locs))
+	err := forEachLoc(len(locs), func(i int) error {
+		l := locs[i]
+		f, err := rel(locSource(root, i), l, r)
+		if err != nil {
+			return fmt.Errorf("eval: SuccessRate: %w", err)
+		}
+		succ[i] = attack.Region(svc, f, r).Covers(l, r)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return countTrue(succ), nil
+}
+
+// SuccessRateSerial is the single-threaded reference implementation of
+// SuccessRate — the ground truth the determinism differential tests
+// compare the parallel engine against.
+func SuccessRateSerial(svc *gsp.Service, locs []geo.Point, r float64, rel Releaser, seed uint64) (float64, error) {
+	if len(locs) == 0 {
+		return 0, fmt.Errorf("eval: SuccessRate: no locations")
+	}
+	root := rng.New(seed)
+	succ := make([]bool, len(locs))
+	for i, l := range locs {
+		f, err := rel(locSource(root, i), l, r)
 		if err != nil {
 			return 0, fmt.Errorf("eval: SuccessRate: %w", err)
 		}
-		if attack.Region(svc, f, r).Covers(l, r) {
-			succ++
+		succ[i] = attack.Region(svc, f, r).Covers(l, r)
+	}
+	return countTrue(succ), nil
+}
+
+// countTrue returns the fraction of set flags, shared by both engines so
+// the final division is literally the same operation on the same values.
+func countTrue(flags []bool) float64 {
+	n := 0
+	for _, ok := range flags {
+		if ok {
+			n++
 		}
 	}
-	return float64(succ) / float64(len(locs)), nil
+	return float64(n) / float64(len(flags))
 }
 
 // FineGrainedOutcome aggregates a fine-grained attack sweep.
@@ -87,37 +176,20 @@ func FineGrainedSweep(svc *gsp.Service, locs []geo.Point, r float64, cfg attack.
 		covered bool
 	}
 	results := make([]perLoc, len(locs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(locs) {
-		workers = len(locs)
-	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(locs) {
-					return
-				}
-				l := locs[i]
-				f := svc.Freq(l, r)
-				res := attack.FineGrained(svc, f, r, cfg)
-				if !res.Success {
-					continue
-				}
-				results[i] = perLoc{
-					success: true,
-					area:    res.Area,
-					aux:     len(res.AuxAnchors),
-					covered: res.Covers(l, r),
-				}
+	forEachLoc(len(locs), func(i int) error {
+		l := locs[i]
+		f := svc.Freq(l, r)
+		res := attack.FineGrained(svc, f, r, cfg)
+		if res.Success {
+			results[i] = perLoc{
+				success: true,
+				area:    res.Area,
+				aux:     len(res.AuxAnchors),
+				covered: res.Covers(l, r),
 			}
-		}()
-	}
-	wg.Wait()
+		}
+		return nil
+	})
 
 	var out FineGrainedOutcome
 	var auxTotal, covered int
@@ -142,19 +214,47 @@ func FineGrainedSweep(svc *gsp.Service, locs []geo.Point, r float64, cfg attack.
 
 // TopKJaccard measures utility: the mean Jaccard index between the Top-K
 // type sets of the exact aggregate and the released one, over locs.
+//
+// Like SuccessRate, the sweep is parallel with per-location split
+// streams; per-location scores land in location order before the mean,
+// so the result is bit-identical to TopKJaccardSerial at the same seed.
 func TopKJaccard(svc *gsp.Service, locs []geo.Point, r float64, rel Releaser, k int, seed uint64) (float64, error) {
 	if len(locs) == 0 {
 		return 0, fmt.Errorf("eval: TopKJaccard: no locations")
 	}
-	src := rng.New(seed)
-	var js []float64
-	for _, l := range locs {
+	root := rng.New(seed)
+	js := make([]float64, len(locs))
+	err := forEachLoc(len(locs), func(i int) error {
+		l := locs[i]
 		exact := svc.Freq(l, r)
-		released, err := rel(src, l, r)
+		released, err := rel(locSource(root, i), l, r)
+		if err != nil {
+			return fmt.Errorf("eval: TopKJaccard: %w", err)
+		}
+		js[i] = stats.Jaccard(exact.TopK(k), released.TopK(k))
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return stats.Mean(js), nil
+}
+
+// TopKJaccardSerial is the single-threaded reference implementation of
+// TopKJaccard for the determinism differential tests.
+func TopKJaccardSerial(svc *gsp.Service, locs []geo.Point, r float64, rel Releaser, k int, seed uint64) (float64, error) {
+	if len(locs) == 0 {
+		return 0, fmt.Errorf("eval: TopKJaccard: no locations")
+	}
+	root := rng.New(seed)
+	js := make([]float64, len(locs))
+	for i, l := range locs {
+		exact := svc.Freq(l, r)
+		released, err := rel(locSource(root, i), l, r)
 		if err != nil {
 			return 0, fmt.Errorf("eval: TopKJaccard: %w", err)
 		}
-		js = append(js, stats.Jaccard(exact.TopK(k), released.TopK(k)))
+		js[i] = stats.Jaccard(exact.TopK(k), released.TopK(k))
 	}
 	return stats.Mean(js), nil
 }

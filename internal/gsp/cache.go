@@ -1,0 +1,276 @@
+package gsp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"poiagg/internal/obs"
+	"poiagg/internal/poi"
+)
+
+// freqCache is the Service's memoization backend. Implementations must
+// be safe for concurrent use. Stored vectors are private to the cache:
+// put receives a clone and get returns the stored slice, which is never
+// mutated afterwards, so callers may read it without holding any lock
+// (they clone before handing it to users).
+type freqCache interface {
+	get(k freqKey) (poi.FreqVector, bool)
+	put(k freqKey, f poi.FreqVector)
+	metrics() CacheMetrics
+}
+
+// CacheMetrics is a point-in-time view of the Freq cache's bookkeeping.
+type CacheMetrics struct {
+	// Hits and Misses count lookups; every Freq call with caching
+	// enabled is exactly one of the two.
+	Hits, Misses uint64
+	// Evictions counts entries dropped by the LRU policy — individual
+	// entries, not whole-cache wipes.
+	Evictions uint64
+	// Size is the number of live entries; Capacity the configured bound.
+	Size, Capacity int
+	// Shards is the number of lock shards (1 for the single-lock
+	// ablation baseline).
+	Shards int
+}
+
+// Cache metric names registered by Service.ExportMetrics.
+const (
+	MetricCacheHits      = "gsp.cache.hits"
+	MetricCacheMisses    = "gsp.cache.misses"
+	MetricCacheEvictions = "gsp.cache.evictions"
+	MetricCacheSize      = "gsp.cache.size"
+)
+
+// ExportMetrics publishes the cache's hit/miss/eviction/size counters
+// into reg, sampled lazily at snapshot time so the Freq hot path pays
+// nothing for the export. No-op when caching is disabled.
+func (s *Service) ExportMetrics(reg *obs.Registry) {
+	if s.cache == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc(MetricCacheHits, func() uint64 { return s.cache.metrics().Hits })
+	reg.CounterFunc(MetricCacheMisses, func() uint64 { return s.cache.metrics().Misses })
+	reg.CounterFunc(MetricCacheEvictions, func() uint64 { return s.cache.metrics().Evictions })
+	reg.CounterFunc(MetricCacheSize, func() uint64 { return uint64(s.cache.metrics().Size) })
+}
+
+// hash mixes the key's coordinate bits through the splitmix64 finalizer
+// so that the regular lattices attack sweeps probe (anchor POIs on a
+// grid, a handful of radii) spread evenly across shards.
+func (k freqKey) hash() uint64 {
+	h := mix64(math.Float64bits(k.x) ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ math.Float64bits(k.y))
+	return mix64(h ^ math.Float64bits(k.r))
+}
+
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// cacheEntry is one memoized Freq result, threaded on its shard's
+// second-chance FIFO queue (head = oldest).
+type cacheEntry struct {
+	key     freqKey
+	val     poi.FreqVector
+	next    *cacheEntry
+	touched bool
+}
+
+// cacheShard is one lock domain of the sharded cache.
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[freqKey]*cacheEntry
+	head    *cacheEntry // oldest
+	tail    *cacheEntry // newest
+	cap     int
+
+	hits, misses, evictions uint64
+}
+
+// shardedCache is the production Freq cache: power-of-two lock shards
+// selected by hashed key, per-shard second-chance (CLOCK) eviction —
+// the classic one-bit LRU approximation. A hit only sets the entry's
+// touched bit, so the hit critical section is exactly a map lookup (no
+// recency-list surgery), and eviction is true per-entry: the oldest
+// untouched entry goes, recently used entries are spared. Concurrent
+// sweeps therefore contend only when their keys collide on a shard, and
+// a full cache sheds cold entries instead of wiping the hot working set
+// (the pre-sharding design's clear-all degraded to a 0% hit rate
+// mid-sweep every time it filled).
+type shardedCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// shardCountFor picks the shard count: a power of two sized to roughly
+// 2× the available parallelism (capped at 128), shrunk so every shard
+// keeps capacity ≥ 1.
+func shardCountFor(capacity int) int {
+	n := 1
+	for n < 2*runtime.GOMAXPROCS(0) && n < 128 {
+		n <<= 1
+	}
+	for n > capacity && n > 1 {
+		n >>= 1
+	}
+	return n
+}
+
+func newShardedCache(capacity int) *shardedCache {
+	n := shardCountFor(capacity)
+	c := &shardedCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	base, extra := capacity/n, capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < extra {
+			sc++
+		}
+		c.shards[i].cap = sc
+		c.shards[i].entries = make(map[freqKey]*cacheEntry, min(sc, 1024))
+	}
+	return c
+}
+
+func (c *shardedCache) shardFor(k freqKey) *cacheShard {
+	return &c.shards[k.hash()&c.mask]
+}
+
+func (c *shardedCache) get(k freqKey) (poi.FreqVector, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.hits++
+	e.touched = true
+	f := e.val
+	s.mu.Unlock()
+	return f, true
+}
+
+func (c *shardedCache) put(k freqKey, f poi.FreqVector) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		// A concurrent miss on the same key beat us here; refresh the
+		// value and recency, keep the size unchanged.
+		e.val = f
+		e.touched = true
+		s.mu.Unlock()
+		return
+	}
+	e := &cacheEntry{key: k, val: f}
+	s.enqueue(e)
+	s.entries[k] = e
+	if len(s.entries) > s.cap {
+		s.evictOne()
+	}
+	s.mu.Unlock()
+}
+
+// enqueue appends e to the FIFO tail. Caller holds the shard lock.
+func (s *cacheShard) enqueue(e *cacheEntry) {
+	e.next = nil
+	if s.tail != nil {
+		s.tail.next = e
+	} else {
+		s.head = e
+	}
+	s.tail = e
+}
+
+// evictOne drops the oldest untouched entry: touched entries popped on
+// the way get their bit cleared and a second chance at the tail. The
+// scan terminates — after one full pass every bit is clear, so the
+// second pass evicts at its first stop. Caller holds the shard lock.
+func (s *cacheShard) evictOne() {
+	for {
+		e := s.head
+		s.head = e.next
+		if s.head == nil {
+			s.tail = nil
+		}
+		if !e.touched {
+			delete(s.entries, e.key)
+			s.evictions++
+			return
+		}
+		e.touched = false
+		s.enqueue(e)
+	}
+}
+
+func (c *shardedCache) metrics() CacheMetrics {
+	m := CacheMetrics{Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		m.Hits += s.hits
+		m.Misses += s.misses
+		m.Evictions += s.evictions
+		m.Size += len(s.entries)
+		m.Capacity += s.cap
+		s.mu.Unlock()
+	}
+	return m
+}
+
+// singleLockCache is the pre-sharding design — one mutex around one map,
+// overflow handled by wiping everything. Kept only as the ablation
+// baseline for BenchmarkFreqCacheSharded; the Service never uses it.
+type singleLockCache struct {
+	mu      sync.Mutex
+	entries map[freqKey]poi.FreqVector
+	cap     int
+
+	hits, misses, evictions uint64
+}
+
+func newSingleLockCache(capacity int) *singleLockCache {
+	return &singleLockCache{
+		entries: make(map[freqKey]poi.FreqVector, min(capacity, 4096)),
+		cap:     capacity,
+	}
+}
+
+func (c *singleLockCache) get(k freqKey) (poi.FreqVector, bool) {
+	c.mu.Lock()
+	f, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	return f, ok
+}
+
+func (c *singleLockCache) put(k freqKey, f poi.FreqVector) {
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		c.evictions += uint64(len(c.entries))
+		clear(c.entries)
+	}
+	c.entries[k] = f
+	c.mu.Unlock()
+}
+
+func (c *singleLockCache) metrics() CacheMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheMetrics{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      len(c.entries),
+		Capacity:  c.cap,
+		Shards:    1,
+	}
+}

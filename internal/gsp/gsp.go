@@ -13,7 +13,6 @@ package gsp
 
 import (
 	"fmt"
-	"sync"
 
 	"poiagg/internal/geo"
 	"poiagg/internal/index"
@@ -99,15 +98,17 @@ func (c *City) InfrequencyRank() []int { return c.rank }
 // Freq(p, 2r) probes for the same anchor POIs; caching those is what makes
 // city-scale attack sweeps tractable (see BenchmarkFreqCache).
 //
+// The cache is sharded (power-of-two lock shards selected by hashed key,
+// per-shard second-chance eviction) so concurrent sweeps scale with the
+// core count instead of serializing on one mutex, and a full cache sheds
+// cold entries one at a time instead of wiping the hot working set;
+// BenchmarkFreqCacheSharded prices the difference against the
+// single-lock clear-all baseline.
+//
 // Service is safe for concurrent use.
 type Service struct {
-	city *City
-
-	mu       sync.Mutex
-	cache    map[freqKey]poi.FreqVector
-	maxCache int
-	hits     uint64
-	misses   uint64
+	city  *City
+	cache freqCache // nil when caching is disabled
 }
 
 type freqKey struct {
@@ -117,11 +118,18 @@ type freqKey struct {
 // NewService returns a service over city. maxCache bounds the number of
 // memoized Freq results; 0 disables caching.
 func NewService(city *City, maxCache int) *Service {
-	return &Service{
-		city:     city,
-		cache:    make(map[freqKey]poi.FreqVector, min(maxCache, 4096)),
-		maxCache: maxCache,
+	s := &Service{city: city}
+	if maxCache > 0 {
+		s.cache = newShardedCache(maxCache)
 	}
+	return s
+}
+
+// newServiceWithCache wires an explicit cache implementation — the hook
+// the ablation benchmark uses to run the same workload through the
+// sharded cache and the single-lock baseline.
+func newServiceWithCache(city *City, cache freqCache) *Service {
+	return &Service{city: city, cache: cache}
 }
 
 // City returns the underlying city.
@@ -136,33 +144,36 @@ func (s *Service) Query(l geo.Point, r float64) []poi.POI {
 // of l (the paper's Freq(l, r)). The returned vector is a fresh copy owned
 // by the caller.
 func (s *Service) Freq(l geo.Point, r float64) poi.FreqVector {
+	if s.cache == nil {
+		f := poi.NewFreqVector(s.city.M())
+		s.city.idx.CountTypes(f, l, r)
+		return f
+	}
 	key := freqKey{x: l.X, y: l.Y, r: r}
-	if s.maxCache > 0 {
-		s.mu.Lock()
-		if f, ok := s.cache[key]; ok {
-			s.hits++
-			s.mu.Unlock()
-			return f.Clone()
-		}
-		s.misses++
-		s.mu.Unlock()
+	if f, ok := s.cache.get(key); ok {
+		return f.Clone()
 	}
 	f := poi.NewFreqVector(s.city.M())
 	s.city.idx.CountTypes(f, l, r)
-	if s.maxCache > 0 {
-		s.mu.Lock()
-		if len(s.cache) >= s.maxCache {
-			clear(s.cache)
-		}
-		s.cache[key] = f.Clone()
-		s.mu.Unlock()
-	}
+	s.cache.put(key, f.Clone())
 	return f
 }
 
 // CacheStats returns the number of cache hits and misses so far.
 func (s *Service) CacheStats() (hits, misses uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.hits, s.misses
+	if s.cache == nil {
+		return 0, 0
+	}
+	m := s.cache.metrics()
+	return m.Hits, m.Misses
+}
+
+// CacheMetrics returns the cache's full bookkeeping, including
+// per-entry eviction counts and occupancy. The zero value is returned
+// when caching is disabled.
+func (s *Service) CacheMetrics() CacheMetrics {
+	if s.cache == nil {
+		return CacheMetrics{}
+	}
+	return s.cache.metrics()
 }

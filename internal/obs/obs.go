@@ -197,6 +197,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	routes   map[string]*RouteStats
 	counters map[string]*Counter
+	funcs    map[string]func() uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -205,6 +206,7 @@ func NewRegistry() *Registry {
 		start:    time.Now(),
 		routes:   make(map[string]*RouteStats),
 		counters: make(map[string]*Counter),
+		funcs:    make(map[string]func() uint64),
 	}
 }
 
@@ -250,6 +252,22 @@ func (r *Registry) Counter(name string) *Counter {
 	c = &Counter{}
 	r.counters[name] = c
 	return c
+}
+
+// CounterFunc registers a named counter whose value is pulled from fn at
+// Snapshot time — the export path for subsystems that already keep their
+// own atomic or lock-guarded bookkeeping (e.g. the GSP freq cache) and
+// should not pay a second counter update on their hot path. fn must be
+// safe for concurrent use. Registering a name again replaces the
+// function; a pulled name shadows any pushed Counter of the same name in
+// the snapshot.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
 }
 
 // LatencySnapshot summarizes a histogram in milliseconds.
@@ -315,10 +333,13 @@ func (r *Registry) Snapshot() Snapshot {
 			Latency:  SnapshotLatency(&rs.Latency),
 		}
 	}
-	if len(r.counters) > 0 {
-		snap.Counters = make(map[string]uint64, len(r.counters))
+	if len(r.counters)+len(r.funcs) > 0 {
+		snap.Counters = make(map[string]uint64, len(r.counters)+len(r.funcs))
 		for name, c := range r.counters {
 			snap.Counters[name] = c.Value()
+		}
+		for name, fn := range r.funcs {
+			snap.Counters[name] = fn()
 		}
 	}
 	return snap

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"context"
+	"testing"
+
+	"poiagg/internal/attack"
+	"poiagg/internal/geo"
+	"poiagg/internal/poi"
+)
+
+// TestFreqBatchMatchesSingleRequests proves the batch endpoint is
+// nothing but a round-trip amortization: every result equals the
+// corresponding single-probe reply, in item order.
+func TestFreqBatchMatchesSingleRequests(t *testing.T) {
+	city, svc := wireFixture(t)
+	_, client := newGSPTestServer(t)
+	ctx := context.Background()
+
+	locs := city.RandomLocations(40, 41)
+	items := make([]BatchItem, len(locs))
+	for i, l := range locs {
+		items[i] = BatchItem{X: l.X, Y: l.Y, R: 800 + float64(i%3)*400}
+	}
+	results, err := client.FreqBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Error != "" {
+			t.Fatalf("item %d: unexpected error %q", i, res.Error)
+		}
+		want := svc.Freq(geo.Point{X: items[i].X, Y: items[i].Y}, items[i].R)
+		if !res.Freq.Equal(want) {
+			t.Errorf("item %d: batch Freq diverges from local service", i)
+		}
+	}
+
+	qres, err := client.QueryBatch(ctx, items[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range qres {
+		if res.Error != "" {
+			t.Fatalf("query item %d: unexpected error %q", i, res.Error)
+		}
+		want := svc.Query(geo.Point{X: items[i].X, Y: items[i].Y}, items[i].R)
+		if len(res.POIs) != len(want) {
+			t.Errorf("query item %d: %d POIs, want %d", i, len(res.POIs), len(want))
+		}
+	}
+}
+
+// TestRemoteRegionMatchesLocalAttack is the end-to-end proof that the
+// batched wire attack is the same attack: for plain releases at many
+// locations, RemoteRegion against an httptest GSP must reproduce
+// attack.Region against the local service exactly — same success bit,
+// same anchor, same candidate set — while paying ⌈probes/batch⌉ round
+// trips.
+func TestRemoteRegionMatchesLocalAttack(t *testing.T) {
+	city, svc := wireFixture(t)
+	_, client := newGSPTestServer(t)
+	ctx := context.Background()
+
+	remoteCity, err := FetchCity(ctx, client)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const r, batchSize = 1000.0, 32
+	for i, l := range city.RandomLocations(25, 42) {
+		f := svc.Freq(l, r)
+		local := attack.Region(svc, f, r)
+		remote, stats, err := RemoteRegion(ctx, client, remoteCity, f, r, batchSize)
+		if err != nil {
+			t.Fatalf("loc %d: %v", i, err)
+		}
+		if remote.Success != local.Success || remote.AnchorType != local.AnchorType {
+			t.Fatalf("loc %d: remote (success=%v type=%d) != local (success=%v type=%d)",
+				i, remote.Success, remote.AnchorType, local.Success, local.AnchorType)
+		}
+		if remote.Success && remote.Anchor.ID != local.Anchor.ID {
+			t.Fatalf("loc %d: remote anchor %d != local anchor %d", i, remote.Anchor.ID, local.Anchor.ID)
+		}
+		if len(remote.Candidates) != len(local.Candidates) {
+			t.Fatalf("loc %d: %d remote candidates, %d local", i, len(remote.Candidates), len(local.Candidates))
+		}
+		wantTrips := (stats.Probes + batchSize - 1) / batchSize
+		if stats.Probes > 0 && stats.RoundTrips != wantTrips {
+			t.Errorf("loc %d: %d round trips for %d probes (batch %d), want %d",
+				i, stats.RoundTrips, stats.Probes, batchSize, wantTrips)
+		}
+	}
+}
+
+// TestRemoteRegionEmptyRelease covers the no-anchor path: an all-zero
+// release has no most-infrequent-present type, so the attack reports
+// failure without touching the network.
+func TestRemoteRegionEmptyRelease(t *testing.T) {
+	city, _ := wireFixture(t)
+	_, client := newGSPTestServer(t)
+	res, stats, err := RemoteRegion(context.Background(), client, city.City,
+		poi.NewFreqVector(city.M()), 1000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Success || stats.RoundTrips != 0 {
+		t.Errorf("empty release: success=%v roundTrips=%d, want failure with no traffic",
+			res.Success, stats.RoundTrips)
+	}
+}
+
+// BenchmarkWireBatchVsSequential is the wire ablation (DESIGN.md §5):
+// the same 128 anchor probes issued as batched POSTs versus one GET
+// each, against a real HTTP server on the loopback interface.
+func BenchmarkWireBatchVsSequential(b *testing.B) {
+	city, _ := wireFixture(b)
+	_, client := newGSPTestServer(b)
+	ctx := context.Background()
+
+	locs := city.RandomLocations(128, 43)
+	items := make([]BatchItem, len(locs))
+	for i, l := range locs {
+		items[i] = BatchItem{X: l.X, Y: l.Y, R: 2000}
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.FreqBatch(ctx, items); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, it := range items {
+				if _, err := client.Freq(ctx, geo.Point{X: it.X, Y: it.Y}, it.R); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

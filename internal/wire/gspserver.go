@@ -23,6 +23,8 @@ type GSPServer struct {
 	log *log.Logger
 	// maxRadius rejects abusive range queries.
 	maxRadius float64
+	// maxBatch bounds items per batch request.
+	maxBatch int
 
 	reg        *obs.Registry
 	instrument bool
@@ -42,6 +44,16 @@ func WithLogger(l *log.Logger) GSPServerOption {
 // WithMaxRadius caps the accepted query radius in meters (default 10 km).
 func WithMaxRadius(r float64) GSPServerOption {
 	return func(s *GSPServer) { s.maxRadius = r }
+}
+
+// WithMaxBatch caps the number of items accepted in one batch request
+// (default DefaultMaxBatch).
+func WithMaxBatch(n int) GSPServerOption {
+	return func(s *GSPServer) {
+		if n > 0 {
+			s.maxBatch = n
+		}
+	}
 }
 
 // WithMetrics shares an externally owned metrics registry (default: a
@@ -69,6 +81,7 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 		mux:        http.NewServeMux(),
 		log:        log.Default(),
 		maxRadius:  10_000,
+		maxBatch:   DefaultMaxBatch,
 		reg:        obs.NewRegistry(),
 		instrument: true,
 	}
@@ -79,6 +92,7 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 	s.mux.HandleFunc("GET "+PathQuery, s.handleQuery)
 	s.mux.HandleFunc("GET "+PathFreq, s.handleFreq)
 	s.registerPOIDump()
+	s.registerBatch()
 	if s.instrument {
 		s.handler = obs.Instrument(s.reg, s.mux, obs.WithRequestHook(s.logRequest))
 	} else {

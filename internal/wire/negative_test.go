@@ -160,3 +160,97 @@ func TestServersRejectOversizedReleaseBody(t *testing.T) {
 		t.Errorf("oversized body = %d, want 400", status)
 	}
 }
+
+// TestBatchEndpointsRejectBadEnvelopes drives the envelope-level
+// rejection classes through both batch endpoints: malformed JSON, an
+// empty batch, and a batch above the configured cap must all yield 400
+// with a JSON error — nothing is partially executed.
+func TestBatchEndpointsRejectBadEnvelopes(t *testing.T) {
+	ts, _ := newGSPTestServer(t, WithMaxBatch(4))
+	item := `{"x":100,"y":100,"r":500}`
+	oversized := `{"items":[` + strings.Repeat(item+",", 4) + item + `]}` // 5 > cap 4
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed json", `{"items":[`},
+		{"empty body", ``},
+		{"json array", `[1,2,3]`},
+		{"missing items", `{}`},
+		{"null items", `{"items":null}`},
+		{"empty items", `{"items":[]}`},
+		{"oversized batch", oversized},
+	}
+	for _, path := range []string{PathFreqBatch, PathQueryBatch} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/%s", strings.TrimPrefix(path, "/v1/"), tc.name), func(t *testing.T) {
+				status, body := getStatusAndBody(t, http.MethodPost, ts.URL+path, tc.body)
+				if status != http.StatusBadRequest {
+					t.Errorf("status = %d, want 400 (body %q)", status, body)
+				}
+				assertJSONError(t, tc.name, body)
+			})
+		}
+	}
+
+	// Wrong method falls through to the mux's 405.
+	if status, _ := getStatusAndBody(t, http.MethodGet, ts.URL+PathFreqBatch, ""); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET freq/batch = %d, want 405", status)
+	}
+}
+
+// TestBatchEndpointsReportPerItemErrors pins the per-item error
+// contract: one malformed item inside an otherwise valid batch yields
+// whole-batch 200 with the error isolated at that item's index and
+// every other item answered normally.
+func TestBatchEndpointsReportPerItemErrors(t *testing.T) {
+	ts, _ := newGSPTestServer(t, WithMaxRadius(2000))
+	badItems := []struct {
+		name string
+		item string
+	}{
+		{"nan x", `{"x":"NaN","y":0,"r":500}`},
+		{"inf y", `{"x":0,"y":"+Inf","r":500}`},
+		{"zero r", `{"x":0,"y":0,"r":0}`},
+		{"negative r", `{"x":0,"y":0,"r":-5}`},
+		{"r above cap", `{"x":0,"y":0,"r":5000}`},
+	}
+	good := `{"x":6000,"y":6000,"r":900}`
+	for _, tc := range badItems {
+		t.Run(tc.name, func(t *testing.T) {
+			body := fmt.Sprintf(`{"items":[%s,%s,%s]}`, good, tc.item, good)
+			status, raw := getStatusAndBody(t, http.MethodPost, ts.URL+PathFreqBatch, body)
+			if strings.Contains(tc.item, `"NaN"`) || strings.Contains(tc.item, `"+Inf"`) {
+				// JSON has no NaN/Inf literals; a string where a number
+				// belongs kills the whole envelope at decode time.
+				if status != http.StatusBadRequest {
+					t.Fatalf("status = %d, want 400 (body %q)", status, raw)
+				}
+				assertJSONError(t, tc.name, raw)
+				return
+			}
+			if status != http.StatusOK {
+				t.Fatalf("status = %d, want 200 (body %q)", status, raw)
+			}
+			var resp FreqBatchResponse
+			if err := json.Unmarshal(raw, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results) != 3 {
+				t.Fatalf("%d results, want 3", len(resp.Results))
+			}
+			if resp.Results[1].Error == "" {
+				t.Errorf("bad item has no error")
+			}
+			if resp.Results[1].Freq != nil {
+				t.Errorf("bad item has a vector alongside its error")
+			}
+			for _, i := range []int{0, 2} {
+				if resp.Results[i].Error != "" || len(resp.Results[i].Freq) == 0 {
+					t.Errorf("good item %d: error=%q freq len=%d", i, resp.Results[i].Error, len(resp.Results[i].Freq))
+				}
+			}
+		})
+	}
+}
