@@ -1,13 +1,25 @@
 GO ?= go
 
-.PHONY: all check build vet test race bench bench-core repro repro-full cover clean
+# The ablation benchmarks pinned into BENCH_core.json, and the packages
+# that host them. bench-core regenerates the file; bench-diff reruns the
+# same set and fails on >20% ns/op regressions against the committed
+# baseline.
+BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel
+BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml
+
+.PHONY: all check fmt-check build vet test race bench bench-core bench-diff repro repro-full cover clean
 
 all: check
 
-# check is the CI gate: compile, vet, the full suite, and the race
-# detector over everything (including the wire e2e and fault-injection
-# tests).
-check: build vet test race
+# check is the CI gate: formatting, compile, vet, the full suite, and the
+# race detector over everything (including the wire e2e and
+# fault-injection tests). The ./... patterns cover the examples too —
+# they live in this module, so `go list ./...` includes them.
+check: fmt-check build vet test race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -25,12 +37,21 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-core runs the PR-critical ablation benchmarks (sharded cache,
-# batched wire queries, parallel sweep engine) at a fixed -benchtime and
-# writes the parsed numbers to BENCH_core.json for DESIGN.md §5.
+# batched wire queries, parallel sweep engine, histogram index, pooled
+# region prune, parallel Gram) at a fixed -benchtime and writes the
+# parsed numbers to BENCH_core.json for DESIGN.md §5.
 bench-core:
-	$(GO) test -run '^$$' -bench 'FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial' \
-		-benchmem -benchtime=1s -count=1 ./internal/gsp ./internal/wire ./internal/eval \
+	$(GO) test -run '^$$' -bench '$(BENCH_CORE_PATTERN)' \
+		-benchmem -benchtime=1s -count=1 $(BENCH_CORE_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_core.json
+
+# bench-diff reruns the core ablations and compares against the committed
+# BENCH_core.json without rewriting it; exits nonzero when any shared
+# benchmark regressed by more than 20% ns/op.
+bench-diff:
+	$(GO) test -run '^$$' -bench '$(BENCH_CORE_PATTERN)' \
+		-benchmem -benchtime=1s -count=1 $(BENCH_CORE_PKGS) \
+		| $(GO) run ./cmd/benchjson -prev BENCH_core.json
 
 # Regenerate every paper figure at quick scale (seconds).
 repro:

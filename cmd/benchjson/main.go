@@ -2,11 +2,18 @@
 // JSON document, teeing the raw text through to stderr so the run stays
 // watchable. It backs the `make bench-core` target, which pins the PR's
 // performance claims (sharded cache, batched wire queries, parallel
-// sweeps) to machine-readable numbers in BENCH_core.json.
+// sweeps, histogram index, parallel Gram) to machine-readable numbers in
+// BENCH_core.json.
+//
+// With -prev it additionally diffs the fresh run against a committed
+// baseline document and exits nonzero when any shared benchmark regressed
+// by more than -max-regress in ns/op — the `make bench-diff` regression
+// gate.
 //
 // Usage:
 //
 //	go test -bench 'FreqCacheSharded' -benchmem ./internal/gsp | benchjson -out BENCH_core.json
+//	go test -bench ... | benchjson -prev BENCH_core.json
 package main
 
 import (
@@ -44,9 +51,20 @@ func main() {
 func run(args []string, in io.Reader, tee io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "BENCH.json", "output JSON file")
+	prev := fs.String("prev", "", "baseline JSON to diff against; exit nonzero on regression")
+	maxRegress := fs.Float64("max-regress", 0.20, "ns/op regression tolerance vs -prev (0.20 = +20%)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// In diff mode the JSON file is only written when -out was given
+	// explicitly: a regression check must not clobber the committed
+	// baseline it compares against.
+	outSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
 
 	var doc Document
 	sc := bufio.NewScanner(in)
@@ -65,14 +83,75 @@ func run(args []string, in io.Reader, tee io.Writer) error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 
-	b, err := json.MarshalIndent(doc, "", "  ")
+	if *prev == "" || outSet {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(tee, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+	}
+	if *prev != "" {
+		return diffAgainst(*prev, doc, *maxRegress, tee)
+	}
+	return nil
+}
+
+// diffAgainst compares the fresh results to the baseline document by
+// benchmark name, printing a per-benchmark delta line and returning an
+// error when any shared benchmark's ns/op regressed beyond tolerance.
+// Benchmarks present on only one side are reported but never fail the
+// run — adding an ablation must not break the gate.
+func diffAgainst(path string, cur Document, maxRegress float64, tee io.Writer) error {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return fmt.Errorf("reading baseline: %w", err)
 	}
-	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
-		return err
+	var base Document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	fmt.Fprintf(tee, "benchjson: wrote %d results to %s\n", len(doc.Results), *out)
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+
+	var regressed []string
+	matched := 0
+	for _, r := range cur.Results {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(tee, "benchjson: %-60s new (no baseline)\n", r.Name)
+			continue
+		}
+		matched++
+		delete(baseByName, r.Name)
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(tee, "benchjson: %-60s baseline ns/op is 0, skipped\n", r.Name)
+			continue
+		}
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > maxRegress {
+			status = "REGRESSED"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Fprintf(tee, "benchjson: %-60s %12.1f -> %12.1f ns/op  %+6.1f%%  %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta*100, status)
+	}
+	for name := range baseByName {
+		fmt.Fprintf(tee, "benchjson: %-60s missing from this run\n", name)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks shared with baseline %s", path)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), maxRegress*100, strings.Join(regressed, ", "))
+	}
+	fmt.Fprintf(tee, "benchjson: %d benchmark(s) within %.0f%% of %s\n", matched, maxRegress*100, path)
 	return nil
 }
 

@@ -48,6 +48,7 @@ func run(args []string) error {
 	load := fs.String("load", "", "load a city snapshot (dataset JSON) instead of generating")
 	maxRadius := fs.Float64("max-radius", 10_000, "maximum accepted query radius in meters")
 	statsInterval := fs.Duration("stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,7 +65,11 @@ func run(args []string) error {
 		wire.WithLogger(logger),
 		wire.WithMaxRadius(*maxRadius),
 		wire.WithMetrics(reg),
+		wire.WithPprof(*pprofOn),
 	)
+	if *pprofOn {
+		logger.Printf("pprof profiling enabled at %s", wire.PathPprof)
+	}
 
 	obsCtx, obsCancel := context.WithCancel(context.Background())
 	defer obsCancel()

@@ -46,6 +46,7 @@ func run(args []string) error {
 	noAudit := fs.Bool("no-audit", false, "disable re-identification auditing")
 	historyLimit := fs.Int("history", 1000, "stored releases per user")
 	statsInterval := fs.Duration("stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
+	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +71,10 @@ func run(args []string) error {
 		wire.WithHistoryLimit(*historyLimit),
 		wire.WithLBSMetrics(reg),
 		wire.WithLBSLogger(logger),
+		wire.WithLBSPprof(*pprofOn),
+	}
+	if *pprofOn {
+		logger.Printf("pprof profiling enabled at %s", wire.PathPprof)
 	}
 	if !*noAudit {
 		svc := gsp.NewService(city.City, 1<<18)

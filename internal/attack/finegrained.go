@@ -124,7 +124,15 @@ func FineGrained(svc *gsp.Service, f poi.FreqVector, r float64, cfg FineGrainedC
 	// provably within r of the target. Types with F_diff = 0 satisfy this
 	// by construction and need no probing (see the soundness-filter
 	// ablation in DESIGN.md).
+	// Dominance probing per type goes through the same bounded worker
+	// pool as the region attack's prune loop (dominanceFlags), with
+	// flags landing at their POI index — so the collected anchors and
+	// their order match the retained serial reference exactly
+	// (TestFineGrainedParallelMatchesSerial). Probing stays lazy per
+	// type: types after the MaxAux cutoff are never probed, exactly as
+	// in the serial walk.
 	aux := make([]poi.POI, 0, cfg.MaxAux)
+	var dom []bool
 collect:
 	for _, cd := range cands {
 		pois := byType[cd.t]
@@ -133,9 +141,14 @@ collect:
 		if cd.diff == 0 {
 			sound = pois
 		} else {
+			if cap(dom) < len(pois) {
+				dom = make([]bool, len(pois))
+			}
+			dom = dom[:len(pois)]
+			dominanceFlags(svc, pois, f, r, dom)
 			survivors := make([]poi.POI, 0, len(pois))
-			for _, p := range pois {
-				if svc.Freq(p.Pos, 2*r).Dominates(f) {
+			for i, p := range pois {
+				if dom[i] {
 					survivors = append(survivors, p)
 				}
 			}

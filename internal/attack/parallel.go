@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// minParallelProbes is the candidate count below which the dominance
+// probe loop stays on the calling goroutine — under it, worker startup
+// costs more than the probes.
+const minParallelProbes = 16
+
+// dominanceFlags fills dom[i] with Freq(pois[i].Pos, 2r) ⊒ f for every
+// candidate anchor — the pruning predicate of the region attack — fanning
+// the probes across a bounded worker pool. Each worker owns one scratch
+// FreqVector filled via the zero-alloc FreqInto, so the loop allocates
+// per worker instead of per candidate. Results land at their candidate
+// index, which keeps downstream survivor collection in deterministic POI
+// order regardless of scheduling.
+func dominanceFlags(svc *gsp.Service, pois []poi.POI, f poi.FreqVector, r float64, dom []bool) {
+	dominanceFlagsN(svc, pois, f, r, dom, runtime.GOMAXPROCS(0))
+}
+
+// dominanceFlagsN is dominanceFlags with an explicit worker bound — the
+// hook the differential tests use to force the concurrent path on any
+// machine.
+func dominanceFlagsN(svc *gsp.Service, pois []poi.POI, f poi.FreqVector, r float64, dom []bool, workers int) {
+	n := len(pois)
+	if workers > n {
+		workers = n
+	}
+	m := svc.City().M()
+	if workers <= 1 || n < minParallelProbes {
+		scratch := poi.NewFreqVector(m)
+		for i := range pois {
+			svc.FreqInto(scratch, pois[i].Pos, 2*r)
+			dom[i] = scratch.Dominates(f)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := poi.NewFreqVector(m)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				svc.FreqInto(scratch, pois[i].Pos, 2*r)
+				dom[i] = scratch.Dominates(f)
+			}
+		}()
+	}
+	wg.Wait()
+}

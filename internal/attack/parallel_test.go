@@ -1,0 +1,130 @@
+package attack
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// TestDominanceFlagsParallelMatchesSerial forces the pooled probe loop
+// (workers=4) and checks it against the inline serial path (workers=1) —
+// the GOMAXPROCS default would silently fall back to serial on a 1-core
+// machine, so the worker count is pinned explicitly.
+func TestDominanceFlagsParallelMatchesSerial(t *testing.T) {
+	city, svc := fixture(t)
+	const r = 800.0
+	for _, l := range city.RandomLocations(40, 31) {
+		f := svc.Freq(l, r)
+		tl, ok := poi.MostInfrequentPresent(f, city.CityFreq())
+		if !ok {
+			continue
+		}
+		cands := city.POIsOfType(tl)
+		serial := make([]bool, len(cands))
+		parallel := make([]bool, len(cands))
+		dominanceFlagsN(svc, cands, f, r, serial, 1)
+		dominanceFlagsN(svc, cands, f, r, parallel, 4)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("dominance flags diverge at %v: serial %v parallel %v", l, serial, parallel)
+		}
+	}
+}
+
+// TestRegionParallelMatchesSerial pins the pooled Region against the
+// retained allocating reference, including Candidates ordering: the
+// RegionResult structs must be deeply equal at every location and radius.
+func TestRegionParallelMatchesSerial(t *testing.T) {
+	city, svc := fixture(t)
+	for _, r := range []float64{400, 800, 2000} {
+		for _, l := range city.RandomLocations(60, 33) {
+			f := svc.Freq(l, r)
+			want := regionSerial(svc, f, r)
+			got := Region(svc, f, r)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("r=%v l=%v: Region %+v != serial %+v", r, l, got, want)
+			}
+		}
+	}
+	// Degenerate release: no type present.
+	empty := poi.NewFreqVector(city.City.M())
+	if want, got := regionSerial(svc, empty, 500), Region(svc, empty, 500); !reflect.DeepEqual(want, got) {
+		t.Fatalf("empty release: Region %+v != serial %+v", got, want)
+	}
+}
+
+// TestFineGrainedParallelMatchesSerial pins the pooled FineGrained
+// against its retained reference — auxiliary anchor set, order, area and
+// all — over locations and radii, for both the default and a small
+// MaxAux (early-termination path).
+func TestFineGrainedParallelMatchesSerial(t *testing.T) {
+	city, svc := fixture(t)
+	for _, cfg := range []FineGrainedConfig{DefaultFineGrainedConfig(), {MaxAux: 2}} {
+		for _, r := range []float64{800, 2000} {
+			for _, l := range city.RandomLocations(40, 35) {
+				f := svc.Freq(l, r)
+				want := fineGrainedSerial(svc, f, r, cfg)
+				got := FineGrained(svc, f, r, cfg)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("cfg=%+v r=%v l=%v:\n got %+v\nwant %+v", cfg, r, l, got, want)
+				}
+			}
+		}
+	}
+}
+
+// benchCity builds a dense uniform-type city: every type has n/m POIs, so
+// the region attack probes a large candidate set — the workload the
+// pooled prune loop is built for.
+func benchCity(b *testing.B, n, m int) *gsp.City {
+	b.Helper()
+	types := poi.NewTypeTable()
+	for i := 0; i < m; i++ {
+		types.Intern(fmt.Sprintf("t%d", i))
+	}
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 20_000, MaxY: 20_000}
+	pois := make([]poi.POI, n)
+	for i := range pois {
+		// Deterministic low-discrepancy scatter; types round-robin so every
+		// candidate set has exactly n/m anchors.
+		x := float64(i%557) / 557 * 20_000
+		y := float64(i%881) / 881 * 20_000
+		pois[i] = poi.POI{ID: poi.ID(i), Type: poi.TypeID(i % m), Pos: geo.Point{X: x, Y: y}}
+	}
+	city, err := gsp.NewCity("bench", bounds, types, pois)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return city
+}
+
+// BenchmarkRegionPruneParallel is the prune-loop ablation pinned into
+// BENCH_core.json: the pooled zero-alloc path (Region) against the
+// retained per-candidate-allocating reference (regionSerial) on a warmed
+// cache — steady state for the attack sweeps, where every probe is a
+// cache hit and the difference is pure copy-vs-allocate plus pool
+// scaling.
+func BenchmarkRegionPruneParallel(b *testing.B) {
+	city := benchCity(b, 20_000, 40)
+	svc := gsp.NewService(city, 1<<17)
+	l := geo.Point{X: 10_000, Y: 10_000}
+	const r = 1500.0
+	f := svc.Freq(l, r)
+	Region(svc, f, r) // warm the Freq cache for every candidate probe
+
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Region(svc, f, r)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			regionSerial(svc, f, r)
+		}
+	})
+}

@@ -2,6 +2,9 @@ package attack
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"poiagg/internal/geo"
 	"poiagg/internal/gsp"
@@ -213,7 +216,19 @@ func TrainTransformRecoverer(svc *gsp.Service, transform ReleaseTransform, targe
 
 // fitRecoverer trains the per-type models shared by TrainRecoverer and
 // TrainTransformRecoverer once the (features, labels) matrix is built.
+// The per-type SVMs share the read-only Gram matrix, so they train
+// concurrently across GOMAXPROCS workers; results land at their target
+// index and merge in target order, which keeps the fitted recoverer —
+// and error reporting, pinned to the lowest failing target — identical
+// to a serial fit (TestRecovererFitParallelMatchesSerial).
 func fitRecoverer(features [][]float64, labels [][]int, targets []poi.TypeID, keepIdx []int, cfg RecoveryConfig) (*Recoverer, error) {
+	return fitRecovererN(features, labels, targets, keepIdx, cfg, runtime.GOMAXPROCS(0))
+}
+
+// fitRecovererN is fitRecoverer with an explicit worker bound — the hook
+// the differential test uses to compare the concurrent fit against
+// workers=1 on any machine.
+func fitRecovererN(features [][]float64, labels [][]int, targets []poi.TypeID, keepIdx []int, cfg RecoveryConfig, workers int) (*Recoverer, error) {
 	scaler, err := ml.FitScaler(features[:cfg.TrainSamples])
 	if err != nil {
 		return nil, fmt.Errorf("attack: fit recoverer: %w", err)
@@ -235,23 +250,34 @@ func fitRecoverer(features [][]float64, labels [][]int, targets []poi.TypeID, ke
 	for i := cfg.TrainSamples; i < total; i++ {
 		valRows = append(valRows, gram.EvalRow(scaled[i]))
 	}
-	y := make([]int, cfg.TrainSamples)
-	for k, t := range targets {
+
+	// fitted is one target's training outcome, produced by any worker and
+	// merged in target order below.
+	type fitted struct {
+		model    *ml.SVC
+		constant bool
+		constVal int
+		valAcc   float64
+		hasAcc   bool
+		err      error
+	}
+	outs := make([]fitted, len(targets))
+	fitOne := func(k int) {
+		y := make([]int, cfg.TrainSamples)
 		distinct := make(map[int]bool)
 		for i := 0; i < cfg.TrainSamples; i++ {
 			y[i] = labels[i][k]
 			distinct[y[i]] = true
 		}
 		if len(distinct) < 2 {
-			rec.constants[t] = y[0]
-			rec.valAcc[t] = constantValAcc(labels, cfg.TrainSamples, k, y[0])
-			continue
+			outs[k] = fitted{constant: true, constVal: y[0], valAcc: constantValAcc(labels, cfg.TrainSamples, k, y[0]), hasAcc: true}
+			return
 		}
 		model, err := ml.TrainSVC(gram, y, cfg.SVM)
 		if err != nil {
-			return nil, fmt.Errorf("attack: fit recoverer: type %d: %w", t, err)
+			outs[k] = fitted{err: err}
+			return
 		}
-		rec.models[t] = model
 		var acc, n float64
 		for vi, i := 0, cfg.TrainSamples; i < total; vi, i = vi+1, i+1 {
 			if model.PredictKernelRow(valRows[vi]) == labels[i][k] {
@@ -259,8 +285,52 @@ func fitRecoverer(features [][]float64, labels [][]int, targets []poi.TypeID, ke
 			}
 			n++
 		}
+		out := fitted{model: model}
 		if n > 0 {
-			rec.valAcc[t] = acc / n
+			out.valAcc = acc / n
+			out.hasAcc = true
+		}
+		outs[k] = out
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers <= 1 {
+		for k := range targets {
+			fitOne(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(targets) {
+						return
+					}
+					fitOne(k)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for k, t := range targets {
+		o := outs[k]
+		if o.err != nil {
+			return nil, fmt.Errorf("attack: fit recoverer: type %d: %w", t, o.err)
+		}
+		if o.constant {
+			rec.constants[t] = o.constVal
+			rec.valAcc[t] = o.valAcc
+			continue
+		}
+		rec.models[t] = o.model
+		if o.hasAcc {
+			rec.valAcc[t] = o.valAcc
 		}
 	}
 	return rec, nil

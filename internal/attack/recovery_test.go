@@ -2,9 +2,13 @@ package attack
 
 import (
 	"errors"
+	"math"
+	"reflect"
 	"testing"
 
+	"poiagg/internal/ml"
 	"poiagg/internal/poi"
+	"poiagg/internal/rng"
 )
 
 // sanitizedSet returns the fixture city's types with city-wide frequency
@@ -30,6 +34,70 @@ func applySanitize(f poi.FreqVector, sanitized []poi.TypeID) poi.FreqVector {
 		out[t] = 0
 	}
 	return out
+}
+
+// TestRecovererFitParallelMatchesSerial pins the concurrent per-type SVM
+// fit (workers=4) against workers=1 on synthetic features and labels:
+// the constant-type shortcut, validation accuracies, and every Recover
+// prediction must be identical, since all workers train on the same
+// read-only Gram and results merge in target order.
+func TestRecovererFitParallelMatchesSerial(t *testing.T) {
+	const (
+		dim     = 6
+		trainN  = 180
+		valN    = 40
+		numTgts = 3
+	)
+	src := rng.New(41)
+	total := trainN + valN
+	features := make([][]float64, total)
+	labels := make([][]int, total)
+	for i := range features {
+		row := make([]float64, dim)
+		for d := range row {
+			row[d] = src.Normal(0, 3)
+		}
+		features[i] = row
+		lab := make([]int, numTgts)
+		lab[0] = 2 // constant target: exercises the constants map
+		if row[0] > 0 {
+			lab[1] = 1
+		}
+		lab[2] = int(math.Abs(row[1])) % 3
+		labels[i] = lab
+	}
+	keepIdx := []int{0, 1, 2, 3, 4, 5}
+	targets := []poi.TypeID{6, 7, 8}
+	cfg := RecoveryConfig{TrainSamples: trainN, ValSamples: valN, Gamma: 0.1, SVM: ml.DefaultSVMConfig()}
+
+	rec1, err := fitRecovererN(features, labels, targets, keepIdx, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec4, err := fitRecovererN(features, labels, targets, keepIdx, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec1.ValidationAccuracy(), rec4.ValidationAccuracy()) {
+		t.Fatalf("validation accuracy diverges: %v vs %v", rec1.ValidationAccuracy(), rec4.ValidationAccuracy())
+	}
+	if !reflect.DeepEqual(rec1.constants, rec4.constants) {
+		t.Fatalf("constants diverge: %v vs %v", rec1.constants, rec4.constants)
+	}
+	if len(rec1.models) != len(rec4.models) {
+		t.Fatalf("model sets diverge: %d vs %d", len(rec1.models), len(rec4.models))
+	}
+	for trial := 0; trial < 30; trial++ {
+		f := poi.NewFreqVector(9)
+		for i := range f {
+			f[i] = src.IntN(12)
+		}
+		got1 := rec1.Recover(f)
+		got4 := rec4.Recover(f)
+		if !got1.Equal(got4) {
+			t.Fatalf("trial %d: Recover diverges: %v vs %v", trial, got1, got4)
+		}
+	}
 }
 
 func TestRecovererValidationAccuracy(t *testing.T) {

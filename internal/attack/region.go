@@ -69,15 +69,23 @@ func (r RegionResult) SearchArea(radius float64) float64 {
 //     disk of radius 2r around any POI within r of it, so a true anchor's
 //     2r-vector must dominate the release);
 //  4. succeed when exactly one candidate remains.
+//
+// The pruning loop (step 3) fans out across a bounded worker pool with
+// per-worker scratch vectors; survivors are collected in POI order, so
+// Candidates is bit-identical to the retained serial reference
+// (TestRegionParallelMatchesSerial).
 func Region(svc *gsp.Service, f poi.FreqVector, r float64) RegionResult {
 	city := svc.City()
 	tl, ok := poi.MostInfrequentPresent(f, city.CityFreq())
 	if !ok {
 		return RegionResult{AnchorType: -1}
 	}
+	cands := city.POIsOfType(tl)
+	dom := make([]bool, len(cands))
+	dominanceFlags(svc, cands, f, r, dom)
 	var survivors []poi.POI
-	for _, p := range city.POIsOfType(tl) {
-		if svc.Freq(p.Pos, 2*r).Dominates(f) {
+	for i, p := range cands {
+		if dom[i] {
 			survivors = append(survivors, p)
 		}
 	}

@@ -1,0 +1,110 @@
+package attack
+
+import (
+	"sort"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
+	"poiagg/internal/poi"
+)
+
+// This file retains the pre-parallel, allocating implementations of the
+// region and fine-grained attacks, verbatim. They are the ground truth
+// the differential tests compare the pooled kernels against
+// (TestRegionParallelMatchesSerial, TestFineGrainedParallelMatchesSerial
+// — including Candidates ordering) and the baseline side of
+// BenchmarkRegionPruneParallel. They are not exported: production code
+// always goes through Region/FineGrained.
+
+// regionSerial is the single-threaded reference for Region: one fresh
+// Freq vector per candidate, pruned in POI order.
+func regionSerial(svc *gsp.Service, f poi.FreqVector, r float64) RegionResult {
+	city := svc.City()
+	tl, ok := poi.MostInfrequentPresent(f, city.CityFreq())
+	if !ok {
+		return RegionResult{AnchorType: -1}
+	}
+	var survivors []poi.POI
+	for _, p := range city.POIsOfType(tl) {
+		if svc.Freq(p.Pos, 2*r).Dominates(f) {
+			survivors = append(survivors, p)
+		}
+	}
+	res := RegionResult{AnchorType: tl, Candidates: survivors}
+	if len(survivors) == 1 {
+		res.Success = true
+		res.Anchor = survivors[0]
+	}
+	return res
+}
+
+// fineGrainedSerial is the single-threaded reference for FineGrained,
+// built on regionSerial and per-candidate Freq probes.
+func fineGrainedSerial(svc *gsp.Service, f poi.FreqVector, r float64, cfg FineGrainedConfig) FineGrainedResult {
+	if cfg.MaxAux <= 0 {
+		cfg.MaxAux = DefaultFineGrainedConfig().MaxAux
+	}
+	res := FineGrainedResult{RegionResult: regionSerial(svc, f, r)}
+	if !res.Success {
+		return res
+	}
+	anchor := res.Anchor
+	near := svc.Query(anchor.Pos, 2*r)
+	fAnchor := svc.Freq(anchor.Pos, 2*r)
+	fdiff := fAnchor.Sub(f)
+
+	byType := make(map[poi.TypeID][]poi.POI)
+	for _, p := range near {
+		byType[p.Type] = append(byType[p.Type], p)
+	}
+
+	type typeDiff struct {
+		t    poi.TypeID
+		diff int
+	}
+	cands := make([]typeDiff, 0, len(f))
+	for i, n := range f {
+		t := poi.TypeID(i)
+		if n <= 0 || t == res.AnchorType {
+			continue
+		}
+		cands = append(cands, typeDiff{t: t, diff: fdiff[i]})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].diff != cands[b].diff {
+			return cands[a].diff < cands[b].diff
+		}
+		return cands[a].t < cands[b].t
+	})
+
+	aux := make([]poi.POI, 0, cfg.MaxAux)
+collect:
+	for _, cd := range cands {
+		pois := byType[cd.t]
+		need := f[cd.t]
+		var sound []poi.POI
+		if cd.diff == 0 {
+			sound = pois
+		} else {
+			survivors := make([]poi.POI, 0, len(pois))
+			for _, p := range pois {
+				if svc.Freq(p.Pos, 2*r).Dominates(f) {
+					survivors = append(survivors, p)
+				}
+			}
+			if len(survivors) != need {
+				continue // ambiguous type: some survivors may be outside r
+			}
+			sound = survivors
+		}
+		for _, p := range sound {
+			aux = append(aux, p)
+			if len(aux) >= cfg.MaxAux {
+				break collect
+			}
+		}
+	}
+	res.AuxAnchors = aux
+	res.Area = geo.DisksIntersectionArea(res.FeasibleDisks(r))
+	return res
+}

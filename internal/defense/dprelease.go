@@ -111,21 +111,27 @@ func NewDPRelease(svc *gsp.Service, pop *cloak.Population, cfg DPReleaseConfig) 
 func (d *DPRelease) Release(src *rng.Source, l geo.Point, r float64) (poi.FreqVector, error) {
 	dummies := d.cloaker.DummyLocations(l, src)
 	m := d.svc.City().M()
-	freqs := make([]poi.FreqVector, len(dummies))
-	for j, loc := range dummies {
-		freqs[j] = d.svc.Freq(loc, r)
+	// One scratch vector serves every dummy location (FreqInto, no
+	// per-dummy allocation); only the per-dimension sums and max
+	// sensitivities survive the aggregation — the individual vectors were
+	// discarded immediately anyway.
+	sums := make([]int, m)
+	senss := make([]int, m)
+	scratch := poi.NewFreqVector(m)
+	for _, loc := range dummies {
+		d.svc.FreqInto(scratch, loc, r)
+		for i, v := range scratch {
+			sums[i] += v
+			if v > senss[i] {
+				senss[i] = v
+			}
+		}
 	}
 	k := float64(len(dummies))
 	noisyMean := poi.NewFreqVector(m)
 	for i := 0; i < m; i++ {
-		sum := 0
-		sens := 0
-		for _, fv := range freqs {
-			sum += fv[i]
-			if fv[i] > sens {
-				sens = fv[i]
-			}
-		}
+		sum := sums[i]
+		sens := senss[i]
 		var noise float64
 		switch d.cfg.Mech {
 		case MechLaplace:

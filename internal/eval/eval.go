@@ -81,6 +81,49 @@ func forEachLoc(n int, fn func(i int) error) error {
 	return nil
 }
 
+// forEachLocFreq is forEachLoc with one scratch FreqVector of dimension
+// m per worker, for sweeps whose per-location work needs a transient
+// frequency buffer: Service.FreqInto call sites allocate per worker
+// instead of per location. Scratch reuse cannot change results — the
+// buffer is fully overwritten by every FreqInto call.
+func forEachLocFreq(n, m int, fn func(i int, scratch poi.FreqVector) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		scratch := poi.NewFreqVector(m)
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i, scratch)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scratch := poi.NewFreqVector(m)
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i, scratch)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SuccessRate releases a vector for every location through rel and runs
 // the region re-identification attack against it, returning the fraction
 // of successful attacks: |Φ| = 1 and the re-identified region (the
@@ -176,10 +219,10 @@ func FineGrainedSweep(svc *gsp.Service, locs []geo.Point, r float64, cfg attack.
 		covered bool
 	}
 	results := make([]perLoc, len(locs))
-	forEachLoc(len(locs), func(i int) error {
+	forEachLocFreq(len(locs), svc.City().M(), func(i int, scratch poi.FreqVector) error {
 		l := locs[i]
-		f := svc.Freq(l, r)
-		res := attack.FineGrained(svc, f, r, cfg)
+		svc.FreqInto(scratch, l, r)
+		res := attack.FineGrained(svc, scratch, r, cfg)
 		if res.Success {
 			results[i] = perLoc{
 				success: true,
@@ -224,14 +267,14 @@ func TopKJaccard(svc *gsp.Service, locs []geo.Point, r float64, rel Releaser, k 
 	}
 	root := rng.New(seed)
 	js := make([]float64, len(locs))
-	err := forEachLoc(len(locs), func(i int) error {
+	err := forEachLocFreq(len(locs), svc.City().M(), func(i int, scratch poi.FreqVector) error {
 		l := locs[i]
-		exact := svc.Freq(l, r)
+		svc.FreqInto(scratch, l, r)
 		released, err := rel(locSource(root, i), l, r)
 		if err != nil {
 			return fmt.Errorf("eval: TopKJaccard: %w", err)
 		}
-		js[i] = stats.Jaccard(exact.TopK(k), released.TopK(k))
+		js[i] = stats.Jaccard(scratch.TopK(k), released.TopK(k))
 		return nil
 	})
 	if err != nil {

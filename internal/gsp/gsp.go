@@ -142,21 +142,37 @@ func (s *Service) Query(l geo.Point, r float64) []poi.POI {
 
 // Freq returns the POI type frequency vector of the POIs within radius r
 // of l (the paper's Freq(l, r)). The returned vector is a fresh copy owned
-// by the caller.
+// by the caller. Hot loops that probe Freq repeatedly and discard the
+// vector should use FreqInto with a reused buffer instead.
 func (s *Service) Freq(l geo.Point, r float64) poi.FreqVector {
+	f := poi.NewFreqVector(s.city.M())
+	s.FreqInto(f, l, r)
+	return f
+}
+
+// FreqInto fills out — a caller-owned buffer whose length must equal
+// City().M() — with the frequency vector Freq(l, r) would return,
+// without allocating: a cache hit is a single copy into the buffer, a
+// miss counts directly into it. It is the zero-allocation core of the
+// attack kernels, whose pruning loops issue millions of Freq probes and
+// discard each vector immediately (Freq itself is a thin wrapper).
+func (s *Service) FreqInto(out poi.FreqVector, l geo.Point, r float64) {
+	if len(out) != s.city.M() {
+		panic(fmt.Sprintf("gsp: FreqInto: buffer dimension %d, city has %d types", len(out), s.city.M()))
+	}
 	if s.cache == nil {
-		f := poi.NewFreqVector(s.city.M())
-		s.city.idx.CountTypes(f, l, r)
-		return f
+		clear(out)
+		s.city.idx.CountTypes(out, l, r)
+		return
 	}
 	key := freqKey{x: l.X, y: l.Y, r: r}
 	if f, ok := s.cache.get(key); ok {
-		return f.Clone()
+		copy(out, f)
+		return
 	}
-	f := poi.NewFreqVector(s.city.M())
-	s.city.idx.CountTypes(f, l, r)
-	s.cache.put(key, f.Clone())
-	return f
+	clear(out)
+	s.city.idx.CountTypes(out, l, r)
+	s.cache.put(key, out.Clone())
 }
 
 // CacheStats returns the number of cache hits and misses so far.

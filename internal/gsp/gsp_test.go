@@ -145,6 +145,65 @@ func TestServiceConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestFreqIntoMatchesFreq pins the zero-allocation FreqInto path to the
+// allocating Freq path across cache-on/cache-off services and cache
+// hit/miss sequences — the differential for the tentpole's gsp layer.
+func TestFreqIntoMatchesFreq(t *testing.T) {
+	city := testCity(t)
+	for _, cacheCap := range []int{0, 10} {
+		svc := NewService(city, cacheCap)
+		src := rng.New(21)
+		out := poi.NewFreqVector(city.M())
+		for trial := 0; trial < 100; trial++ {
+			// Revisit a small set of locations so the cached service
+			// exercises both miss (first visit) and hit (revisit) paths.
+			x := float64(src.IntN(5)) * 100
+			y := float64(src.IntN(5)) * 100
+			l := geo.Point{X: x, Y: y}
+			r := float64(50 + src.IntN(3)*100)
+			want := svc.Freq(l, r)
+			// Poison the buffer: FreqInto must fully overwrite it.
+			for i := range out {
+				out[i] = -77
+			}
+			svc.FreqInto(out, l, r)
+			if !out.Equal(want) {
+				t.Fatalf("cache=%d trial %d: FreqInto %v != Freq %v", cacheCap, trial, out, want)
+			}
+		}
+	}
+}
+
+// TestFreqIntoBufferNotAliased verifies a cached entry never aliases the
+// caller's buffer: mutating the buffer after FreqInto must not poison
+// later reads of the same key.
+func TestFreqIntoBufferNotAliased(t *testing.T) {
+	city := testCity(t)
+	svc := NewService(city, 10)
+	l := geo.Point{X: 150, Y: 120}
+	out := poi.NewFreqVector(city.M())
+	svc.FreqInto(out, l, 100) // miss: fills the cache from out
+	out[0] = 999
+	if f := svc.Freq(l, 100); f[0] == 999 {
+		t.Error("cache aliased FreqInto buffer")
+	}
+	svc.FreqInto(out, l, 100) // hit: copies from the cache
+	if out[0] == 999 {
+		t.Error("cache hit did not overwrite buffer")
+	}
+}
+
+func TestFreqIntoWrongLengthPanics(t *testing.T) {
+	city := testCity(t)
+	svc := NewService(city, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("FreqInto with wrong-length buffer did not panic")
+		}
+	}()
+	svc.FreqInto(poi.NewFreqVector(city.M()+1), geo.Point{X: 1, Y: 1}, 100)
+}
+
 func TestPOIsCopy(t *testing.T) {
 	city := testCity(t)
 	ps := city.POIs()

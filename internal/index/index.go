@@ -8,6 +8,7 @@ package index
 
 import (
 	"math"
+	"sort"
 
 	"poiagg/internal/geo"
 	"poiagg/internal/poi"
@@ -17,12 +18,13 @@ import (
 type Index interface {
 	// Within appends to dst the POIs whose position lies within radius of
 	// center (closed disk), and returns the extended slice. Order is
-	// unspecified but deterministic for a given index.
+	// unspecified but deterministic for a given index. A negative radius
+	// matches nothing.
 	Within(dst []poi.POI, center geo.Point, radius float64) []poi.POI
 
 	// CountTypes accumulates the type frequency vector of the POIs within
 	// radius of center into out (which must be sized to the city's type
-	// count and zeroed by the caller).
+	// count and zeroed by the caller). A negative radius matches nothing.
 	CountTypes(out poi.FreqVector, center geo.Point, radius float64)
 
 	// Len returns the number of indexed POIs.
@@ -45,6 +47,9 @@ func NewBrute(pois []poi.POI) *Brute {
 
 // Within implements Index.
 func (b *Brute) Within(dst []poi.POI, center geo.Point, radius float64) []poi.POI {
+	if radius < 0 {
+		return dst
+	}
 	r2 := radius * radius
 	for _, p := range b.pois {
 		if geo.Dist2(p.Pos, center) <= r2 {
@@ -56,6 +61,9 @@ func (b *Brute) Within(dst []poi.POI, center geo.Point, radius float64) []poi.PO
 
 // CountTypes implements Index.
 func (b *Brute) CountTypes(out poi.FreqVector, center geo.Point, radius float64) {
+	if radius < 0 {
+		return
+	}
 	r2 := radius * radius
 	for _, p := range b.pois {
 		if geo.Dist2(p.Pos, center) <= r2 {
@@ -69,15 +77,40 @@ func (b *Brute) Len() int { return len(b.pois) }
 
 // Grid is a uniform grid index. POIs are bucketed into square cells; a
 // disk query scans only the cells overlapping the disk's bounding box and
-// filters by exact distance. Cells fully inside the disk skip the
-// per-point distance check.
+// filters by exact distance.
+//
+// Cell storage is struct-of-arrays: the POIs are counting-sorted by cell
+// into contiguous xs/ys/types/ids arrays (one backing allocation each),
+// with cellStart giving each cell's span — a boundary-cell scan walks
+// sequential memory instead of chasing 32-byte POI structs. Each cell
+// additionally carries a sparse type histogram (type/count pairs), so a
+// cell that lies fully inside the query disk contributes its whole
+// population with one add per *distinct type present* instead of one
+// increment per POI; CountTypes on dense cells is where the attack
+// sweeps spend their time (see BenchmarkIndexHistVsScan).
 type Grid struct {
 	bounds   geo.Rect
 	cellSize float64
 	cols     int
 	rows     int
-	cells    [][]poi.POI
 	n        int
+
+	// Struct-of-arrays POI storage, cell-major (row-major cell order,
+	// original input order within a cell — the same emit order as the
+	// historical per-cell slice layout).
+	xs    []float64
+	ys    []float64
+	types []poi.TypeID
+	ids   []poi.ID
+	// cellStart[c]..cellStart[c+1] is cell c's span in the arrays above.
+	cellStart []int32
+
+	// Sparse per-cell type histograms: cell c's histogram is the
+	// (histType, histCount) pairs in histStart[c]..histStart[c+1], in
+	// ascending type order.
+	histType  []poi.TypeID
+	histCount []int32
+	histStart []int32
 }
 
 var _ Index = (*Grid)(nil)
@@ -103,15 +136,77 @@ func NewGrid(pois []poi.POI, bounds geo.Rect, cellSize float64) *Grid {
 		cellSize: cellSize,
 		cols:     cols,
 		rows:     rows,
-		cells:    make([][]poi.POI, cols*rows),
 		n:        len(pois),
 	}
+	nc := cols * rows
+	counts := make([]int32, nc)
+	for i := range pois {
+		ci, cj := g.cellOf(pois[i].Pos)
+		counts[cj*cols+ci]++
+	}
+	g.cellStart = make([]int32, nc+1)
+	var sum int32
+	for c, cnt := range counts {
+		g.cellStart[c] = sum
+		sum += cnt
+	}
+	g.cellStart[nc] = sum
+
+	n := len(pois)
+	g.xs = make([]float64, n)
+	g.ys = make([]float64, n)
+	g.types = make([]poi.TypeID, n)
+	g.ids = make([]poi.ID, n)
+	// Reuse counts as the per-cell write cursor for the stable
+	// counting-sort placement pass.
+	next := counts
+	copy(next, g.cellStart[:nc])
+	maxType := poi.TypeID(-1)
 	for _, p := range pois {
 		ci, cj := g.cellOf(p.Pos)
-		idx := cj*cols + ci
-		g.cells[idx] = append(g.cells[idx], p)
+		c := cj*cols + ci
+		i := next[c]
+		next[c] = i + 1
+		g.xs[i] = p.Pos.X
+		g.ys[i] = p.Pos.Y
+		g.types[i] = p.Type
+		g.ids[i] = p.ID
+		if p.Type > maxType {
+			maxType = p.Type
+		}
 	}
+	g.buildHist(int(maxType) + 1)
 	return g
+}
+
+// buildHist computes the sparse per-cell type histograms; m is an upper
+// bound on the type IDs present (max observed + 1).
+func (g *Grid) buildHist(m int) {
+	nc := g.cols * g.rows
+	g.histStart = make([]int32, nc+1)
+	if m <= 0 {
+		return
+	}
+	scratch := make([]int32, m)
+	var touched []poi.TypeID
+	for c := 0; c < nc; c++ {
+		g.histStart[c] = int32(len(g.histType))
+		touched = touched[:0]
+		for i := g.cellStart[c]; i < g.cellStart[c+1]; i++ {
+			t := g.types[i]
+			if scratch[t] == 0 {
+				touched = append(touched, t)
+			}
+			scratch[t]++
+		}
+		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+		for _, t := range touched {
+			g.histType = append(g.histType, t)
+			g.histCount = append(g.histCount, scratch[t])
+			scratch[t] = 0
+		}
+	}
+	g.histStart[nc] = int32(len(g.histType))
 }
 
 func (g *Grid) cellOf(p geo.Point) (ci, cj int) {
@@ -132,77 +227,172 @@ func (g *Grid) cellOf(p geo.Point) (ci, cj int) {
 	return ci, cj
 }
 
-// cellRect returns the rectangle covered by cell (ci, cj). Border cells
-// extend to infinity conceptually because out-of-bounds points are clamped
-// into them; for the fully-inside optimization we only use the nominal
-// rect, and the border cells simply fail that test and fall back to exact
-// distance checks, which is always correct.
-func (g *Grid) cellRect(ci, cj int) geo.Rect {
-	return geo.Rect{
-		MinX: g.bounds.MinX + float64(ci)*g.cellSize,
-		MinY: g.bounds.MinY + float64(cj)*g.cellSize,
-		MaxX: g.bounds.MinX + float64(ci+1)*g.cellSize,
-		MaxY: g.bounds.MinY + float64(cj+1)*g.cellSize,
+// cellCover classifies a cell's relation to a query disk.
+type cellCover uint8
+
+const (
+	// coverOutside: no point of the cell can be within the disk.
+	coverOutside cellCover = iota
+	// coverBoundary: the cell straddles the disk boundary (or is a
+	// border cell holding clamped points); per-point distance checks are
+	// required.
+	coverBoundary
+	// coverFull: every point of the cell lies within the disk.
+	coverFull
+)
+
+// classify computes the partial-cover class of cell (ci, cj) for the
+// disk of the given radius around center, from the squared distances to
+// the cell rectangle's nearest and farthest corners. Border cells are
+// always coverBoundary: clamped out-of-bounds points may lie anywhere,
+// so they can be neither skipped nor bulk-counted.
+func (g *Grid) classify(ci, cj int, center geo.Point, radius float64) cellCover {
+	if ci == 0 || cj == 0 || ci == g.cols-1 || cj == g.rows-1 {
+		return coverBoundary
 	}
+	minX := g.bounds.MinX + float64(ci)*g.cellSize
+	minY := g.bounds.MinY + float64(cj)*g.cellSize
+	maxX := g.bounds.MinX + float64(ci+1)*g.cellSize
+	maxY := g.bounds.MinY + float64(cj+1)*g.cellSize
+
+	// Nearest point of the rect (zero component when center is between
+	// the sides) and farthest corner, per axis.
+	var nearDx, nearDy float64
+	if center.X < minX {
+		nearDx = minX - center.X
+	} else if center.X > maxX {
+		nearDx = center.X - maxX
+	}
+	if center.Y < minY {
+		nearDy = minY - center.Y
+	} else if center.Y > maxY {
+		nearDy = center.Y - maxY
+	}
+	farDx := math.Max(center.X-minX, maxX-center.X)
+	farDy := math.Max(center.Y-minY, maxY-center.Y)
+
+	r2 := radius * radius
+	if nearDx*nearDx+nearDy*nearDy > r2 {
+		return coverOutside
+	}
+	if farDx*farDx+farDy*farDy <= r2 {
+		return coverFull
+	}
+	return coverBoundary
 }
 
-// cellFullyInside reports whether every point of cell (ci, cj) is within
-// radius of center. Border cells are never "fully inside" because clamped
-// points may lie outside the nominal rect.
-func (g *Grid) cellFullyInside(ci, cj int, center geo.Point, radius float64) bool {
-	if ci == 0 || cj == 0 || ci == g.cols-1 || cj == g.rows-1 {
-		return false
-	}
-	r := g.cellRect(ci, cj)
-	corners := [4]geo.Point{
-		{X: r.MinX, Y: r.MinY},
-		{X: r.MaxX, Y: r.MinY},
-		{X: r.MinX, Y: r.MaxY},
-		{X: r.MaxX, Y: r.MaxY},
-	}
-	r2 := radius * radius
-	for _, c := range corners {
-		if geo.Dist2(c, center) > r2 {
-			return false
-		}
-	}
-	return true
+// cellRange returns the inclusive cell index range overlapping the
+// query disk's bounding box.
+func (g *Grid) cellRange(center geo.Point, radius float64) (minCI, minCJ, maxCI, maxCJ int) {
+	minCI, minCJ = g.cellOf(geo.Point{X: center.X - radius, Y: center.Y - radius})
+	maxCI, maxCJ = g.cellOf(geo.Point{X: center.X + radius, Y: center.Y + radius})
+	return
 }
 
 // Within implements Index.
 func (g *Grid) Within(dst []poi.POI, center geo.Point, radius float64) []poi.POI {
-	g.scan(center, radius, func(p poi.POI) { dst = append(dst, p) })
-	return dst
-}
-
-// CountTypes implements Index.
-func (g *Grid) CountTypes(out poi.FreqVector, center geo.Point, radius float64) {
-	g.scan(center, radius, func(p poi.POI) { out[p.Type]++ })
-}
-
-func (g *Grid) scan(center geo.Point, radius float64, emit func(poi.POI)) {
-	minCI, minCJ := g.cellOf(geo.Point{X: center.X - radius, Y: center.Y - radius})
-	maxCI, maxCJ := g.cellOf(geo.Point{X: center.X + radius, Y: center.Y + radius})
+	if radius < 0 {
+		return dst
+	}
+	minCI, minCJ, maxCI, maxCJ := g.cellRange(center, radius)
 	r2 := radius * radius
 	for cj := minCJ; cj <= maxCJ; cj++ {
 		for ci := minCI; ci <= maxCI; ci++ {
-			cell := g.cells[cj*g.cols+ci]
-			if len(cell) == 0 {
+			c := cj*g.cols + ci
+			start, end := g.cellStart[c], g.cellStart[c+1]
+			if start == end {
 				continue
 			}
-			if !g.cellRect(ci, cj).IntersectsCircle(center, radius) &&
-				ci != 0 && cj != 0 && ci != g.cols-1 && cj != g.rows-1 {
-				continue
-			}
-			if g.cellFullyInside(ci, cj, center, radius) {
-				for _, p := range cell {
-					emit(p)
+			switch g.classify(ci, cj, center, radius) {
+			case coverOutside:
+			case coverFull:
+				for i := start; i < end; i++ {
+					dst = append(dst, g.poiAt(i))
 				}
+			default:
+				for i := start; i < end; i++ {
+					dx := g.xs[i] - center.X
+					dy := g.ys[i] - center.Y
+					if dx*dx+dy*dy <= r2 {
+						dst = append(dst, g.poiAt(i))
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func (g *Grid) poiAt(i int32) poi.POI {
+	return poi.POI{ID: g.ids[i], Type: g.types[i], Pos: geo.Point{X: g.xs[i], Y: g.ys[i]}}
+}
+
+// CountTypes implements Index. Fully covered cells contribute their
+// precomputed histogram (one add per distinct type present); only
+// boundary cells pay per-point distance checks.
+func (g *Grid) CountTypes(out poi.FreqVector, center geo.Point, radius float64) {
+	if radius < 0 {
+		return
+	}
+	minCI, minCJ, maxCI, maxCJ := g.cellRange(center, radius)
+	r2 := radius * radius
+	for cj := minCJ; cj <= maxCJ; cj++ {
+		for ci := minCI; ci <= maxCI; ci++ {
+			c := cj*g.cols + ci
+			start, end := g.cellStart[c], g.cellStart[c+1]
+			if start == end {
 				continue
 			}
-			for _, p := range cell {
-				if geo.Dist2(p.Pos, center) <= r2 {
-					emit(p)
+			switch g.classify(ci, cj, center, radius) {
+			case coverOutside:
+			case coverFull:
+				for h := g.histStart[c]; h < g.histStart[c+1]; h++ {
+					out[g.histType[h]] += int(g.histCount[h])
+				}
+			default:
+				for i := start; i < end; i++ {
+					dx := g.xs[i] - center.X
+					dy := g.ys[i] - center.Y
+					if dx*dx+dy*dy <= r2 {
+						out[g.types[i]]++
+					}
+				}
+			}
+		}
+	}
+}
+
+// countTypesScan is the retained pre-histogram reference: identical
+// traversal and cell classification, but fully covered cells are counted
+// point by point instead of adding the histogram. The differential tests
+// pin CountTypes bit-identical to it (and to Brute), and
+// BenchmarkIndexHistVsScan prices the histogram against it.
+func (g *Grid) countTypesScan(out poi.FreqVector, center geo.Point, radius float64) {
+	if radius < 0 {
+		return
+	}
+	minCI, minCJ, maxCI, maxCJ := g.cellRange(center, radius)
+	r2 := radius * radius
+	for cj := minCJ; cj <= maxCJ; cj++ {
+		for ci := minCI; ci <= maxCI; ci++ {
+			c := cj*g.cols + ci
+			start, end := g.cellStart[c], g.cellStart[c+1]
+			if start == end {
+				continue
+			}
+			switch g.classify(ci, cj, center, radius) {
+			case coverOutside:
+			case coverFull:
+				for i := start; i < end; i++ {
+					out[g.types[i]]++
+				}
+			default:
+				for i := start; i < end; i++ {
+					dx := g.xs[i] - center.X
+					dy := g.ys[i] - center.Y
+					if dx*dx+dy*dy <= r2 {
+						out[g.types[i]]++
+					}
 				}
 			}
 		}

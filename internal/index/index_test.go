@@ -142,6 +142,198 @@ func TestNewGridDegenerateCellSize(t *testing.T) {
 	}
 }
 
+// TestGridHistogramMatchesScan pins the histogram-accelerated CountTypes
+// bit-identical to the retained per-point scan reference and to Brute,
+// over seeded random cities at several cell sizes — the differential
+// proof behind BenchmarkIndexHistVsScan.
+func TestGridHistogramMatchesScan(t *testing.T) {
+	bounds := geo.Rect{MinX: -2_000, MinY: 1_000, MaxX: 14_000, MaxY: 12_000}
+	for _, cell := range []float64{300, 700, 2500} {
+		pois := makePOIs(5000, 40, bounds, 7)
+		brute := NewBrute(pois)
+		grid := NewGrid(pois, bounds, cell)
+		src := rng.New(8)
+		for trial := 0; trial < 150; trial++ {
+			x, y := src.UniformIn(bounds.MinX-2000, bounds.MinY-2000, bounds.MaxX+2000, bounds.MaxY+2000)
+			center := geo.Point{X: x, Y: y}
+			radius := src.Float64() * 6000
+			hist := poi.NewFreqVector(40)
+			scan := poi.NewFreqVector(40)
+			ref := poi.NewFreqVector(40)
+			grid.CountTypes(hist, center, radius)
+			grid.countTypesScan(scan, center, radius)
+			brute.CountTypes(ref, center, radius)
+			if !hist.Equal(scan) {
+				t.Fatalf("cell %v trial %d: hist %v != scan %v", cell, trial, hist, scan)
+			}
+			if !hist.Equal(ref) {
+				t.Fatalf("cell %v trial %d: hist %v != brute %v", cell, trial, hist, ref)
+			}
+		}
+	}
+}
+
+// TestGridExactRadiusClosedDisk places POIs exactly at distance r from
+// the query center (axis-aligned, so the distance computation is exact in
+// floating point) and asserts the closed-disk contract agrees with Brute.
+func TestGridExactRadiusClosedDisk(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 10_000, MaxY: 10_000}
+	center := geo.Point{X: 5_000, Y: 5_000}
+	const r = 1500.0
+	pois := []poi.POI{
+		{ID: 1, Type: 0, Pos: geo.Point{X: center.X + r, Y: center.Y}},
+		{ID: 2, Type: 1, Pos: geo.Point{X: center.X - r, Y: center.Y}},
+		{ID: 3, Type: 2, Pos: geo.Point{X: center.X, Y: center.Y + r}},
+		{ID: 4, Type: 3, Pos: geo.Point{X: center.X, Y: center.Y - r}},
+		{ID: 5, Type: 4, Pos: geo.Point{X: center.X + r + 0.001, Y: center.Y}}, // just outside
+	}
+	brute := NewBrute(pois)
+	grid := NewGrid(pois, bounds, 400)
+	want := brute.Within(nil, center, r)
+	got := grid.Within(nil, center, r)
+	if len(want) != 4 {
+		t.Fatalf("brute closed-disk contract broken: %d POIs at distance exactly r", len(want))
+	}
+	if w, g := idsOf(want), idsOf(got); len(w) != len(g) {
+		t.Fatalf("grid %v != brute %v at exact distance r", g, w)
+	}
+	fw := poi.NewFreqVector(5)
+	fg := poi.NewFreqVector(5)
+	brute.CountTypes(fw, center, r)
+	grid.CountTypes(fg, center, r)
+	if !fw.Equal(fg) {
+		t.Fatalf("CountTypes at exact distance r: grid %v != brute %v", fg, fw)
+	}
+}
+
+// TestGridNegativeRadius asserts the shared "negative radius matches
+// nothing" contract of every Index implementation — without the guard, a
+// squared-radius comparison silently treats -r like +r.
+func TestGridNegativeRadius(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 1_000, MaxY: 1_000}
+	pois := makePOIs(200, 8, bounds, 9)
+	brute := NewBrute(pois)
+	grid := NewGrid(pois, bounds, 100)
+	center := geo.Point{X: 500, Y: 500}
+	for _, radius := range []float64{-1, -500, -1e9} {
+		if got := grid.Within(nil, center, radius); len(got) != 0 {
+			t.Errorf("grid Within(r=%v) returned %d POIs", radius, len(got))
+		}
+		if got := brute.Within(nil, center, radius); len(got) != 0 {
+			t.Errorf("brute Within(r=%v) returned %d POIs", radius, len(got))
+		}
+		fg := poi.NewFreqVector(8)
+		fb := poi.NewFreqVector(8)
+		grid.CountTypes(fg, center, radius)
+		brute.CountTypes(fb, center, radius)
+		if fg.Total() != 0 || fb.Total() != 0 {
+			t.Errorf("CountTypes(r=%v) counted %d/%d POIs", radius, fg.Total(), fb.Total())
+		}
+	}
+}
+
+// TestGridRadiusLargerThanBounds sweeps radii well beyond the city
+// extent — every POI (including clamped out-of-bounds ones) must be
+// returned, and intermediate radii must agree with Brute.
+func TestGridRadiusLargerThanBounds(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 2_000, MaxY: 1_500}
+	pois := makePOIs(500, 12, bounds, 10)
+	// A few POIs far outside bounds, clamped into border cells.
+	pois = append(pois,
+		poi.POI{ID: 9001, Type: 0, Pos: geo.Point{X: -5_000, Y: -5_000}},
+		poi.POI{ID: 9002, Type: 1, Pos: geo.Point{X: 9_000, Y: 8_000}},
+	)
+	brute := NewBrute(pois)
+	grid := NewGrid(pois, bounds, 250)
+	src := rng.New(11)
+	for trial := 0; trial < 60; trial++ {
+		x, y := src.UniformIn(bounds.MinX-500, bounds.MinY-500, bounds.MaxX+500, bounds.MaxY+500)
+		center := geo.Point{X: x, Y: y}
+		for _, radius := range []float64{3_000, 10_000, 50_000} {
+			want := idsOf(brute.Within(nil, center, radius))
+			got := idsOf(grid.Within(nil, center, radius))
+			if len(want) != len(got) {
+				t.Fatalf("trial %d r=%v: %d vs brute %d", trial, radius, len(got), len(want))
+			}
+			fw := poi.NewFreqVector(12)
+			fg := poi.NewFreqVector(12)
+			brute.CountTypes(fw, center, radius)
+			grid.CountTypes(fg, center, radius)
+			if !fw.Equal(fg) {
+				t.Fatalf("trial %d r=%v: freq %v vs brute %v", trial, radius, fg, fw)
+			}
+		}
+	}
+	if got := grid.Within(nil, geo.Point{X: 1_000, Y: 750}, 1e6); len(got) != len(pois) {
+		t.Errorf("huge radius returned %d of %d POIs", len(got), len(pois))
+	}
+}
+
+// TestGridClampedBorderDifferential stresses the border cells: a large
+// fraction of POIs live outside the nominal bounds (clamped into border
+// cells), where the fully-inside/fully-outside shortcuts must never
+// fire.
+func TestGridClampedBorderDifferential(t *testing.T) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 4_000, MaxY: 4_000}
+	// POIs over 3× the bounds: most are clamped.
+	wild := geo.Rect{MinX: -4_000, MinY: -4_000, MaxX: 8_000, MaxY: 8_000}
+	pois := makePOIs(1500, 10, wild, 12)
+	brute := NewBrute(pois)
+	grid := NewGrid(pois, bounds, 500)
+	src := rng.New(13)
+	for trial := 0; trial < 150; trial++ {
+		x, y := src.UniformIn(wild.MinX, wild.MinY, wild.MaxX, wild.MaxY)
+		center := geo.Point{X: x, Y: y}
+		radius := src.Float64() * 5_000
+		want := idsOf(brute.Within(nil, center, radius))
+		got := idsOf(grid.Within(nil, center, radius))
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: %d vs brute %d (center %v r %v)", trial, len(got), len(want), center, radius)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: ID mismatch at %d", trial, i)
+			}
+		}
+		fw := poi.NewFreqVector(10)
+		fg := poi.NewFreqVector(10)
+		brute.CountTypes(fw, center, radius)
+		grid.CountTypes(fg, center, radius)
+		if !fw.Equal(fg) {
+			t.Fatalf("trial %d: freq %v vs brute %v", trial, fg, fw)
+		}
+	}
+}
+
+// BenchmarkIndexHistVsScan prices the per-cell histogram against the
+// retained per-point scan on a dense metro-scale city, where most cells
+// of a paper-range query are fully covered: the histogram path adds one
+// entry per distinct type per covered cell, the scan increments once per
+// POI. This is the index ablation pinned into BENCH_core.json.
+func BenchmarkIndexHistVsScan(b *testing.B) {
+	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 20_000, MaxY: 20_000}
+	pois := makePOIs(250_000, 60, bounds, 14)
+	grid := NewGrid(pois, bounds, 1000)
+	center := geo.Point{X: 10_000, Y: 10_000}
+	out := poi.NewFreqVector(60)
+	const radius = 3000
+
+	b.Run("hist", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			grid.CountTypes(out, center, radius)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			clear(out)
+			grid.countTypesScan(out, center, radius)
+		}
+	})
+}
+
 func BenchmarkIndexGridVsBrute(b *testing.B) {
 	bounds := geo.Rect{MinX: 0, MinY: 0, MaxX: 30_000, MaxY: 30_000}
 	pois := makePOIs(30_000, 272, bounds, 4)

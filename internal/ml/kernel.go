@@ -12,7 +12,12 @@
 // trains over the same feature matrix.
 package ml
 
-import "math"
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // Kernel computes the inner product of two feature vectors in an implicit
 // feature space.
@@ -61,8 +66,161 @@ type Gram struct {
 	K      [][]float64 // K[i][j] = Kernel(X[i], X[j]) + 1
 }
 
-// NewGram computes the biased kernel matrix of x.
+// NewGram computes the biased kernel matrix of x, row-blocked across
+// GOMAXPROCS workers: the matrix is symmetric, so workers claim rows
+// from a shared counter, compute the upper-triangle entries of their row
+// with a devirtualized kernel loop, and mirror each value — every
+// (i,j)/(j,i) pair is written by exactly one worker, and every entry is
+// the same float expression as the retained serial reference
+// (TestGramParallelMatchesSerial pins bit-identity; the ablation is
+// BenchmarkGramParallel).
 func NewGram(x [][]float64, kernel Kernel) *Gram {
+	return newGramN(x, kernel, runtime.GOMAXPROCS(0))
+}
+
+// newGramN is NewGram with an explicit worker bound — the hook the
+// differential test and the ablation benchmark use.
+func newGramN(x [][]float64, kernel Kernel, workers int) *Gram {
+	n := len(x)
+	k := make([][]float64, n)
+	flat := make([]float64, n*n)
+	for i := range k {
+		k[i] = flat[i*n : (i+1)*n]
+	}
+	fillRow := rowFiller(x, k, kernel)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fillRow(i)
+		}
+		return &Gram{X: x, Kernel: kernel, K: k}
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fillRow(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return &Gram{X: x, Kernel: kernel, K: k}
+}
+
+// rowFiller returns the function computing row i's upper triangle and
+// mirroring it. The common kernels dispatch once here to a concrete
+// top-level row kernel — the interface dispatch per pair is measurable at
+// Gram scale (n²/2 Eval calls), and top-level functions (unlike fat
+// closures) keep the hot loop register-allocated and math.Exp inlined.
+// Every float operation happens in the exact order of Kernel.Eval, so
+// specialization never changes a bit.
+func rowFiller(x [][]float64, k [][]float64, kernel Kernel) func(i int) {
+	switch kc := kernel.(type) {
+	case RBF:
+		gamma := kc.Gamma
+		return func(i int) { fillRowRBF(x, k, gamma, i) }
+	case Linear:
+		return func(i int) { fillRowLinear(x, k, i) }
+	default:
+		return func(i int) { fillRowEval(x, k, kernel, i) }
+	}
+}
+
+// fillRowRBF computes row i of the biased RBF Gram (upper triangle plus
+// mirror). The pair kernel lives in rbfBiased, a separate small function:
+// outlining it keeps the squared-distance loop free of the register
+// spills the inlined math.Exp call would force on the enclosing loop
+// state (the exact reason the interface-dispatched reference was fast —
+// RBF.Eval is such a function).
+func fillRowRBF(x, k [][]float64, gamma float64, i int) {
+	n := len(x)
+	xi := x[i]
+	ki := k[i]
+	ki[i] = 1 + 1 // exp(0) + bias: ‖x_i−x_i‖² is exactly 0
+	for j := i + 1; j < n; j++ {
+		v := rbfBiased(gamma, xi, x[j])
+		ki[j] = v
+		k[j][i] = v
+	}
+}
+
+// rbfBiased is exp(−γ‖a−b‖²) + 1 with the accumulation in RBF.Eval's
+// exact operation order: the distance loop is unrolled 4-wide but each
+// square still lands on the accumulator sequentially (s+d0², then +d1²,
+// ...), so every intermediate float is the one the rolled reference
+// produces. The b reslice trades the per-element bounds check for one
+// up-front check. Kept out of line (see fillRowRBF).
+//
+//go:noinline
+func rbfBiased(gamma float64, a, b []float64) float64 {
+	b = b[:len(a)]
+	s := 0.0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		s += d0 * d0
+		d1 := a[i+1] - b[i+1]
+		s += d1 * d1
+		d2 := a[i+2] - b[i+2]
+		s += d2 * d2
+		d3 := a[i+3] - b[i+3]
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-gamma*s) + 1
+}
+
+// fillRowLinear computes row i of the biased linear-kernel Gram.
+func fillRowLinear(x, k [][]float64, i int) {
+	n := len(x)
+	xi := x[i]
+	ki := k[i]
+	ki[i] = dot(xi, xi) + 1
+	for j := i + 1; j < n; j++ {
+		v := dot(xi, x[j]) + 1
+		ki[j] = v
+		k[j][i] = v
+	}
+}
+
+// fillRowEval is the interface-dispatched fallback for opaque kernels.
+func fillRowEval(x, k [][]float64, kernel Kernel, i int) {
+	n := len(x)
+	xi := x[i]
+	ki := k[i]
+	ki[i] = kernel.Eval(xi, xi) + 1
+	for j := i + 1; j < n; j++ {
+		v := kernel.Eval(xi, x[j]) + 1
+		ki[j] = v
+		k[j][i] = v
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// newGramSerial is the retained pre-parallel reference implementation:
+// interface-dispatched kernel evaluations over the upper triangle on one
+// goroutine. It anchors the bit-identity differential test and the
+// serial side of BenchmarkGramParallel.
+func newGramSerial(x [][]float64, kernel Kernel) *Gram {
 	n := len(x)
 	k := make([][]float64, n)
 	flat := make([]float64, n*n)

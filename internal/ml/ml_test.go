@@ -55,6 +55,88 @@ func TestGramSymmetricPSDDiagonal(t *testing.T) {
 	}
 }
 
+// randomRows builds a seeded feature matrix for the Gram differentials.
+func randomRows(seed uint64, n, dim int) [][]float64 {
+	src := rng.New(seed)
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, dim)
+		for d := range row {
+			row[d] = src.Normal(0, 2)
+		}
+		x[i] = row
+	}
+	return x
+}
+
+// fixedKernel is an opaque kernel that defeats the rowFiller type switch,
+// exercising the interface-dispatch fallback path.
+type fixedKernel struct{ RBF }
+
+// TestGramParallelMatchesSerial pins the row-blocked, devirtualized Gram
+// against the retained serial interface-dispatched reference, bit for
+// bit, for every rowFiller arm (RBF, Linear, opaque kernel) — with the
+// worker count forced to 4 so the pooled path runs even on one core.
+func TestGramParallelMatchesSerial(t *testing.T) {
+	x := randomRows(5, 150, 17)
+	kernels := []struct {
+		name string
+		k    Kernel
+	}{
+		{"rbf", RBF{Gamma: 0.07}},
+		{"linear", Linear{}},
+		{"opaque", fixedKernel{RBF{Gamma: 0.07}}},
+	}
+	for _, tc := range kernels {
+		want := newGramSerial(x, tc.k)
+		got := newGramN(x, tc.k, 4)
+		for i := range want.K {
+			for j := range want.K[i] {
+				if want.K[i][j] != got.K[i][j] {
+					t.Fatalf("%s: K[%d][%d] = %v, serial %v", tc.name, i, j, got.K[i][j], want.K[i][j])
+				}
+			}
+		}
+	}
+	// Degenerate sizes through the public constructor.
+	for _, n := range []int{0, 1, 2} {
+		small := randomRows(6, n, 3)
+		want := newGramSerial(small, RBF{Gamma: 1})
+		got := NewGram(small, RBF{Gamma: 1})
+		if len(want.K) != len(got.K) {
+			t.Fatalf("n=%d: size mismatch", n)
+		}
+		for i := range want.K {
+			for j := range want.K[i] {
+				if want.K[i][j] != got.K[i][j] {
+					t.Fatalf("n=%d: K[%d][%d] differs", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkGramParallel is the Gram ablation pinned into BENCH_core.json:
+// NewGram (row-blocked across GOMAXPROCS, devirtualized kernel loops)
+// against the retained serial interface-dispatched reference. On one core
+// the gain is pure devirtualization; workers add linearly on multi-core.
+func BenchmarkGramParallel(b *testing.B) {
+	x := randomRows(7, 600, 40)
+	kernel := RBF{Gamma: 0.05}
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			NewGram(x, kernel)
+		}
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			newGramSerial(x, kernel)
+		}
+	})
+}
+
 func TestScaler(t *testing.T) {
 	x := [][]float64{{1, 10}, {3, 10}, {5, 10}}
 	s, err := FitScaler(x)

@@ -28,6 +28,7 @@ type GSPServer struct {
 
 	reg        *obs.Registry
 	instrument bool
+	pprof      bool
 	handler    http.Handler
 }
 
@@ -74,6 +75,13 @@ func WithInstrumentation(on bool) GSPServerOption {
 	return func(s *GSPServer) { s.instrument = on }
 }
 
+// WithPprof serves the net/http/pprof profiling endpoints under
+// /debug/pprof/ (default off — the endpoints expose runtime internals,
+// so daemons gate them behind an explicit -pprof flag).
+func WithPprof(on bool) GSPServerOption {
+	return func(s *GSPServer) { s.pprof = on }
+}
+
 // NewGSPServer wraps a GSP service as an HTTP handler.
 func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 	s := &GSPServer{
@@ -93,6 +101,9 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 	s.mux.HandleFunc("GET "+PathFreq, s.handleFreq)
 	s.registerPOIDump()
 	s.registerBatch()
+	if s.pprof {
+		registerPprof(s.mux)
+	}
 	if s.instrument {
 		s.handler = obs.Instrument(s.reg, s.mux, obs.WithRequestHook(s.logRequest))
 	} else {

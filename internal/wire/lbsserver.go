@@ -49,6 +49,7 @@ type LBSServer struct {
 
 	reg     *obs.Registry
 	log     *log.Logger // nil disables per-request logging
+	pprof   bool
 	handler http.Handler
 
 	mu       sync.Mutex
@@ -93,6 +94,12 @@ func WithLBSLogger(l *log.Logger) LBSServerOption {
 	return func(s *LBSServer) { s.log = l }
 }
 
+// WithLBSPprof serves the net/http/pprof profiling endpoints under
+// /debug/pprof/ (default off; lbsd gates it behind -pprof).
+func WithLBSPprof(on bool) LBSServerOption {
+	return func(s *LBSServer) { s.pprof = on }
+}
+
 // NewLBSServer returns an LBS application server expecting frequency
 // vectors of dimension m (the city's type count).
 func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
@@ -109,6 +116,9 @@ func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 	}
 	s.mux.HandleFunc("POST "+PathRelease, s.handleRelease)
 	s.mux.HandleFunc("GET "+PathReleases, s.handleReleases)
+	if s.pprof {
+		registerPprof(s.mux)
+	}
 	obsOpts := []obs.Option{}
 	if s.log != nil {
 		obsOpts = append(obsOpts, obs.WithRequestHook(func(method, path string, status int, d time.Duration) {
