@@ -4,8 +4,8 @@ GO ?= go
 # that host them. bench-core regenerates the file; bench-diff reruns the
 # same set and fails on >20% ns/op regressions against the committed
 # baseline.
-BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel
-BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml
+BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay
+BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget
 
 .PHONY: all check fmt-check build vet test race bench bench-core bench-diff repro repro-full cover clean
 
@@ -38,8 +38,9 @@ bench:
 
 # bench-core runs the PR-critical ablation benchmarks (sharded cache,
 # batched wire queries, parallel sweep engine, histogram index, pooled
-# region prune, parallel Gram) at a fixed -benchtime and writes the
-# parsed numbers to BENCH_core.json for DESIGN.md §5.
+# region prune, parallel Gram, sharded budget ledger, snapshot replay)
+# at a fixed -benchtime and writes the parsed numbers to BENCH_core.json
+# for DESIGN.md §5.
 bench-core:
 	$(GO) test -run '^$$' -bench '$(BENCH_CORE_PATTERN)' \
 		-benchmem -benchtime=1s -count=1 $(BENCH_CORE_PKGS) \

@@ -104,6 +104,10 @@ func BenchmarkExtSeq(b *testing.B) { benchFigure(b, "ext-seq") }
 // (trains transform-recovery models; the heaviest target).
 func BenchmarkExtRobust(b *testing.B) { benchFigure(b, "ext-robust") }
 
+// BenchmarkExtBudget regenerates the budget-enforcement extension figure
+// (sequence attack against ledger-throttled release runs).
+func BenchmarkExtBudget(b *testing.B) { benchFigure(b, "ext-budget") }
+
 // BenchmarkGSPServerParallel prices the observability middleware: the
 // same /v1/freq workload through the instrumented handler (metrics +
 // operational endpoints) and the bare one, driven from all procs in

@@ -8,14 +8,22 @@
 //
 //	attackdemo -city beijing -r 1000 -seed 7
 //	attackdemo -gsp http://host:8080 -r 1000     # remote mode
+//	attackdemo -lbs http://host:8081 -principal mallory
 //
 // Remote mode fetches the adversary's prior knowledge (the full POI set)
 // from a running gspd over HTTP with the hardened wire client: -timeout
 // bounds each attempt, -retries recovers from transient failures.
+//
+// With -lbs the demo also submits the release to a running lbsd as
+// -principal and, when that daemon enforces a privacy budget (lbsd
+// -budget), keeps releasing until the ledger answers 429 — showing the
+// per-principal window drain and the structured denial a real client
+// sees.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +52,8 @@ func run(args []string, w io.Writer) error {
 	gspURL := fs.String("gsp", "", "fetch the city from this remote GSP base URL instead of generating it")
 	timeout := fs.Duration("timeout", 10*time.Second, "remote mode: per-attempt request timeout")
 	retries := fs.Int("retries", 3, "remote mode: retries on transient GSP failures")
+	lbsURL := fs.String("lbs", "", "submit the release to this remote LBS base URL (budget demo)")
+	principal := fs.String("principal", "attackdemo", "budget principal to charge releases against (with -lbs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,9 +140,58 @@ func run(args []string, w io.Writer) error {
 		default:
 			fmt.Fprintln(w, "attack still succeeds (rare; rerun with another seed)")
 		}
+
+		if *lbsURL != "" {
+			if err := demoBudget(w, *lbsURL, *principal, *timeout, *retries, release, *r); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	return fmt.Errorf("no unique location found in %d tries; raise -tries or -r", *tries)
+}
+
+// demoBudget submits the release to a running lbsd as the given
+// principal until the privacy-budget ledger denies it (or a safety cap),
+// tracing the window drain and the structured 429 the client receives.
+func demoBudget(w io.Writer, lbsURL, principal string, timeout time.Duration, retries int, release poiagg.FreqVector, r float64) error {
+	client := wire.NewLBSClient(lbsURL, nil,
+		wire.WithRequestTimeout(timeout),
+		wire.WithRetries(retries),
+		wire.WithPrincipal(principal),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	fmt.Fprintf(w, "\nBUDGET DEMO: releasing to %s as principal %q\n", lbsURL, principal)
+	rel := wire.ReleaseRequest{UserID: principal, Freq: release, R: r, Time: time.Now().UTC()}
+	const cap = 25
+	for i := 1; i <= cap; i++ {
+		resp, err := client.Release(ctx, rel)
+		var denied *wire.BudgetDeniedError
+		if errors.As(err, &denied) {
+			st := denied.State
+			fmt.Fprintf(w, "  release %d DENIED (%s): spent ε=%.2f of window, lifetime remaining ε=%.2f",
+				i, st.Denial, st.SpentEps, st.RemainingEps)
+			if st.RetryAfterSeconds > 0 {
+				fmt.Fprintf(w, ", retry after %s", time.Duration(st.RetryAfterSeconds*float64(time.Second)).Round(time.Second))
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, "  the ledger caps what this principal can leak per window — the defense holds server-side")
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("budget demo release %d: %w", i, err)
+		}
+		if resp.Budget == nil {
+			fmt.Fprintln(w, "  LBS accepted the release without budget enforcement (run lbsd -budget to see the ledger)")
+			return nil
+		}
+		fmt.Fprintf(w, "  release %d accepted: window remaining ε=%.2f, lifetime remaining ε=%.2f\n",
+			i, resp.Budget.WindowRemainingEps, resp.Budget.RemainingEps)
+	}
+	fmt.Fprintf(w, "  no denial after %d releases; the configured budget outlasts this demo\n", cap)
+	return nil
 }
 
 // fetchRemoteCity acquires the demo's prior knowledge from a running

@@ -5,7 +5,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"poiagg/internal/budget"
 	"poiagg/internal/citygen"
 	"poiagg/internal/gsp"
 	"poiagg/internal/wire"
@@ -57,6 +59,65 @@ func TestRunWalkthrough(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunBudgetDemo points the demo at an in-process budget-enforcing
+// LBS: the window covers two releases, so the demo must show exactly two
+// grants and then the structured 429.
+func TestRunBudgetDemo(t *testing.T) {
+	p := citygen.Beijing(7)
+	city, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led, err := budget.New(budget.Policy{
+		LifetimeEps: 100, Window: 24 * time.Hour, WindowEps: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(wire.NewLBSServer(city.M(),
+		wire.WithBudget(led, 0.5, 0)))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-city", "beijing", "-seed", "7",
+		"-lbs", ts.URL, "-principal", "mallory"}, &buf); err != nil {
+		t.Fatalf("budget demo run: %v (output %q)", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, `principal "mallory"`) {
+		t.Errorf("missing budget banner:\n%s", out)
+	}
+	if !strings.Contains(out, "release 2 accepted") || strings.Contains(out, "release 3 accepted") {
+		t.Errorf("window should cover exactly 2 releases:\n%s", out)
+	}
+	if !strings.Contains(out, "release 3 DENIED (window)") {
+		t.Errorf("missing structured denial:\n%s", out)
+	}
+	if st := led.Status("mallory"); st.Releases != 2 {
+		t.Errorf("ledger charged %d releases, want 2", st.Releases)
+	}
+}
+
+// TestRunBudgetDemoUnenforced: an LBS without a ledger accepts releases
+// with no budget state; the demo must say so instead of looping.
+func TestRunBudgetDemoUnenforced(t *testing.T) {
+	p := citygen.Beijing(7)
+	city, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(wire.NewLBSServer(city.M()))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-city", "beijing", "-seed", "7", "-lbs", ts.URL}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "without budget enforcement") {
+		t.Errorf("missing unenforced notice:\n%s", buf.String())
 	}
 }
 

@@ -8,9 +8,17 @@
 //
 //	lbsd -addr :8081 -city beijing          # audit against a local city copy
 //	lbsd -addr :8081 -city beijing -no-audit
+//	lbsd -addr :8081 -city beijing -budget -budget-dir /var/lib/lbsd
 //
-// Endpoints: POST /v1/release, GET /v1/releases?user=, plus the
-// operational /v1/metrics, /healthz, and /readyz.
+// With -budget every release charges (-release-eps, -release-delta)
+// against the caller's privacy-budget ledger (principal taken from the
+// X-Principal header, ?principal=, or the release's userId); exhausted
+// principals get 429 until their sliding window refills. -budget-dir
+// makes the ledger crash-safe (snapshot + spend log) across restarts.
+//
+// Endpoints: POST /v1/release, GET /v1/releases?user=, the budget admin
+// pair GET /v1/budget/{principal} and POST /v1/budget/{principal}/reset
+// (with -budget), plus the operational /v1/metrics, /healthz, /readyz.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"poiagg/internal/budget"
 	"poiagg/internal/citygen"
 	"poiagg/internal/gsp"
 	"poiagg/internal/obs"
@@ -47,6 +56,17 @@ func run(args []string) error {
 	historyLimit := fs.Int("history", 1000, "stored releases per user")
 	statsInterval := fs.Duration("stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	budgetOn := fs.Bool("budget", false, "enforce a per-principal privacy budget on releases")
+	budgetEps := fs.Float64("budget-eps", 10, "lifetime epsilon budget per principal")
+	budgetDelta := fs.Float64("budget-delta", 1e-3, "lifetime delta budget per principal")
+	budgetWindow := fs.Duration("budget-window", 24*time.Hour, "sliding refill window (0 = lifetime budget only)")
+	budgetWindowEps := fs.Float64("budget-window-eps", 1.5, "epsilon allowed inside each window")
+	budgetWindowDelta := fs.Float64("budget-window-delta", 0, "delta allowed inside each window (0 = delta not windowed)")
+	releaseEps := fs.Float64("release-eps", 0.5, "epsilon charged per accepted release")
+	releaseDelta := fs.Float64("release-delta", 1e-6, "delta charged per accepted release")
+	budgetDir := fs.String("budget-dir", "", "ledger persistence directory (empty = in-memory)")
+	budgetTTL := fs.Duration("budget-idle-ttl", 0, "retire ledgers idle this long (0 disables; must be >= the window)")
+	snapshotEvery := fs.Int("budget-snapshot-every", 1000, "auto-snapshot the persistent ledger every N logged spends")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,11 +100,43 @@ func run(args []string) error {
 		svc := gsp.NewService(city.City, 1<<18)
 		opts = append(opts, wire.WithAuditor(wire.RegionAuditor{Svc: svc}))
 	}
+
+	var led *budget.Ledger
+	if *budgetOn {
+		policy := budget.Policy{
+			LifetimeEps:   *budgetEps,
+			LifetimeDelta: *budgetDelta,
+			Window:        *budgetWindow,
+			WindowEps:     *budgetWindowEps,
+			WindowDelta:   *budgetWindowDelta,
+			IdleTTL:       *budgetTTL,
+		}
+		if *budgetDir != "" {
+			led, err = budget.Open(policy, *budgetDir, budget.WithSnapshotEvery(*snapshotEvery))
+		} else {
+			led, err = budget.New(policy)
+		}
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := led.Close(); cerr != nil {
+				logger.Printf("budget ledger close: %v", cerr)
+			}
+		}()
+		led.ExportMetrics(reg)
+		opts = append(opts, wire.WithBudget(led, *releaseEps, *releaseDelta))
+		logger.Printf("budget enforcement on: (ε=%v, δ=%v) per release, window %v of ε=%v, lifetime ε=%v, persistence %q",
+			*releaseEps, *releaseDelta, policy.Window, policy.WindowEps, policy.LifetimeEps, *budgetDir)
+	}
 	handler := wire.NewLBSServer(city.M(), opts...)
 
 	obsCtx, obsCancel := context.WithCancel(context.Background())
 	defer obsCancel()
 	obs.StartSummary(obsCtx, logger, reg, *statsInterval)
+	if led != nil && *budgetTTL > 0 {
+		startEvictLoop(obsCtx, logger, led, *budgetTTL)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -115,4 +167,31 @@ func run(args []string) error {
 		defer cancel()
 		return srv.Shutdown(ctx)
 	}
+}
+
+// startEvictLoop periodically retires ledgers idle past ttl, keeping the
+// resident account set bounded on long-running daemons. The sweep
+// interval is a quarter of the TTL, clamped to [1m, 1h].
+func startEvictLoop(ctx context.Context, logger *log.Logger, led *budget.Ledger, ttl time.Duration) {
+	interval := ttl / 4
+	if interval < time.Minute {
+		interval = time.Minute
+	}
+	if interval > time.Hour {
+		interval = time.Hour
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if n := led.EvictIdle(); n > 0 {
+					logger.Printf("budget: retired %d idle ledgers", n)
+				}
+			}
+		}
+	}()
 }

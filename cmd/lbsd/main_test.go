@@ -12,4 +12,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	// Invalid budget policies must fail before the listener binds.
+	if err := run([]string{"-budget", "-budget-window-eps", "0"}); err == nil {
+		t.Error("zero window epsilon accepted")
+	}
+	if err := run([]string{"-budget", "-budget-eps", "-1"}); err == nil {
+		t.Error("negative lifetime epsilon accepted")
+	}
+	if err := run([]string{"-budget", "-budget-idle-ttl", "1h"}); err == nil {
+		t.Error("idle TTL shorter than the window accepted")
+	}
 }

@@ -12,8 +12,8 @@
 // wire client (-timeout per attempt, -retries on transient failures).
 //
 // Figure IDs: datasets, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12 (matching the
-// paper's figure numbering), the extensions ext-seq and ext-robust, or
-// "all".
+// paper's figure numbering), the extensions ext-seq, ext-robust, and
+// ext-budget, or "all".
 package main
 
 import (
@@ -40,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("poirepro", flag.ContinueOnError)
-	figID := fs.String("fig", "all", "figure to regenerate (datasets, 2..12, ext-seq, ext-robust, or all)")
+	figID := fs.String("fig", "all", "figure to regenerate (datasets, 2..12, ext-seq, ext-robust, ext-budget, or all)")
 	scale := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Uint64("seed", 1, "random seed")
 	locations := fs.Int("locations", 0, "evaluation locations per dataset (0 = scale default)")

@@ -5,6 +5,13 @@
 // multi-release sequence attack on everything that was released —
 // showing both why budgets matter and that the DP releases resist even
 // the chained attack.
+//
+// This accountant is client-side and voluntary. The served architecture
+// enforces the same arithmetic server-side: `lbsd -budget` charges every
+// release against a per-principal internal/budget ledger (sliding-window
+// refill, 429 on exhaustion), and `attackdemo -lbs <url> -principal me`
+// drives it until denied. The ext-budget figure (`poirepro -fig
+// ext-budget`) measures what that enforcement costs the attacker.
 package main
 
 import (

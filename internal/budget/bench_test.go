@@ -1,0 +1,101 @@
+package budget
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkLedgerSpendParallel prices the sharding ablation: the default
+// power-of-two-sharded ledger against the WithShards(1) single-mutex
+// reference, all goroutines spending concurrently across many
+// principals. Tracked by make bench-core / BENCH_core.json.
+func BenchmarkLedgerSpendParallel(b *testing.B) {
+	const principals = 1024
+	names := make([]string, principals)
+	for i := range names {
+		names[i] = fmt.Sprintf("user-%04d", i)
+	}
+	policy := Policy{LifetimeEps: 1e12, Window: time.Hour, WindowEps: 1e12}
+	for _, cfg := range []struct {
+		name   string
+		shards []Option
+	}{
+		{"sharded", nil},
+		{"single", []Option{WithShards(1)}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			l, err := New(policy, cfg.shards...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := next.Add(1)
+				for pb.Next() {
+					i++
+					if _, err := l.Spend(names[i%principals], 1e-9, 0); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkLedgerSnapshotReplay prices a cold Open over a spend log:
+// tail validation, per-principal seq sort, and replay. Tracked by make
+// bench-core / BENCH_core.json.
+func BenchmarkLedgerSnapshotReplay(b *testing.B) {
+	const (
+		principals = 200
+		spendsEach = 20
+	)
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var buf []byte
+	for s := 0; s < spendsEach; s++ {
+		for p := 0; p < principals; p++ {
+			line, err := json.Marshal(logRec{
+				P:   fmt.Sprintf("user-%04d", p),
+				Seq: uint64(s + 1),
+				T:   t0.Add(time.Duration(s) * time.Minute),
+				Eps: 0.001,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = append(append(buf, line...), '\n')
+		}
+	}
+	dir := b.TempDir()
+	logPath := filepath.Join(dir, logName)
+	policy := Policy{LifetimeEps: 1e9, Window: 24 * time.Hour, WindowEps: 1e9}
+	clk := func() time.Time { return t0.Add(spendsEach * time.Minute) }
+
+	b.ReportAllocs()
+	for b.Loop() {
+		// Rewriting the log each round keeps every Open a full replay
+		// (Close would otherwise fold it into the snapshot).
+		if err := os.WriteFile(logPath, buf, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		os.Remove(filepath.Join(dir, snapshotName))
+		l, err := Open(policy, dir, WithClock(clk))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := l.Principals(); got != principals {
+			b.Fatalf("replayed %d principals, want %d", got, principals)
+		}
+		l.store.mu.Lock()
+		l.store.logF.Close() // close the handle without snapshotting
+		l.store.logF = nil
+		l.store.mu.Unlock()
+	}
+}

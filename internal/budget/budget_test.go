@@ -1,0 +1,395 @@
+package budget
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"poiagg/internal/obs"
+)
+
+// fakeClock is a mutex-guarded deterministic time source. No test in
+// this package sleeps: time moves only when Advance is called.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func mustLedger(t *testing.T, p Policy, opts ...Option) *Ledger {
+	t.Helper()
+	l, err := New(p, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return l
+}
+
+func mustSpend(t *testing.T, l *Ledger, principal string, eps, delta float64) Decision {
+	t.Helper()
+	dec, err := l.Spend(principal, eps, delta)
+	if err != nil {
+		t.Fatalf("Spend(%s, %v, %v): %v", principal, eps, delta, err)
+	}
+	return dec
+}
+
+func TestPolicyValidate(t *testing.T) {
+	valid := Policy{LifetimeEps: 10, LifetimeDelta: 1e-5,
+		Window: 24 * time.Hour, WindowEps: 1, IdleTTL: 48 * time.Hour}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	bad := []Policy{
+		{},                                    // no lifetime epsilon
+		{LifetimeEps: -1},                     // negative epsilon
+		{LifetimeEps: 1, LifetimeDelta: 1},    // delta out of range
+		{LifetimeEps: 1, LifetimeDelta: -0.1}, // negative delta
+		{LifetimeEps: 1, Window: -time.Hour},  // negative window
+		{LifetimeEps: 1, Window: time.Hour},   // window without epsilon
+		{LifetimeEps: 1, WindowDelta: 1.5},    // window delta out of range
+		{LifetimeEps: 1, IdleTTL: -1},         // negative TTL
+		{LifetimeEps: 1, Window: 2 * time.Hour, WindowEps: 1,
+			IdleTTL: time.Hour}, // TTL shorter than window: lossy eviction
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted: %+v", i, p)
+		}
+		if _, err := New(p); err == nil {
+			t.Errorf("New accepted bad policy %d: %+v", i, p)
+		}
+	}
+}
+
+func TestSpendArgValidation(t *testing.T) {
+	l := mustLedger(t, Policy{LifetimeEps: 1})
+	for _, tc := range []struct {
+		principal  string
+		eps, delta float64
+	}{
+		{"", 0.1, 0},
+		{"alice", 0, 0},
+		{"alice", -0.1, 0},
+		{"alice", 0.1, -0.1},
+		{"alice", 0.1, 1},
+	} {
+		if _, err := l.Spend(tc.principal, tc.eps, tc.delta); err == nil {
+			t.Errorf("Spend(%q, %v, %v) accepted", tc.principal, tc.eps, tc.delta)
+		}
+	}
+	if n := l.Principals(); n != 0 {
+		t.Fatalf("invalid spends materialized %d accounts", n)
+	}
+}
+
+func TestLifetimeBudget(t *testing.T) {
+	l := mustLedger(t, Policy{LifetimeEps: 1, LifetimeDelta: 3e-6},
+		WithClock(newFakeClock().Now))
+	for i := 0; i < 4; i++ {
+		dec := mustSpend(t, l, "alice", 0.25, 1e-7)
+		if !dec.Allowed {
+			t.Fatalf("spend %d denied: %+v", i, dec)
+		}
+		wantRem := 1 - 0.25*float64(i+1)
+		if math.Abs(dec.RemainingEps-wantRem) > 1e-9 {
+			t.Fatalf("spend %d: RemainingEps = %v, want %v", i, dec.RemainingEps, wantRem)
+		}
+	}
+	// Exactly exhausted: the 4×0.25 sum hits the budget boundary, which
+	// the slack admits; anything more is denied.
+	dec := mustSpend(t, l, "alice", 0.25, 0)
+	if dec.Allowed || dec.Denial != DenyLifetime {
+		t.Fatalf("over-budget spend = %+v, want lifetime denial", dec)
+	}
+	if dec.Releases != 4 || dec.SpentEps != 1 {
+		t.Fatalf("denial accounting = %+v", dec)
+	}
+	if dec.RetryAfter != 0 {
+		t.Fatalf("lifetime denial has RetryAfter %v; waiting never refills it", dec.RetryAfter)
+	}
+	// Delta is enforced independently of epsilon.
+	l2 := mustLedger(t, Policy{LifetimeEps: 100, LifetimeDelta: 1e-6})
+	mustSpend(t, l2, "bob", 0.1, 9e-7)
+	if dec := mustSpend(t, l2, "bob", 0.1, 2e-7); dec.Allowed {
+		t.Fatalf("delta over-budget spend allowed: %+v", dec)
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	clk := newFakeClock()
+	l := mustLedger(t, Policy{
+		LifetimeEps: 100,
+		Window:      24 * time.Hour,
+		WindowEps:   1,
+	}, WithClock(clk.Now))
+
+	mustSpend(t, l, "alice", 0.5, 0) // t0
+	clk.Advance(time.Hour)
+	mustSpend(t, l, "alice", 0.5, 0) // t0+1h
+
+	clk.Advance(time.Hour) // t0+2h: window holds the full 1.0
+	dec := mustSpend(t, l, "alice", 0.5, 0)
+	if dec.Allowed || dec.Denial != DenyWindow {
+		t.Fatalf("third spend = %+v, want window denial", dec)
+	}
+	// The t0 entry frees 0.5 when it slides out at t0+24h, i.e. 22h away.
+	if want := 22 * time.Hour; dec.RetryAfter != want {
+		t.Fatalf("RetryAfter = %v, want %v", dec.RetryAfter, want)
+	}
+	if dec.WindowRemainingEps > 1e-9 {
+		t.Fatalf("WindowRemainingEps = %v, want 0", dec.WindowRemainingEps)
+	}
+	if dec.RemainingEps != 99 {
+		t.Fatalf("lifetime RemainingEps = %v, want 99", dec.RemainingEps)
+	}
+
+	clk.Advance(22*time.Hour - time.Nanosecond) // one tick early: still denied
+	if dec := mustSpend(t, l, "alice", 0.5, 0); dec.Allowed {
+		t.Fatalf("spend allowed %v before the window slides", time.Nanosecond)
+	}
+	clk.Advance(time.Nanosecond) // exactly t0+24h: the t0 entry has expired
+	if dec := mustSpend(t, l, "alice", 0.5, 0); !dec.Allowed {
+		t.Fatalf("spend denied after window slid: %+v", dec)
+	}
+	// Lifetime accounting kept the denied attempts off the books.
+	if st := l.Status("alice"); st.SpentEps != 1.5 || st.Releases != 3 {
+		t.Fatalf("Status = %+v, want 1.5 spent over 3 releases", st)
+	}
+}
+
+func TestWindowDenialLeavesNoTrace(t *testing.T) {
+	clk := newFakeClock()
+	l := mustLedger(t, Policy{LifetimeEps: 100, Window: time.Hour, WindowEps: 1},
+		WithClock(clk.Now))
+	// A spend larger than the whole window budget can never be admitted:
+	// denied with RetryAfter 0, and no account materializes.
+	dec := mustSpend(t, l, "greedy", 2, 0)
+	if dec.Allowed || dec.Denial != DenyWindow || dec.RetryAfter != 0 {
+		t.Fatalf("oversized spend = %+v, want unsatisfiable window denial", dec)
+	}
+	if l.Principals() != 0 {
+		t.Fatalf("denied first contact materialized an account")
+	}
+}
+
+func TestWindowDelta(t *testing.T) {
+	clk := newFakeClock()
+	l := mustLedger(t, Policy{
+		LifetimeEps: 100, LifetimeDelta: 0.5,
+		Window: time.Hour, WindowEps: 100, WindowDelta: 1e-6,
+	}, WithClock(clk.Now))
+	mustSpend(t, l, "alice", 0.1, 8e-7)
+	if dec := mustSpend(t, l, "alice", 0.1, 4e-7); dec.Allowed {
+		t.Fatalf("window-delta over-budget spend allowed: %+v", dec)
+	}
+	clk.Advance(time.Hour)
+	if dec := mustSpend(t, l, "alice", 0.1, 4e-7); !dec.Allowed {
+		t.Fatalf("spend denied after delta window slid: %+v", dec)
+	}
+}
+
+func TestStatusUnknownPrincipal(t *testing.T) {
+	l := mustLedger(t, Policy{LifetimeEps: 2, LifetimeDelta: 1e-5})
+	st := l.Status("nobody")
+	if st.SpentEps != 0 || st.RemainingEps != 2 || st.RemainingDelta != 1e-5 {
+		t.Fatalf("unknown principal Status = %+v", st)
+	}
+	if l.Principals() != 0 {
+		t.Fatalf("Status materialized an account")
+	}
+}
+
+func TestIdleEvictionAndRevival(t *testing.T) {
+	clk := newFakeClock()
+	l := mustLedger(t, Policy{
+		LifetimeEps: 1,
+		Window:      24 * time.Hour, WindowEps: 1,
+		IdleTTL: 48 * time.Hour,
+	}, WithClock(clk.Now))
+
+	mustSpend(t, l, "alice", 0.6, 0)
+	clk.Advance(time.Hour)
+	mustSpend(t, l, "bob", 0.2, 0)
+
+	// Alice is 47h idle at +48h: not yet evictable. Bob neither.
+	clk.Advance(47 * time.Hour)
+	if n := l.EvictIdle(); n != 1 {
+		t.Fatalf("EvictIdle at t0+48h = %d, want 1 (alice exactly at TTL)", n)
+	}
+	if l.Principals() != 1 || l.Retired() != 1 {
+		t.Fatalf("after eviction: %d live, %d retired", l.Principals(), l.Retired())
+	}
+
+	// The retired record still answers Status with full lifetime totals.
+	if st := l.Status("alice"); st.SpentEps != 0.6 || st.Releases != 1 {
+		t.Fatalf("retired Status = %+v", st)
+	}
+
+	// Revival enforces the lifetime budget across the demotion: alice has
+	// 0.4 left, so 0.5 is denied and 0.3 is granted.
+	if dec := mustSpend(t, l, "alice", 0.5, 0); dec.Allowed {
+		t.Fatalf("revived over-budget spend allowed: %+v", dec)
+	}
+	if dec := mustSpend(t, l, "alice", 0.3, 0); !dec.Allowed {
+		t.Fatalf("revived spend denied: %+v", dec)
+	}
+	if l.Principals() != 2 || l.Retired() != 0 {
+		t.Fatalf("after revival: %d live, %d retired", l.Principals(), l.Retired())
+	}
+
+	// TTL disabled: EvictIdle is a no-op.
+	l2 := mustLedger(t, Policy{LifetimeEps: 1}, WithClock(clk.Now))
+	mustSpend(t, l2, "x", 0.1, 0)
+	clk.Advance(1000 * time.Hour)
+	if n := l2.EvictIdle(); n != 0 {
+		t.Fatalf("EvictIdle without TTL = %d", n)
+	}
+}
+
+func TestReset(t *testing.T) {
+	clk := newFakeClock()
+	l := mustLedger(t, Policy{LifetimeEps: 1}, WithClock(clk.Now))
+	mustSpend(t, l, "alice", 1, 0)
+	if dec := mustSpend(t, l, "alice", 0.1, 0); dec.Allowed {
+		t.Fatalf("exhausted spend allowed: %+v", dec)
+	}
+	l.Reset("alice")
+	dec := mustSpend(t, l, "alice", 0.1, 0)
+	if !dec.Allowed || dec.Releases != 1 || dec.SpentEps != 0.1 {
+		t.Fatalf("post-reset spend = %+v", dec)
+	}
+}
+
+func TestShardRoundingAndIsolation(t *testing.T) {
+	// Shard counts round up to a power of two; principals are isolated
+	// from each other regardless of shard collisions.
+	for _, n := range []int{1, 3, 16} {
+		l := mustLedger(t, Policy{LifetimeEps: 1}, WithShards(n))
+		if got := len(l.shards); got&(got-1) != 0 || got < n {
+			t.Fatalf("WithShards(%d) gave %d shards", n, got)
+		}
+		for i := 0; i < 64; i++ {
+			mustSpend(t, l, fmt.Sprintf("user-%d", i), 1, 0)
+		}
+		for i := 0; i < 64; i++ {
+			p := fmt.Sprintf("user-%d", i)
+			if dec := mustSpend(t, l, p, 0.5, 0); dec.Allowed {
+				t.Fatalf("shards=%d: %s exceeded its own budget", n, p)
+			}
+			if st := l.Status(p); st.SpentEps != 1 {
+				t.Fatalf("shards=%d: %s SpentEps = %v", n, p, st.SpentEps)
+			}
+		}
+	}
+}
+
+func TestExportMetrics(t *testing.T) {
+	clk := newFakeClock()
+	l := mustLedger(t, Policy{
+		LifetimeEps: 1, Window: time.Hour, WindowEps: 1, IdleTTL: time.Hour,
+	}, WithClock(clk.Now))
+	reg := obs.NewRegistry()
+	l.ExportMetrics(reg)
+
+	mustSpend(t, l, "alice", 0.5, 0)
+	mustSpend(t, l, "alice", 0.5, 0)
+	mustSpend(t, l, "alice", 0.5, 0) // window+lifetime deny
+	clk.Advance(time.Hour)
+	l.EvictIdle()
+
+	snap := reg.Snapshot()
+	want := map[string]uint64{
+		MetricSpends:         2,
+		MetricDenies:         1,
+		MetricDeniesLifetime: 1, // checked before the window, like the spend path
+		MetricEvictions:      1,
+		MetricRevivals:       0,
+		MetricPrincipals:     0,
+		MetricRetired:        1,
+		MetricShards:         uint64(len(l.shards)),
+		MetricPersistErrors:  0,
+	}
+	for name, v := range want {
+		if got := snap.Counters[name]; got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+	lat, ok := snap.Latencies[LatencyDecision]
+	if !ok {
+		t.Fatalf("snapshot missing %s latency histogram", LatencyDecision)
+	}
+	if lat.Count != 3 {
+		t.Fatalf("decision latency count = %d, want 3", lat.Count)
+	}
+}
+
+// TestConcurrentStress hammers spend/deny/status/evict/reset from many
+// goroutines (run under -race by make check) and then checks the one
+// invariant that matters: no principal ever exceeds its lifetime budget.
+func TestConcurrentStress(t *testing.T) {
+	clk := newFakeClock()
+	const (
+		principals = 64
+		workers    = 8
+		iters      = 400
+	)
+	l := mustLedger(t, Policy{
+		LifetimeEps: 1,
+		Window:      time.Hour, WindowEps: 0.5,
+		IdleTTL: time.Hour,
+	}, WithClock(clk.Now))
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p := fmt.Sprintf("user-%d", (w*iters+i)%principals)
+				switch {
+				case i%97 == 0:
+					l.Reset(p)
+				case i%31 == 0:
+					l.Status(p)
+				case i%53 == 0:
+					l.EvictIdle()
+				default:
+					if _, err := l.Spend(p, 0.01, 0); err != nil {
+						t.Errorf("Spend: %v", err)
+						return
+					}
+				}
+				if i%101 == 0 {
+					clk.Advance(time.Minute)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const slack = 1e-9
+	for i := 0; i < principals; i++ {
+		st := l.Status(fmt.Sprintf("user-%d", i))
+		if st.SpentEps > 1+slack {
+			t.Errorf("user-%d lifetime overdrawn: %v", i, st.SpentEps)
+		}
+	}
+}

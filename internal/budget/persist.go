@@ -1,0 +1,381 @@
+package budget
+
+// Crash-safe persistence for the ledger: a periodic JSON snapshot plus
+// an append-only JSONL spend log replayed on startup.
+//
+// Every state mutation (granted spend, reset) carries a per-principal
+// sequence number. Mutations append one log line *after* the shard lock
+// is released; a snapshot captures each account's current seq. Replay
+// groups log records per principal, orders them by seq (concurrent
+// writers may append out of order), and applies only records newer than
+// the snapshot — so a crash anywhere, including between the snapshot
+// rename and the log truncation, replays exactly once. The snapshot is
+// written to a temp file, fsynced, and atomically renamed; a torn log
+// tail (partial or corrupt trailing lines) is truncated away on load.
+//
+// Replay is byte-exact: denied spends and Status never mutate accounts
+// (budget.go), granted spends prune the window at their own timestamp,
+// and replay reapplies records identically, so DumpState before a crash
+// and after the reopen compare equal.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+const (
+	snapshotName    = "ledger.json"
+	logName         = "spend.log"
+	snapshotVersion = 1
+)
+
+// logRec is one line of the append-only spend log.
+type logRec struct {
+	P     string    `json:"p"`
+	Seq   uint64    `json:"q"`
+	T     time.Time `json:"t"`
+	Eps   float64   `json:"e,omitempty"`
+	Delta float64   `json:"d,omitempty"`
+	Reset bool      `json:"reset,omitempty"`
+}
+
+// winRec is one sliding-window entry in the snapshot document.
+type winRec struct {
+	T     time.Time `json:"t"`
+	Eps   float64   `json:"e"`
+	Delta float64   `json:"d"`
+}
+
+// snapRec is one principal in the snapshot document.
+type snapRec struct {
+	P        string    `json:"p"`
+	Seq      uint64    `json:"q"`
+	Eps      float64   `json:"e"`
+	Delta    float64   `json:"d"`
+	Releases uint64    `json:"n"`
+	Last     time.Time `json:"last"`
+	W        []winRec  `json:"w,omitempty"`
+	Retired  bool      `json:"retired,omitempty"`
+}
+
+// snapDoc is the snapshot file format, principals sorted by name so the
+// serialization is canonical.
+type snapDoc struct {
+	Version    int       `json:"version"`
+	Principals []snapRec `json:"principals"`
+}
+
+// store is the persistence half of a Ledger. Its mutex serializes log
+// appends and snapshot/truncate cycles. Lock order is store.mu →
+// shard.mu (WriteSnapshot holds store.mu while DumpState takes shard
+// locks); the spend path never inverts it — Spend takes shard.mu,
+// releases it, then appends under store.mu.
+type store struct {
+	mu      sync.Mutex
+	dir     string
+	logF    *os.File
+	pending int // records appended since the last snapshot
+}
+
+// Open returns a persistent ledger rooted at dir: it loads the snapshot
+// (if any), replays the spend log (truncating a torn tail), and keeps
+// the log open for appending. Use Close to write a final snapshot.
+func Open(policy Policy, dir string, opts ...Option) (*Ledger, error) {
+	l, err := New(policy, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("budget: open %s: %w", dir, err)
+	}
+	if err := l.loadSnapshot(filepath.Join(dir, snapshotName)); err != nil {
+		return nil, err
+	}
+	if err := l.replayLog(filepath.Join(dir, logName)); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("budget: open spend log: %w", err)
+	}
+	l.store = &store{dir: dir, logF: f}
+	return l, nil
+}
+
+// loadSnapshot installs the snapshot file's accounts; a missing file is
+// an empty ledger.
+func (l *Ledger) loadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("budget: read snapshot: %w", err)
+	}
+	var doc snapDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("budget: corrupt snapshot %s: %w", path, err)
+	}
+	if doc.Version != snapshotVersion {
+		return fmt.Errorf("budget: snapshot %s has version %d, want %d",
+			path, doc.Version, snapshotVersion)
+	}
+	for _, rec := range doc.Principals {
+		s := l.shardFor(rec.P)
+		if rec.Retired {
+			s.retired[rec.P] = retired{
+				seq:        rec.Seq,
+				spentEps:   rec.Eps,
+				spentDelta: rec.Delta,
+				releases:   rec.Releases,
+			}
+			continue
+		}
+		acc := &account{
+			seq:        rec.Seq,
+			spentEps:   rec.Eps,
+			spentDelta: rec.Delta,
+			releases:   rec.Releases,
+			last:       rec.Last,
+		}
+		for _, w := range rec.W {
+			acc.window = append(acc.window, spendRec{t: w.T, eps: w.Eps, delta: w.Delta})
+		}
+		s.accounts[rec.P] = acc
+	}
+	return nil
+}
+
+// replayLog applies the spend log on top of the loaded snapshot. The
+// first corrupt or partial line and everything after it are truncated
+// away: the log is append-only, so damage can only be a torn tail from
+// a crash mid-write.
+func (l *Ledger) replayLog(path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("budget: read spend log: %w", err)
+	}
+	var recs []logRec
+	good := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // partial trailing line
+		}
+		var rec logRec
+		if err := json.Unmarshal(data[off:off+nl], &rec); err != nil || rec.P == "" || rec.Seq == 0 {
+			break // corrupt: keep the good prefix, drop the tail
+		}
+		recs = append(recs, rec)
+		off += nl + 1
+		good = off
+	}
+	if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return fmt.Errorf("budget: truncate torn log tail: %w", err)
+		}
+	}
+	l.apply(recs)
+	return nil
+}
+
+// apply replays logged mutations per principal in seq order, skipping
+// records at or below the account's snapshot seq — exactly-once even
+// when the previous run crashed between snapshot rename and log
+// truncation. Granted spends prune the window at the record's own
+// timestamp, reproducing the original mutation byte-for-byte.
+func (l *Ledger) apply(recs []logRec) {
+	byPrincipal := make(map[string][]logRec)
+	for _, r := range recs {
+		byPrincipal[r.P] = append(byPrincipal[r.P], r)
+	}
+	for principal, rs := range byPrincipal {
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Seq < rs[j].Seq })
+		s := l.shardFor(principal)
+		s.mu.Lock()
+		acc, live, revived := s.peek(principal)
+		applied := false
+		for _, r := range rs {
+			if r.Seq <= acc.seq {
+				continue
+			}
+			applied = true
+			if r.Reset {
+				acc.spentEps = 0
+				acc.spentDelta = 0
+				acc.releases = 0
+				acc.window = acc.window[:0]
+			} else {
+				acc.spentEps += r.Eps
+				acc.spentDelta += r.Delta
+				acc.releases++
+				if l.policy.Window > 0 {
+					l.pruneWindow(acc, r.T)
+					acc.window = append(acc.window, spendRec{t: r.T, eps: r.Eps, delta: r.Delta})
+				}
+			}
+			acc.seq = r.Seq
+			acc.last = r.T
+		}
+		if applied && !live {
+			s.install(principal, acc, revived)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// appendRec writes one mutation to the spend log and triggers an
+// automatic snapshot when WithSnapshotEvery is due. Called after the
+// shard lock is released; out-of-order appends from concurrent spenders
+// are fine — replay orders by seq.
+func (l *Ledger) appendRec(rec logRec) {
+	st := l.store
+	data, err := json.Marshal(rec)
+	if err != nil {
+		l.persistErrs.Inc()
+		return
+	}
+	data = append(data, '\n')
+	st.mu.Lock()
+	due := false
+	if st.logF != nil {
+		if _, err := st.logF.Write(data); err != nil {
+			l.persistErrs.Inc()
+		} else {
+			st.pending++
+			due = l.snapshotEvery > 0 && st.pending >= l.snapshotEvery
+		}
+	}
+	st.mu.Unlock()
+	if due {
+		if err := l.WriteSnapshot(); err != nil {
+			l.persistErrs.Inc()
+		}
+	}
+}
+
+// WriteSnapshot atomically persists the full ledger state (temp file,
+// fsync, rename) and truncates the spend log. A crash between the two
+// steps is safe: replay skips log records the snapshot already covers.
+// No-op for in-memory ledgers.
+func (l *Ledger) WriteSnapshot() error {
+	st := l.store
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	data, err := l.DumpState()
+	if err != nil {
+		return err
+	}
+	final := filepath.Join(st.dir, snapshotName)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("budget: write snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("budget: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("budget: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("budget: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("budget: publish snapshot: %w", err)
+	}
+
+	// The snapshot covers everything logged so far; start the log over.
+	if st.logF != nil {
+		st.logF.Close()
+	}
+	st.logF, err = os.OpenFile(filepath.Join(st.dir, logName),
+		os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("budget: reopen spend log: %w", err)
+	}
+	st.pending = 0
+	return nil
+}
+
+// Close writes a final snapshot and closes the spend log. The ledger
+// must not be used after Close. No-op for in-memory ledgers.
+func (l *Ledger) Close() error {
+	st := l.store
+	if st == nil {
+		return nil
+	}
+	err := l.WriteSnapshot()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.logF != nil {
+		if cerr := st.logF.Close(); err == nil {
+			err = cerr
+		}
+		st.logF = nil
+	}
+	return err
+}
+
+// DumpState returns the canonical JSON serialization of the ledger's
+// complete state — the exact document WriteSnapshot persists. Principals
+// are sorted by name and empty (never-mutated) accounts are skipped, so
+// two ledgers with the same mutation history serialize byte-identically:
+// the restart e2e test compares these bytes across a crash.
+func (l *Ledger) DumpState() ([]byte, error) {
+	doc := snapDoc{Version: snapshotVersion, Principals: []snapRec{}}
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		for principal, acc := range s.accounts {
+			if acc.seq == 0 {
+				continue
+			}
+			rec := snapRec{
+				P:        principal,
+				Seq:      acc.seq,
+				Eps:      acc.spentEps,
+				Delta:    acc.spentDelta,
+				Releases: acc.releases,
+				Last:     acc.last,
+			}
+			for _, w := range acc.window {
+				rec.W = append(rec.W, winRec{T: w.t, Eps: w.eps, Delta: w.delta})
+			}
+			doc.Principals = append(doc.Principals, rec)
+		}
+		for principal, r := range s.retired {
+			doc.Principals = append(doc.Principals, snapRec{
+				P:        principal,
+				Seq:      r.seq,
+				Eps:      r.spentEps,
+				Delta:    r.spentDelta,
+				Releases: r.releases,
+				Retired:  true,
+			})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(doc.Principals, func(i, j int) bool {
+		return doc.Principals[i].P < doc.Principals[j].P
+	})
+	return json.Marshal(doc)
+}

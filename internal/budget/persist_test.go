@@ -1,0 +1,241 @@
+package budget
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, p Policy, dir string, opts ...Option) *Ledger {
+	t.Helper()
+	l, err := Open(p, dir, opts...)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l
+}
+
+func mustDump(t *testing.T, l *Ledger) []byte {
+	t.Helper()
+	data, err := l.DumpState()
+	if err != nil {
+		t.Fatalf("DumpState: %v", err)
+	}
+	return data
+}
+
+func TestOpenCloseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	policy := Policy{LifetimeEps: 10, Window: 24 * time.Hour, WindowEps: 2}
+
+	l1 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	mustSpend(t, l1, "alice", 0.5, 0)
+	clk.Advance(time.Minute)
+	mustSpend(t, l1, "alice", 0.25, 0)
+	mustSpend(t, l1, "bob", 1, 0)
+	before := mustDump(t, l1)
+	if err := l1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	if after := mustDump(t, l2); !bytes.Equal(before, after) {
+		t.Fatalf("state changed across Close/Open:\n before %s\n after  %s", before, after)
+	}
+	if st := l2.Status("alice"); st.SpentEps != 0.75 || st.Releases != 2 {
+		t.Fatalf("restored alice = %+v", st)
+	}
+	// The restored window still constrains: alice has 0.75 of 2 in-window.
+	if dec := mustSpend(t, l2, "alice", 1.5, 0); dec.Allowed || dec.Denial != DenyWindow {
+		t.Fatalf("restored window not enforced: %+v", dec)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCrashRestartBitIdentical is the crash-consistency core: spends,
+// an explicit snapshot, more spends, then a reopen with no Close (the
+// crash). The reopened ledger must serialize byte-identically.
+func TestCrashRestartBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	policy := Policy{LifetimeEps: 10, Window: 24 * time.Hour, WindowEps: 5}
+
+	l1 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	mustSpend(t, l1, "alice", 0.5, 0)
+	mustSpend(t, l1, "bob", 0.5, 0)
+	clk.Advance(time.Hour)
+	mustSpend(t, l1, "alice", 0.25, 0)
+	if err := l1.WriteSnapshot(); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	// Post-snapshot mutations live only in the spend log.
+	clk.Advance(time.Hour)
+	mustSpend(t, l1, "alice", 0.125, 0)
+	mustSpend(t, l1, "carol", 1, 0)
+	l1.Reset("bob")
+	clk.Advance(30 * time.Hour) // far enough that alice's oldest entries expire
+	mustSpend(t, l1, "alice", 0.0625, 0)
+	before := mustDump(t, l1)
+	// No Close: the crash.
+
+	l2 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	after := mustDump(t, l2)
+	if !bytes.Equal(before, after) {
+		t.Fatalf("replayed state differs from pre-crash state:\n before %s\n after  %s", before, after)
+	}
+	if st := l2.Status("bob"); st.SpentEps != 0 || st.Releases != 0 {
+		t.Fatalf("bob's reset was not replayed: %+v", st)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestTornLogTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	policy := Policy{LifetimeEps: 10}
+
+	l1 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	mustSpend(t, l1, "alice", 0.5, 0)
+	before := mustDump(t, l1)
+	// Crash: no Close. The log holds alice's one record; now simulate a
+	// torn tail — a corrupt line and a partial line after it.
+	logPath := filepath.Join(dir, logName)
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{garbage!!\n{\"p\":\"bob\",\"q\":1"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	if after := mustDump(t, l2); !bytes.Equal(before, after) {
+		t.Fatalf("torn tail leaked into state:\n before %s\n after  %s", before, after)
+	}
+	// The file itself was truncated back to the good prefix, so a third
+	// open replays cleanly too.
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("garbage")) {
+		t.Fatalf("corrupt tail still on disk: %q", data)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestReplayIsExactlyOnce covers the crash window between snapshot
+// rename and log truncation: records the snapshot already covers remain
+// in the log, and the per-account seq guard must skip them.
+func TestReplayIsExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	policy := Policy{LifetimeEps: 10}
+
+	l1 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	mustSpend(t, l1, "alice", 0.5, 0)
+	mustSpend(t, l1, "alice", 0.5, 0)
+	if err := l1.WriteSnapshot(); err != nil { // snapshot seq = 2, log now empty
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	// Re-append the already-covered records plus one genuinely new one,
+	// as if the crash hit before the truncation.
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := clk.Now().UTC()
+	for seq, eps := range map[uint64]float64{1: 0.5, 2: 0.5, 3: 0.25} {
+		line, _ := json.Marshal(logRec{P: "alice", Seq: seq, T: now, Eps: eps})
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	l2 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	st := l2.Status("alice")
+	if st.SpentEps != 1.25 || st.Releases != 3 {
+		t.Fatalf("replay applied covered records twice: %+v", st)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSnapshotEvery(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	policy := Policy{LifetimeEps: 10}
+
+	l := mustOpen(t, policy, dir, WithClock(clk.Now), WithSnapshotEvery(2))
+	mustSpend(t, l, "alice", 0.1, 0)
+	logPath := filepath.Join(dir, logName)
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("one spend should sit in the log (err=%v)", err)
+	}
+	mustSpend(t, l, "alice", 0.1, 0) // second record triggers the snapshot
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() != 0 {
+		t.Fatalf("log not truncated after auto-snapshot (err=%v, size=%d)", err, fi.Size())
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatalf("auto-snapshot missing: %v", err)
+	}
+	if want := mustDump(t, l); !bytes.Equal(snap, want) {
+		t.Fatalf("auto-snapshot differs from DumpState:\n snap %s\n want %s", snap, want)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestEvictionSurvivesSnapshotRestart(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	policy := Policy{LifetimeEps: 1, IdleTTL: time.Hour}
+
+	l1 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	mustSpend(t, l1, "alice", 1, 0)
+	clk.Advance(time.Hour)
+	if n := l1.EvictIdle(); n != 1 {
+		t.Fatalf("EvictIdle = %d", n)
+	}
+	before := mustDump(t, l1)
+	if err := l1.Close(); err != nil { // Close snapshots the retired record
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, policy, dir, WithClock(clk.Now))
+	if after := mustDump(t, l2); !bytes.Equal(before, after) {
+		t.Fatalf("retired record lost across restart:\n before %s\n after  %s", before, after)
+	}
+	// The lifetime budget survives retirement + restart.
+	if dec := mustSpend(t, l2, "alice", 0.1, 0); dec.Allowed {
+		t.Fatalf("restarted retired principal overdrew: %+v", dec)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Policy{LifetimeEps: 1}, dir); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+}

@@ -1,0 +1,124 @@
+package dp
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestAdvancedCompositionK1 pins the k=1 degenerate case: a single
+// release composes to exactly one application of the bound, and the
+// delta side is delta + slack with nothing multiplied in.
+func TestAdvancedCompositionK1(t *testing.T) {
+	eps, delta, slack := 0.5, 1e-5, 1e-6
+	totalEps, totalDelta, err := AdvancedComposition(eps, delta, 1, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEps := eps*math.Sqrt(2*math.Log(1/slack)) + eps*(math.Exp(eps)-1)
+	if math.Abs(totalEps-wantEps) > 1e-12 {
+		t.Errorf("k=1 totalEps = %v, want %v", totalEps, wantEps)
+	}
+	if math.Abs(totalDelta-(delta+slack)) > 1e-15 {
+		t.Errorf("k=1 totalDelta = %v, want %v", totalDelta, delta+slack)
+	}
+	// At k=1 the advanced bound is strictly worse than basic composition
+	// (the sqrt term alone exceeds ε) — the crossover needs many
+	// releases, which is why the Accountant defaults to basic.
+	if totalEps <= eps {
+		t.Errorf("k=1 advanced bound %v unexpectedly beats basic %v", totalEps, eps)
+	}
+}
+
+// TestAdvancedCompositionSlackLimit drives deltaSlack toward 0: the
+// epsilon bound must grow monotonically (smaller slack is paid for in
+// ε) and stay finite — no NaN or Inf even at denormal-range slack.
+func TestAdvancedCompositionSlackLimit(t *testing.T) {
+	prev := 0.0
+	for _, slack := range []float64{1e-2, 1e-6, 1e-12, 1e-100, 1e-300} {
+		totalEps, totalDelta, err := AdvancedComposition(0.1, 0, 100, slack)
+		if err != nil {
+			t.Fatalf("slack %v: %v", slack, err)
+		}
+		if math.IsNaN(totalEps) || math.IsInf(totalEps, 0) {
+			t.Fatalf("slack %v: totalEps = %v", slack, totalEps)
+		}
+		if totalEps <= prev {
+			t.Errorf("slack %v: totalEps %v did not grow from %v", slack, totalEps, prev)
+		}
+		if math.Abs(totalDelta-slack) > 1e-15 {
+			t.Errorf("slack %v: totalDelta = %v", slack, totalDelta)
+		}
+		prev = totalEps
+	}
+	// slack = 1 (and beyond) is outside the open interval.
+	if _, _, err := AdvancedComposition(0.1, 0, 100, 1); err == nil {
+		t.Error("slack=1 accepted")
+	}
+}
+
+// TestReleasesWithinBoundaries covers the exact-fit and degenerate
+// corners of the budget arithmetic.
+func TestReleasesWithinBoundaries(t *testing.T) {
+	tests := []struct {
+		name                     string
+		eps, delta, bEps, bDelta float64
+		want                     int
+	}{
+		{"exact fit", 1.0, 0, 1.0, 0, 1},
+		{"single release budget", 0.5, 0.1, 0.5, 0.1, 1},
+		{"epsilon exceeds budget", 1.5, 0, 1.0, 0, 0},
+		{"delta exceeds budget", 0.1, 0.2, 1.0, 0.1, 0},
+		{"negative budget", 0.1, 0, -1.0, 0, 0},
+		{"zero budget", 0.1, 0, 0, 0, 0},
+		{"delta ignored when zero", 0.25, 0, 1.0, 0, 4},
+		{"huge budget", 0.5, 0, 1e9, 0, 2_000_000_000},
+	}
+	for _, tt := range tests {
+		if got := ReleasesWithin(tt.eps, tt.delta, tt.bEps, tt.bDelta); got != tt.want {
+			t.Errorf("%s: ReleasesWithin(%v,%v,%v,%v) = %d, want %d",
+				tt.name, tt.eps, tt.delta, tt.bEps, tt.bDelta, got, tt.want)
+		}
+	}
+}
+
+// TestAccountantConcurrentReadersAndWriters mixes Spend with the read
+// accessors from many goroutines — a -race workout for the whole
+// Accountant surface, complementing TestAccountantConcurrent's
+// exact-grant count.
+func TestAccountantConcurrentReadersAndWriters(t *testing.T) {
+	a, err := NewAccountant(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = a.Spend(0.01, 0.001)
+				eps, delta := a.Spent()
+				if eps < 0 || delta < 0 {
+					t.Errorf("negative spend: (%v, %v)", eps, delta)
+					return
+				}
+				reps, _ := a.Remaining()
+				if reps < -1e-9 {
+					t.Errorf("negative remaining: %v", reps)
+					return
+				}
+				_ = a.Releases()
+			}
+		}()
+	}
+	wg.Wait()
+	eps, delta := a.Spent()
+	if eps > 5+1e-9 || delta > 0.5+1e-9 {
+		t.Errorf("budget overdrawn: (%v, %v)", eps, delta)
+	}
+	if n := a.Releases(); n != 500 {
+		// 5.0 / 0.01 = 500 grants; delta would allow exactly 500 too.
+		t.Errorf("granted %d releases, want 500", n)
+	}
+}

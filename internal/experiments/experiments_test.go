@@ -327,6 +327,46 @@ func TestFigSeq(t *testing.T) {
 	}
 }
 
+func TestFigBudget(t *testing.T) {
+	fig, err := FigBudget(sharedEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, fig, 2)
+	rateInRange(t, fig)
+	var unlimited, enforced Series
+	for _, s := range fig.Series {
+		if s.Name == "no budget" {
+			unlimited = s
+		} else {
+			enforced = s
+		}
+	}
+	last := len(enforced.Y) - 1
+	for i := range unlimited.Y {
+		// The baseline ignores the budget axis, so it must be flat.
+		if unlimited.Y[i] != unlimited.Y[0] {
+			t.Errorf("baseline not flat: %v", unlimited.Y)
+		}
+		// Enforcement can only remove releases from the adversary's view.
+		if enforced.Y[i] > unlimited.Y[i]+1e-9 {
+			t.Errorf("k=%v: enforced %v exceeds unthrottled %v",
+				enforced.X[i], enforced.Y[i], unlimited.Y[i])
+		}
+	}
+	// A window covering the whole run makes enforcement a no-op: the
+	// adversary sees exactly the baseline runs.
+	if enforced.X[last] != 6 || enforced.Y[last] != unlimited.Y[last] {
+		t.Errorf("k=6 should match the unthrottled attack: %v vs %v",
+			enforced.Y[last], unlimited.Y[last])
+	}
+	// The tightest budget must not leak more than the loosest.
+	if enforced.Y[0] > enforced.Y[last]+1e-9 {
+		t.Errorf("k=1 leaks %v > k=6 %v", enforced.Y[0], enforced.Y[last])
+	}
+	t.Logf("budget enforcement result:\n%s", fig.String())
+}
+
 func TestFigureCSV(t *testing.T) {
 	fig := &Figure{
 		ID: "t",

@@ -134,11 +134,12 @@ func Registry() map[string]Driver {
 		"12":         Fig12,
 		"ext-seq":    FigSeq,
 		"ext-robust": FigRobust,
+		"ext-budget": FigBudget,
 	}
 }
 
 // OrderedIDs returns the registry keys in presentation order: the
 // paper's figures first, extensions last.
 func OrderedIDs() []string {
-	return []string{"datasets", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "ext-seq", "ext-robust"}
+	return []string{"datasets", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "ext-seq", "ext-robust", "ext-budget"}
 }

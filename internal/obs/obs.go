@@ -194,19 +194,21 @@ const RouteOther = "other"
 type Registry struct {
 	start time.Time
 
-	mu       sync.RWMutex
-	routes   map[string]*RouteStats
-	counters map[string]*Counter
-	funcs    map[string]func() uint64
+	mu        sync.RWMutex
+	routes    map[string]*RouteStats
+	counters  map[string]*Counter
+	funcs     map[string]func() uint64
+	latencies map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		start:    time.Now(),
-		routes:   make(map[string]*RouteStats),
-		counters: make(map[string]*Counter),
-		funcs:    make(map[string]func() uint64),
+		start:     time.Now(),
+		routes:    make(map[string]*RouteStats),
+		counters:  make(map[string]*Counter),
+		funcs:     make(map[string]func() uint64),
+		latencies: make(map[string]*Histogram),
 	}
 }
 
@@ -270,6 +272,27 @@ func (r *Registry) CounterFunc(name string, fn func() uint64) {
 	r.mu.Unlock()
 }
 
+// RegisterLatency publishes a named non-route latency histogram (e.g. a
+// subsystem's internal decision latency) so it appears in the Snapshot's
+// latencies section alongside the per-route summaries. The histogram
+// stays owned by the caller, which keeps observing on its own hot path;
+// registering a name again replaces the histogram.
+func (r *Registry) RegisterLatency(name string, h *Histogram) {
+	if h == nil {
+		return
+	}
+	r.mu.Lock()
+	r.latencies[name] = h
+	r.mu.Unlock()
+}
+
+// Latency returns the named registered histogram, or nil.
+func (r *Registry) Latency(name string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.latencies[name]
+}
+
 // LatencySnapshot summarizes a histogram in milliseconds.
 type LatencySnapshot struct {
 	Count  uint64  `json:"count"`
@@ -304,9 +327,10 @@ type RouteSnapshot struct {
 
 // Snapshot is the JSON document served at /v1/metrics.
 type Snapshot struct {
-	UptimeSeconds float64                  `json:"uptimeSeconds"`
-	Routes        map[string]RouteSnapshot `json:"routes"`
-	Counters      map[string]uint64        `json:"counters,omitempty"`
+	UptimeSeconds float64                    `json:"uptimeSeconds"`
+	Routes        map[string]RouteSnapshot   `json:"routes"`
+	Counters      map[string]uint64          `json:"counters,omitempty"`
+	Latencies     map[string]LatencySnapshot `json:"latencies,omitempty"`
 }
 
 // Snapshot materializes the current state. Values are read without a
@@ -340,6 +364,12 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		for name, fn := range r.funcs {
 			snap.Counters[name] = fn()
+		}
+	}
+	if len(r.latencies) > 0 {
+		snap.Latencies = make(map[string]LatencySnapshot, len(r.latencies))
+		for name, h := range r.latencies {
+			snap.Latencies[name] = SnapshotLatency(h)
 		}
 	}
 	return snap

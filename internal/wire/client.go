@@ -21,6 +21,28 @@ import (
 // ErrBadRequest marks 4xx replies from a server; match with errors.Is.
 var ErrBadRequest = errors.New("wire: bad request")
 
+// ErrBudgetDenied matches 429 privacy-budget denials with errors.Is.
+// The budget will not refill within any backoff window, so these are
+// terminal: the client never retries them.
+var ErrBudgetDenied = errors.New("wire: budget denied")
+
+// BudgetDeniedError is the typed error for a 429 budget denial;
+// errors.As exposes the server-reported accounting.
+type BudgetDeniedError struct {
+	Path    string
+	Message string
+	// State carries the denial body's budget document; nil when the
+	// server sent none.
+	State *BudgetState
+}
+
+func (e *BudgetDeniedError) Error() string {
+	return fmt.Sprintf("wire: %s: budget denied: %s", e.Path, e.Message)
+}
+
+// Is makes errors.Is(err, ErrBudgetDenied) match.
+func (e *BudgetDeniedError) Is(target error) bool { return target == ErrBudgetDenied }
+
 // Client metric names recorded in the registry passed via
 // WithClientMetrics.
 const (
@@ -44,14 +66,16 @@ type clientCore struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	reg         *obs.Registry // nil disables client metrics
+	principal   string        // X-Principal header; "" omits it
 }
 
 // ClientOption customizes a GSPClient or LBSClient.
 type ClientOption func(*clientCore)
 
 // WithRetries sets how many times a transient failure (connection error,
-// timeout, 429, or 5xx) is retried after the first attempt (default 0 —
-// the pre-hardening behavior). 4xx replies are never retried.
+// timeout, or 5xx) is retried after the first attempt (default 0 — the
+// pre-hardening behavior). 4xx replies — including 429 budget denials,
+// which no backoff window can refill — are never retried.
 func WithRetries(n int) ClientOption {
 	return func(c *clientCore) {
 		if n >= 0 {
@@ -89,6 +113,13 @@ func WithBackoff(base, max time.Duration) ClientOption {
 // client resilience next to server traffic.
 func WithClientMetrics(reg *obs.Registry) ClientOption {
 	return func(c *clientCore) { c.reg = reg }
+}
+
+// WithPrincipal sends the X-Principal header on every request, naming
+// the identity a budget-enforcing LBS charges for each release
+// (overriding the release's userId fallback).
+func WithPrincipal(principal string) ClientOption {
+	return func(c *clientCore) { c.principal = principal }
 }
 
 func newClientCore(baseURL string, hc *http.Client, opts []ClientOption) clientCore {
@@ -165,6 +196,9 @@ func (c *clientCore) attempt(ctx context.Context, method, u, path string, body [
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.principal != "" {
+		req.Header.Set(HeaderPrincipal, c.principal)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport-level failure (refused, reset, timeout). Retry
@@ -173,9 +207,11 @@ func (c *clientCore) attempt(ctx context.Context, method, u, path string, body [
 	}
 	defer drainClose(resp.Body)
 	if err := decodeReply(resp, path, out); err != nil {
-		// 5xx and 429 are transient server states; 4xx and decode
-		// failures are not.
-		transient := resp.StatusCode/100 == 5 || resp.StatusCode == http.StatusTooManyRequests
+		// Only 5xx is transient. 429 means the privacy budget is denied —
+		// a state no backoff window refills, and each retry would burn an
+		// attempt (and server work) for a guaranteed second denial — so it
+		// is terminal like the rest of 4xx, as are decode failures.
+		transient := resp.StatusCode/100 == 5
 		return transient && ctx.Err() == nil, err
 	}
 	return false, nil
@@ -279,6 +315,28 @@ func (c *LBSClient) Release(ctx context.Context, rel ReleaseRequest) (*ReleaseRe
 	return &out, nil
 }
 
+// BudgetStatus fetches a principal's privacy-budget accounting from a
+// budget-enforced LBS server (admin endpoint).
+func (c *LBSClient) BudgetStatus(ctx context.Context, principal string) (*BudgetState, error) {
+	var out BudgetState
+	path := PathBudget + "/" + url.PathEscape(principal)
+	if err := c.core.do(ctx, http.MethodGet, path, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BudgetReset zeroes a principal's privacy-budget accounting (admin
+// endpoint) and returns the post-reset state.
+func (c *LBSClient) BudgetReset(ctx context.Context, principal string) (*BudgetState, error) {
+	var out BudgetState
+	path := PathBudget + "/" + url.PathEscape(principal) + "/reset"
+	if err := c.core.do(ctx, http.MethodPost, path, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Releases fetches a user's stored release history.
 func (c *LBSClient) Releases(ctx context.Context, userID string) (*ReleasesResponse, error) {
 	v := url.Values{}
@@ -293,12 +351,22 @@ func (c *LBSClient) Releases(ctx context.Context, userID string) (*ReleasesRespo
 // decodeReply maps non-2xx replies to errors and decodes 2xx bodies.
 func decodeReply(resp *http.Response, path string, out any) error {
 	if resp.StatusCode/100 != 2 {
-		var errResp ErrorResponse
 		msg := resp.Status
-		if body, err := io.ReadAll(io.LimitReader(resp.Body, 4096)); err == nil {
-			if json.Unmarshal(body, &errResp) == nil && errResp.Error != "" {
-				msg = errResp.Error
+		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if resp.StatusCode == http.StatusTooManyRequests {
+			denied := &BudgetDeniedError{Path: path, Message: msg}
+			var errResp BudgetErrorResponse
+			if readErr == nil && json.Unmarshal(body, &errResp) == nil {
+				if errResp.Error != "" {
+					denied.Message = errResp.Error
+				}
+				denied.State = errResp.Budget
 			}
+			return denied
+		}
+		var errResp ErrorResponse
+		if readErr == nil && json.Unmarshal(body, &errResp) == nil && errResp.Error != "" {
+			msg = errResp.Error
 		}
 		if resp.StatusCode/100 == 4 {
 			return fmt.Errorf("%w: %s: %s", ErrBadRequest, path, msg)

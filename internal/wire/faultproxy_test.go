@@ -23,6 +23,7 @@ const (
 	act503                      // synthesize a 503 burst response
 	actDrop                     // fail at the transport (connection reset)
 	actDelay                    // stall before passing through
+	act429                      // synthesize a 429 budget denial with a structured body
 )
 
 // faultTransport is a test-only RoundTripper that injects failures
@@ -58,6 +59,21 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}, nil
 	case actDrop:
 		return nil, errors.New("faultproxy: connection reset by peer")
+	case act429:
+		return &http.Response{
+			Status:     "429 Too Many Requests",
+			StatusCode: http.StatusTooManyRequests,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1, ProtoMinor: 1,
+			Header: make(http.Header),
+			Body: io.NopCloser(strings.NewReader(
+				`{"error":"privacy budget denied (window)","budget":` +
+					`{"principal":"alice","spentEps":1.5,"spentDelta":0,` +
+					`"remainingEps":98.5,"remainingDelta":0,` +
+					`"windowRemainingEps":0,"windowRemainingDelta":0,` +
+					`"releases":3,"denial":"window","retryAfterSeconds":3600}}`)),
+			Request: req,
+		}, nil
 	case actDelay:
 		select {
 		case <-req.Context().Done():

@@ -2,13 +2,17 @@ package wire
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"poiagg/internal/attack"
+	"poiagg/internal/budget"
 	"poiagg/internal/gsp"
 	"poiagg/internal/obs"
 	"poiagg/internal/poi"
@@ -51,6 +55,12 @@ type LBSServer struct {
 	log     *log.Logger // nil disables per-request logging
 	pprof   bool
 	handler http.Handler
+
+	// ledger, when set, charges (releaseEps, releaseDelta) per accepted
+	// release and serves the /v1/budget admin endpoints.
+	ledger       *budget.Ledger
+	releaseEps   float64
+	releaseDelta float64
 
 	mu       sync.Mutex
 	history  map[string][]ReleaseRequest
@@ -100,6 +110,26 @@ func WithLBSPprof(on bool) LBSServerOption {
 	return func(s *LBSServer) { s.pprof = on }
 }
 
+// WithBudget enforces a server-side privacy budget: every accepted
+// POST /v1/release charges (eps, delta) — the per-release cost of the
+// DP mechanism the deployment runs, e.g. Theorem 4's (ε, δ) — against
+// the ledger, identified by the X-Principal header, ?principal= query
+// parameter, or the release's userId, in that order. Exhausted
+// principals get 429 with a BudgetErrorResponse body, and the
+// /v1/budget/{principal} admin endpoints come alive. Ignored when led
+// is nil or eps is not positive. The server does not own the ledger;
+// the daemon closes a persistent one on shutdown.
+func WithBudget(led *budget.Ledger, eps, delta float64) LBSServerOption {
+	return func(s *LBSServer) {
+		if led == nil || eps <= 0 || delta < 0 {
+			return
+		}
+		s.ledger = led
+		s.releaseEps = eps
+		s.releaseDelta = delta
+	}
+}
+
 // NewLBSServer returns an LBS application server expecting frequency
 // vectors of dimension m (the city's type count).
 func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
@@ -116,6 +146,10 @@ func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 	}
 	s.mux.HandleFunc("POST "+PathRelease, s.handleRelease)
 	s.mux.HandleFunc("GET "+PathReleases, s.handleReleases)
+	if s.ledger != nil {
+		s.mux.HandleFunc("GET "+PathBudget+"/{principal}", s.handleBudgetStatus)
+		s.mux.HandleFunc("POST "+PathBudget+"/{principal}/reset", s.handleBudgetReset)
+	}
 	if s.pprof {
 		registerPprof(s.mux)
 	}
@@ -167,6 +201,29 @@ func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
 		rel.Time = time.Now().UTC()
 	}
 
+	// Charge the privacy budget before any effect (history, audit): a
+	// denied release must leave no trace and cost no audit work.
+	var budgetState *BudgetState
+	if s.ledger != nil {
+		dec, err := s.ledger.Spend(principalOf(r, rel), s.releaseEps, s.releaseDelta)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		budgetState = budgetStateOf(dec)
+		if !dec.Allowed {
+			if dec.RetryAfter > 0 {
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int(math.Ceil(dec.RetryAfter.Seconds()))))
+			}
+			writeJSON(w, http.StatusTooManyRequests, BudgetErrorResponse{
+				Error:  fmt.Sprintf("privacy budget denied (%s)", dec.Denial),
+				Budget: budgetState,
+			})
+			return
+		}
+	}
+
 	s.mu.Lock()
 	h := append(s.history[rel.UserID], rel)
 	if len(h) > s.maxPerID {
@@ -175,12 +232,53 @@ func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
 	s.history[rel.UserID] = h
 	s.mu.Unlock()
 
-	resp := ReleaseResponse{Accepted: true}
+	resp := ReleaseResponse{Accepted: true, Budget: budgetState}
 	if s.auditor != nil {
 		resp.Audited = true
 		resp.ReIdentified, resp.CandidateCount = s.auditor.Audit(rel.Freq, rel.R)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// principalOf resolves the budget principal for a release: X-Principal
+// header, ?principal= query parameter, or the release's userId.
+func principalOf(r *http.Request, rel ReleaseRequest) string {
+	if p := r.Header.Get(HeaderPrincipal); p != "" {
+		return p
+	}
+	if p := r.URL.Query().Get("principal"); p != "" {
+		return p
+	}
+	return rel.UserID
+}
+
+// budgetStateOf converts a ledger decision to its wire representation.
+func budgetStateOf(dec budget.Decision) *BudgetState {
+	st := &BudgetState{
+		Principal:            dec.Principal,
+		SpentEps:             dec.SpentEps,
+		SpentDelta:           dec.SpentDelta,
+		RemainingEps:         dec.RemainingEps,
+		RemainingDelta:       dec.RemainingDelta,
+		WindowRemainingEps:   dec.WindowRemainingEps,
+		WindowRemainingDelta: dec.WindowRemainingDelta,
+		Releases:             dec.Releases,
+	}
+	if !dec.Allowed {
+		st.Denial = string(dec.Denial)
+		st.RetryAfterSeconds = dec.RetryAfter.Seconds()
+	}
+	return st
+}
+
+func (s *LBSServer) handleBudgetStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, budgetStateOf(s.ledger.Status(r.PathValue("principal"))))
+}
+
+func (s *LBSServer) handleBudgetReset(w http.ResponseWriter, r *http.Request) {
+	principal := r.PathValue("principal")
+	s.ledger.Reset(principal)
+	writeJSON(w, http.StatusOK, budgetStateOf(s.ledger.Status(principal)))
 }
 
 func (s *LBSServer) handleReleases(w http.ResponseWriter, r *http.Request) {

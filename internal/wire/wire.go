@@ -29,7 +29,16 @@ const (
 const (
 	PathRelease  = "/v1/release"
 	PathReleases = "/v1/releases"
+	// PathBudget prefixes the budget admin endpoints on a budget-enforced
+	// LBS server: GET /v1/budget/{principal} reports a principal's
+	// accounting, POST /v1/budget/{principal}/reset zeroes it.
+	PathBudget = "/v1/budget"
 )
+
+// HeaderPrincipal names the request header carrying the privacy-budget
+// principal on POST /v1/release. A ?principal= query parameter is the
+// fallback; with neither, the release's userId is charged.
+const HeaderPrincipal = "X-Principal"
 
 // StatsResponse describes the GSP's city.
 type StatsResponse struct {
@@ -70,6 +79,37 @@ type ReleaseResponse struct {
 	ReIdentified bool `json:"reIdentified,omitempty"`
 	// CandidateCount is the auditor's surviving candidate count.
 	CandidateCount int `json:"candidateCount,omitempty"`
+	// Budget reports the principal's accounting after this release when
+	// the server enforces a privacy budget.
+	Budget *BudgetState `json:"budget,omitempty"`
+}
+
+// BudgetState is a principal's privacy-budget accounting as reported by
+// a budget-enforced LBS server: inside granted ReleaseResponses, 429
+// denial bodies, and the /v1/budget admin endpoints.
+type BudgetState struct {
+	Principal  string  `json:"principal"`
+	SpentEps   float64 `json:"spentEps"`
+	SpentDelta float64 `json:"spentDelta"`
+	// RemainingEps/RemainingDelta are the lifetime budget left.
+	RemainingEps   float64 `json:"remainingEps"`
+	RemainingDelta float64 `json:"remainingDelta"`
+	// WindowRemainingEps/Delta are the sliding-window budget left (equal
+	// to the lifetime remainders when the policy has no window).
+	WindowRemainingEps   float64 `json:"windowRemainingEps"`
+	WindowRemainingDelta float64 `json:"windowRemainingDelta"`
+	Releases             uint64  `json:"releases"`
+	// Denial ("lifetime" or "window") is set on 429 denial bodies.
+	Denial string `json:"denial,omitempty"`
+	// RetryAfterSeconds is how long until a window-denied release would
+	// be admitted again; 0 for lifetime denials (waiting never helps).
+	RetryAfterSeconds float64 `json:"retryAfterSeconds,omitempty"`
+}
+
+// BudgetErrorResponse is the structured body of a 429 budget denial.
+type BudgetErrorResponse struct {
+	Error  string       `json:"error"`
+	Budget *BudgetState `json:"budget,omitempty"`
 }
 
 // ReleasesResponse lists a user's stored releases.
