@@ -7,7 +7,7 @@ GO ?= go
 BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay
 BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget
 
-.PHONY: all check fmt-check build vet test race bench bench-core bench-diff repro repro-full cover clean
+.PHONY: all check fmt-check build vet test race bench bench-core bench-diff loadtest repro repro-full cover clean
 
 all: check
 
@@ -53,6 +53,17 @@ bench-diff:
 	$(GO) test -run '^$$' -bench '$(BENCH_CORE_PATTERN)' \
 		-benchmem -benchtime=1s -count=1 $(BENCH_CORE_PKGS) \
 		| $(GO) run ./cmd/benchjson -prev BENCH_core.json
+
+# loadtest is the overload-protection smoke: drive the in-process
+# GSP+LBS stack closed-loop at 4x the admission limit with realistic
+# per-release service time, and fail if nothing succeeded or anything
+# errored unexpectedly. The JSON report (throughput, p50/p95/p99, shed
+# counts) prints to stdout; see DESIGN.md for the saturation comparison.
+loadtest:
+	$(GO) run ./cmd/loadgen -inprocess -assert \
+		-targets freq,batch,release -conc 32 -duration 3s \
+		-admit-limit 8 -admit-queue 16 -admit-timeout 100ms \
+		-audit-cost 2ms -name loadtest-smoke
 
 # Regenerate every paper figure at quick scale (seconds).
 repro:

@@ -49,6 +49,10 @@ func run(args []string) error {
 	maxRadius := fs.Float64("max-radius", 10_000, "maximum accepted query radius in meters")
 	statsInterval := fs.Duration("stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	admitLimit := fs.Int("admit-limit", 0, "admission control: max concurrent request weight (0 disables)")
+	admitQueue := fs.Int("admit-queue", 128, "admission control: max requests waiting for a slot")
+	admitTimeout := fs.Duration("admit-timeout", 500*time.Millisecond, "admission control: max queue wait before shedding")
+	maxBody := fs.Int64("max-body", wire.DefaultMaxBody, "maximum accepted POST body in bytes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,12 +65,19 @@ func run(args []string) error {
 	logger := log.New(os.Stderr, "gspd ", log.LstdFlags)
 	reg := obs.NewRegistry()
 	svc.ExportMetrics(reg)
-	handler := wire.NewGSPServer(svc,
+	opts := []wire.GSPServerOption{
 		wire.WithLogger(logger),
 		wire.WithMaxRadius(*maxRadius),
 		wire.WithMetrics(reg),
 		wire.WithPprof(*pprofOn),
-	)
+		wire.WithMaxBody(*maxBody),
+	}
+	if *admitLimit > 0 {
+		opts = append(opts, wire.WithAdmission(*admitLimit, *admitQueue, *admitTimeout))
+		logger.Printf("admission control on: limit %d, queue %d, wait %v",
+			*admitLimit, *admitQueue, *admitTimeout)
+	}
+	handler := wire.NewGSPServer(svc, opts...)
 	if *pprofOn {
 		logger.Printf("pprof profiling enabled at %s", wire.PathPprof)
 	}
@@ -101,6 +112,9 @@ func run(args []string) error {
 		return err
 	case sig := <-stop:
 		logger.Printf("received %v, shutting down", sig)
+		// Flip /readyz to 503 first so load balancers stop routing new
+		// work here while Shutdown lets in-flight requests finish.
+		handler.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(ctx)

@@ -54,7 +54,12 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "city generation seed (must match the GSP's)")
 	noAudit := fs.Bool("no-audit", false, "disable re-identification auditing")
 	historyLimit := fs.Int("history", 1000, "stored releases per user")
+	historyUsers := fs.Int("history-users", wire.DefaultHistoryUsers, "max distinct users with stored history (second-chance eviction past it)")
 	statsInterval := fs.Duration("stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
+	admitLimit := fs.Int("admit-limit", 0, "admission control: max concurrent request weight (0 disables)")
+	admitQueue := fs.Int("admit-queue", 128, "admission control: max requests waiting for a slot")
+	admitTimeout := fs.Duration("admit-timeout", 500*time.Millisecond, "admission control: max queue wait before shedding")
+	maxBody := fs.Int64("max-body", wire.DefaultMaxBody, "maximum accepted POST body in bytes")
 	pprofOn := fs.Bool("pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
 	budgetOn := fs.Bool("budget", false, "enforce a per-principal privacy budget on releases")
 	budgetEps := fs.Float64("budget-eps", 10, "lifetime epsilon budget per principal")
@@ -89,9 +94,16 @@ func run(args []string) error {
 	reg := obs.NewRegistry()
 	opts := []wire.LBSServerOption{
 		wire.WithHistoryLimit(*historyLimit),
+		wire.WithHistoryUsers(*historyUsers),
 		wire.WithLBSMetrics(reg),
 		wire.WithLBSLogger(logger),
 		wire.WithLBSPprof(*pprofOn),
+		wire.WithMaxBody(*maxBody),
+	}
+	if *admitLimit > 0 {
+		opts = append(opts, wire.WithAdmission(*admitLimit, *admitQueue, *admitTimeout))
+		logger.Printf("admission control on: limit %d, queue %d, wait %v",
+			*admitLimit, *admitQueue, *admitTimeout)
 	}
 	if *pprofOn {
 		logger.Printf("pprof profiling enabled at %s", wire.PathPprof)
@@ -163,6 +175,9 @@ func run(args []string) error {
 		return err
 	case sig := <-stop:
 		logger.Printf("received %v, shutting down", sig)
+		// Flip /readyz to 503 first so load balancers stop routing new
+		// work here while Shutdown lets in-flight requests finish.
+		handler.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(ctx)

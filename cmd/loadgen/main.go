@@ -1,0 +1,542 @@
+// Command loadgen drives a GSP/LBS wire stack with synthetic load and
+// reports throughput, latency quantiles, and shed/denial counts as JSON.
+// It is the measurement half of the admission-control story: run it once
+// against an admission-limited server and once against an unlimited one
+// to see load shedding keep tail latency bounded while the unprotected
+// server collapses.
+//
+// Two driving modes:
+//
+//   - closed loop (default): -conc workers each issue the next request
+//     as soon as the previous completes — concurrency is fixed, arrival
+//     rate adapts to the server.
+//   - open loop (-rate > 0): requests start on a fixed schedule
+//     regardless of completions, the arrival pattern that actually
+//     overloads real services.
+//
+// Targets (-targets, comma-separated): freq (GET /v1/freq), batch
+// (POST /v1/query/batch, -batch items per request), release
+// (POST /v1/release).
+//
+// Usage:
+//
+//	loadgen -inprocess -conc 32 -duration 5s -admit-limit 8
+//	loadgen -gsp http://localhost:8080 -targets freq,batch -rate 200 -duration 30s
+//	loadgen -lbs http://localhost:8081 -targets release -conc 16 -out run.json
+//
+// With -inprocess the generator spins up in-memory GSP and LBS servers
+// (small synthetic city, region-audit enabled) over loopback HTTP, so a
+// single command measures the whole stack with no daemons to start —
+// this is what `make loadtest` runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poiagg/internal/citygen"
+	"poiagg/internal/gsp"
+	"poiagg/internal/obs"
+	"poiagg/internal/poi"
+	"poiagg/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	name      string
+	inprocess bool
+	gspURL    string
+	lbsURL    string
+	targets   []string
+	conc      int
+	rate      float64
+	duration  time.Duration
+	timeout   time.Duration
+	batchN    int
+	radius    float64
+	city      string
+	seed      uint64
+
+	admitLimit   int
+	admitQueue   int
+	admitTimeout time.Duration
+	auditCost    time.Duration
+	shedPause    time.Duration
+
+	out       string
+	assertRun bool
+	quiet     bool
+}
+
+// Report is the JSON document loadgen emits.
+type Report struct {
+	Name            string                  `json:"name"`
+	Config          ReportConfig            `json:"config"`
+	DurationSeconds float64                 `json:"durationSeconds"`
+	Total           uint64                  `json:"total"`
+	OK              uint64                  `json:"ok"`
+	Shed503         uint64                  `json:"shed503"`
+	Denied429       uint64                  `json:"denied429"`
+	BadRequest      uint64                  `json:"badRequest"`
+	TransportErrors uint64                  `json:"transportErrors"`
+	ThroughputRPS   float64                 `json:"throughputRps"`
+	Latency         obs.LatencySnapshot     `json:"latency"`
+	OKLatency       obs.LatencySnapshot     `json:"okLatency"`
+	PerTarget       map[string]TargetReport `json:"perTarget"`
+}
+
+// ReportConfig echoes the knobs that shaped the run, so a report file is
+// self-describing.
+type ReportConfig struct {
+	Mode         string  `json:"mode"` // "inprocess" or "remote"
+	Targets      string  `json:"targets"`
+	Concurrency  int     `json:"concurrency"`
+	RateRPS      float64 `json:"rateRps,omitempty"`
+	AdmitLimit   int     `json:"admitLimit,omitempty"`
+	AdmitQueue   int     `json:"admitQueue,omitempty"`
+	AdmitTimeout string  `json:"admitTimeout,omitempty"`
+	BatchItems   int     `json:"batchItems"`
+}
+
+// TargetReport is one endpoint's slice of the run.
+type TargetReport struct {
+	Total     uint64              `json:"total"`
+	OK        uint64              `json:"ok"`
+	Shed503   uint64              `json:"shed503"`
+	Denied429 uint64              `json:"denied429"`
+	Latency   obs.LatencySnapshot `json:"latency"`
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.name, "name", "loadgen", "run label embedded in the report")
+	fs.BoolVar(&cfg.inprocess, "inprocess", false, "spin up in-memory GSP+LBS servers instead of dialing daemons")
+	fs.StringVar(&cfg.gspURL, "gsp", "", "GSP base URL (required for freq/batch targets unless -inprocess)")
+	fs.StringVar(&cfg.lbsURL, "lbs", "", "LBS base URL (required for the release target unless -inprocess)")
+	targets := fs.String("targets", "freq,batch,release", "comma-separated endpoints to drive: freq, batch, release")
+	fs.IntVar(&cfg.conc, "conc", 8, "closed-loop worker count (also bounds open-loop dispatch)")
+	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "how long to drive load")
+	fs.DurationVar(&cfg.timeout, "timeout", 2*time.Second, "per-request deadline")
+	fs.IntVar(&cfg.batchN, "batch", 16, "items per batch request")
+	fs.Float64Var(&cfg.radius, "radius", 900, "query radius in meters")
+	fs.StringVar(&cfg.city, "city", "beijing", "city preset (must match the daemons': beijing or nyc)")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "city generation seed (must match the daemons')")
+	fs.IntVar(&cfg.admitLimit, "admit-limit", 0, "in-process servers' admission concurrency limit (0 = unlimited)")
+	fs.IntVar(&cfg.admitQueue, "admit-queue", 64, "in-process servers' admission queue length")
+	fs.DurationVar(&cfg.admitTimeout, "admit-timeout", 250*time.Millisecond, "in-process servers' admission queue wait cap")
+	fs.DurationVar(&cfg.auditCost, "audit-cost", 0, "in-process LBS: CPU time burned per audited release (fixed work, so oversubscription inflates latency like a real service)")
+	fs.DurationVar(&cfg.shedPause, "shed-pause", 100*time.Millisecond, "closed-loop worker pause after a 503 shed, emulating client backoff (0 = hammer)")
+	fs.StringVar(&cfg.out, "out", "-", "report destination file (- = stdout)")
+	fs.BoolVar(&cfg.assertRun, "assert", false, "exit nonzero when the run made no progress or hit unexpected errors")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress the progress line on stderr")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	for _, tgt := range strings.Split(*targets, ",") {
+		tgt = strings.TrimSpace(tgt)
+		switch tgt {
+		case "freq", "batch", "release":
+			cfg.targets = append(cfg.targets, tgt)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown target %q (want freq, batch, or release)", tgt)
+		}
+	}
+	if len(cfg.targets) == 0 {
+		return nil, errors.New("no targets selected")
+	}
+	if cfg.conc < 1 {
+		return nil, errors.New("-conc must be >= 1")
+	}
+	if cfg.duration <= 0 {
+		return nil, errors.New("-duration must be positive")
+	}
+	if !cfg.inprocess {
+		needsGSP := false
+		needsLBS := false
+		for _, tgt := range cfg.targets {
+			switch tgt {
+			case "freq", "batch":
+				needsGSP = true
+			case "release":
+				needsLBS = true
+			}
+		}
+		if needsGSP && cfg.gspURL == "" {
+			return nil, errors.New("freq/batch targets need -gsp (or -inprocess)")
+		}
+		if needsLBS && cfg.lbsURL == "" {
+			return nil, errors.New("release target needs -lbs (or -inprocess)")
+		}
+	}
+	return cfg, nil
+}
+
+// costedAuditor burns a fixed amount of CPU work before each audit
+// (-audit-cost). Unlike a sleep, fixed work does not parallelize for
+// free: when concurrent requests outnumber cores, each one's wall time
+// stretches — the failure mode a load test must be able to provoke.
+type costedAuditor struct {
+	inner wire.Auditor
+	iters uint64
+}
+
+func (a costedAuditor) Audit(f poi.FreqVector, r float64) (bool, int) {
+	busySpin(a.iters)
+	return a.inner.Audit(f, r)
+}
+
+// busySink defeats dead-code elimination of busySpin.
+var busySink atomic.Uint64
+
+// busySpin runs n rounds of a cheap integer mix, yielding to the
+// scheduler every ~64k iterations. The yields matter on small
+// GOMAXPROCS: an unpreemptible spin would serialize the whole process
+// (client, server, and admission gate), hiding the very concurrency the
+// load test exists to create — real handlers yield constantly at call
+// and I/O points.
+func busySpin(n uint64) {
+	acc := uint64(0x9e3779b97f4a7c15)
+	for i := uint64(0); i < n; i++ {
+		acc ^= acc << 13
+		acc ^= acc >> 7
+		acc ^= acc << 17
+		if i&(1<<16-1) == 1<<16-1 {
+			runtime.Gosched()
+		}
+	}
+	busySink.Store(acc)
+}
+
+// calibrateBusy measures the spin rate once and returns the iteration
+// count whose single-threaded execution takes roughly d.
+func calibrateBusy(d time.Duration) uint64 {
+	const probe = 1 << 22
+	start := time.Now()
+	busySpin(probe)
+	per := time.Since(start)
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	return uint64(float64(probe) * float64(d) / float64(per))
+}
+
+// targetStats accumulates one endpoint's outcomes; all fields are safe
+// for concurrent use.
+type targetStats struct {
+	total, ok, shed, denied, bad, transport atomic.Uint64
+	hist                                    obs.Histogram
+	okHist                                  obs.Histogram
+}
+
+func (ts *targetStats) record(d time.Duration, err error) {
+	ts.total.Add(1)
+	ts.hist.Observe(d)
+	switch {
+	case err == nil:
+		ts.ok.Add(1)
+		ts.okHist.Observe(d)
+	case errors.Is(err, wire.ErrOverloaded):
+		ts.shed.Add(1)
+	case errors.Is(err, wire.ErrBudgetDenied):
+		ts.denied.Add(1)
+	case errors.Is(err, wire.ErrBadRequest):
+		ts.bad.Add(1)
+	default:
+		ts.transport.Add(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	city, err := buildCity(cfg)
+	if err != nil {
+		return err
+	}
+	locs := city.RandomLocations(4096, cfg.seed+7)
+
+	gspURL, lbsURL := cfg.gspURL, cfg.lbsURL
+	if cfg.inprocess {
+		svc := gsp.NewService(city.City, 1<<14)
+		var serverOpts []wire.ServerOption
+		if cfg.admitLimit > 0 {
+			serverOpts = append(serverOpts,
+				wire.WithAdmission(cfg.admitLimit, cfg.admitQueue, cfg.admitTimeout))
+		}
+		quiet := log.New(io.Discard, "", 0)
+		gspOpts := []wire.GSPServerOption{wire.WithLogger(quiet)}
+		// The region audit on the small in-process city takes microseconds;
+		// -audit-cost pads it to a realistic CPU-bound service time, which
+		// is what makes saturation (and shedding) observable: fixed work
+		// per request means oversubscribed cores stretch every request,
+		// exactly the collapse admission control exists to prevent.
+		var auditor wire.Auditor = wire.RegionAuditor{Svc: svc}
+		if cfg.auditCost > 0 {
+			auditor = costedAuditor{inner: auditor, iters: calibrateBusy(cfg.auditCost)}
+		}
+		lbsOpts := []wire.LBSServerOption{wire.WithAuditor(auditor)}
+		for _, o := range serverOpts {
+			gspOpts = append(gspOpts, o)
+			lbsOpts = append(lbsOpts, o)
+		}
+		gspTS := httptest.NewServer(wire.NewGSPServer(svc, gspOpts...))
+		defer gspTS.Close()
+		lbsTS := httptest.NewServer(wire.NewLBSServer(city.M(), lbsOpts...))
+		defer lbsTS.Close()
+		gspURL, lbsURL = gspTS.URL, lbsTS.URL
+	}
+
+	clientOpts := []wire.ClientOption{wire.WithRequestTimeout(cfg.timeout)}
+	gspClient := wire.NewGSPClient(gspURL, nil, clientOpts...)
+	lbsClient := wire.NewLBSClient(lbsURL, nil, clientOpts...)
+
+	// One frequency vector serves every release: the LBS only checks its
+	// dimension, and computing it locally keeps the release target free
+	// of any GSP dependency.
+	var relFreq []int
+	for _, tgt := range cfg.targets {
+		if tgt == "release" {
+			svc := gsp.NewService(city.City, 1<<10)
+			relFreq = svc.Freq(locs[0], cfg.radius)
+			break
+		}
+	}
+
+	stats := make(map[string]*targetStats, len(cfg.targets))
+	for _, tgt := range cfg.targets {
+		stats[tgt] = &targetStats{}
+	}
+	var overall, overallOK obs.Histogram
+
+	doOne := func(workerID, seq int, rng *rand.Rand) {
+		tgt := cfg.targets[seq%len(cfg.targets)]
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
+		defer cancel()
+		start := time.Now()
+		var err error
+		switch tgt {
+		case "freq":
+			_, err = gspClient.Freq(ctx, locs[rng.IntN(len(locs))], cfg.radius)
+		case "batch":
+			items := make([]wire.BatchItem, cfg.batchN)
+			for i := range items {
+				l := locs[rng.IntN(len(locs))]
+				items[i] = wire.BatchItem{X: l.X, Y: l.Y, R: cfg.radius}
+			}
+			_, err = gspClient.QueryBatch(ctx, items)
+		case "release":
+			_, err = lbsClient.Release(ctx, wire.ReleaseRequest{
+				UserID: fmt.Sprintf("load-%d", workerID),
+				Freq:   relFreq,
+				R:      cfg.radius,
+			})
+		}
+		d := time.Since(start)
+		stats[tgt].record(d, err)
+		overall.Observe(d)
+		if err == nil {
+			overallOK.Observe(d)
+		}
+		// A shed worker pauses like a well-behaved client would (the wire
+		// client sleeps min(Retry-After, backoff)); without this, a
+		// closed loop degenerates into a shed-hammer whose rejection
+		// traffic alone saturates the server's cores.
+		if cfg.shedPause > 0 && errors.Is(err, wire.ErrOverloaded) {
+			time.Sleep(cfg.shedPause)
+		}
+	}
+
+	if !cfg.quiet {
+		mode := "closed-loop"
+		if cfg.rate > 0 {
+			mode = fmt.Sprintf("open-loop %.0f req/s", cfg.rate)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: driving %s for %v (%s, conc %d, admit-limit %d)\n",
+			strings.Join(cfg.targets, "+"), cfg.duration, mode, cfg.conc, cfg.admitLimit)
+	}
+
+	wallStart := time.Now()
+	if cfg.rate > 0 {
+		runOpenLoop(cfg, doOne)
+	} else {
+		runClosedLoop(cfg, doOne)
+	}
+	wall := time.Since(wallStart)
+
+	report := buildReport(cfg, stats, &overall, &overallOK, wall)
+	if err := emit(report, cfg.out, stdout); err != nil {
+		return err
+	}
+	if cfg.assertRun {
+		if report.OK == 0 {
+			return errors.New("assert: zero successful requests")
+		}
+		if report.BadRequest > 0 || report.TransportErrors > 0 {
+			return fmt.Errorf("assert: unexpected errors (badRequest=%d transport=%d)",
+				report.BadRequest, report.TransportErrors)
+		}
+	}
+	return nil
+}
+
+// runClosedLoop keeps cfg.conc workers saturated until the deadline.
+func runClosedLoop(cfg *config, doOne func(workerID, seq int, rng *rand.Rand)) {
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conc; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(cfg.seed, uint64(id)))
+			for seq := id; time.Now().Before(deadline); seq++ {
+				doOne(id, seq, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpenLoop starts requests on a fixed schedule, independent of
+// completions — up to cfg.conc may be in flight; arrivals beyond that
+// are dropped on the floor and counted nowhere, mirroring a client
+// population that stops listening when the service lags.
+func runOpenLoop(cfg *config, doOne func(workerID, seq int, rng *rand.Rand)) {
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	slots := make(chan int, cfg.conc)
+	for i := 0; i < cfg.conc; i++ {
+		slots <- i
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	stop := time.After(cfg.duration)
+	var wg sync.WaitGroup
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		case <-tick.C:
+			select {
+			case id := <-slots:
+				wg.Add(1)
+				seq++
+				go func(id, seq int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(cfg.seed, uint64(seq)))
+					doOne(id, seq, rng)
+					slots <- id
+				}(id, seq)
+			default: // all in-flight slots busy: drop this arrival
+			}
+		}
+	}
+}
+
+func buildCity(cfg *config) (*citygen.City, error) {
+	var p citygen.Params
+	switch cfg.city {
+	case "beijing":
+		p = citygen.Beijing(cfg.seed)
+	case "nyc":
+		p = citygen.NewYork(cfg.seed)
+	default:
+		return nil, fmt.Errorf("unknown city %q (want beijing or nyc)", cfg.city)
+	}
+	if cfg.inprocess {
+		// The in-process smoke mode wants startup in milliseconds, not a
+		// full synthetic metropolis; the wire stack's behavior under load
+		// does not depend on city size.
+		p.NumPOIs = 2000
+		p.NumTypes = 60
+		p.Width, p.Height = 12_000, 12_000
+	}
+	return citygen.Generate(p)
+}
+
+func buildReport(cfg *config, stats map[string]*targetStats, overall, overallOK *obs.Histogram, wall time.Duration) Report {
+	mode := "remote"
+	if cfg.inprocess {
+		mode = "inprocess"
+	}
+	rep := Report{
+		Name: cfg.name,
+		Config: ReportConfig{
+			Mode:        mode,
+			Targets:     strings.Join(cfg.targets, ","),
+			Concurrency: cfg.conc,
+			RateRPS:     cfg.rate,
+			AdmitLimit:  cfg.admitLimit,
+			BatchItems:  cfg.batchN,
+		},
+		DurationSeconds: wall.Seconds(),
+		Latency:         obs.SnapshotLatency(overall),
+		OKLatency:       obs.SnapshotLatency(overallOK),
+		PerTarget:       make(map[string]TargetReport, len(stats)),
+	}
+	if cfg.admitLimit > 0 {
+		rep.Config.AdmitQueue = cfg.admitQueue
+		rep.Config.AdmitTimeout = cfg.admitTimeout.String()
+	}
+	for tgt, ts := range stats {
+		rep.Total += ts.total.Load()
+		rep.OK += ts.ok.Load()
+		rep.Shed503 += ts.shed.Load()
+		rep.Denied429 += ts.denied.Load()
+		rep.BadRequest += ts.bad.Load()
+		rep.TransportErrors += ts.transport.Load()
+		rep.PerTarget[tgt] = TargetReport{
+			Total:     ts.total.Load(),
+			OK:        ts.ok.Load(),
+			Shed503:   ts.shed.Load(),
+			Denied429: ts.denied.Load(),
+			Latency:   obs.SnapshotLatency(&ts.hist),
+		}
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / wall.Seconds()
+	}
+	return rep
+}
+
+func emit(rep Report, out string, stdout io.Writer) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" || out == "" {
+		_, err = stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadgenInprocessSmoke runs the full in-process stack briefly and
+// checks the report is well-formed: progress was made, nothing failed
+// unexpectedly, and every requested target saw traffic.
+func TestLoadgenInprocessSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{
+		"-inprocess", "-quiet", "-assert",
+		"-duration", "300ms", "-conc", "4", "-batch", "4",
+		"-targets", "freq,batch,release",
+		"-name", "smoke",
+		"-out", out,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, out)
+	if rep.Name != "smoke" {
+		t.Errorf("name = %q", rep.Name)
+	}
+	if rep.OK == 0 {
+		t.Error("ok = 0, want progress")
+	}
+	if rep.BadRequest != 0 || rep.TransportErrors != 0 {
+		t.Errorf("unexpected errors: badRequest=%d transport=%d", rep.BadRequest, rep.TransportErrors)
+	}
+	for _, tgt := range []string{"freq", "batch", "release"} {
+		pt, ok := rep.PerTarget[tgt]
+		if !ok || pt.Total == 0 {
+			t.Errorf("target %q saw no traffic: %+v", tgt, pt)
+		}
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", rep.ThroughputRPS)
+	}
+	if rep.Latency.Count != rep.Total {
+		t.Errorf("latency count %d != total %d", rep.Latency.Count, rep.Total)
+	}
+}
+
+// TestLoadgenShedsUnderTinyLimit saturates an admission limit of 1 with
+// no queue at closed-loop concurrency 16: sheds must appear, be counted
+// as shed503 (not transport errors), and some requests still succeed.
+func TestLoadgenShedsUnderTinyLimit(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{
+		"-inprocess", "-quiet",
+		"-duration", "400ms", "-conc", "16",
+		"-targets", "release", "-audit-cost", "5ms",
+		"-admit-limit", "1", "-admit-queue", "0", "-admit-timeout", "0s",
+		"-out", out,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, out)
+	if rep.Shed503 == 0 {
+		t.Error("shed503 = 0 at concurrency 16 against limit 1")
+	}
+	if rep.OK == 0 {
+		t.Error("ok = 0; admission must not starve everyone")
+	}
+	if rep.TransportErrors != 0 {
+		t.Errorf("transportErrors = %d; sheds must classify as 503s", rep.TransportErrors)
+	}
+	if rep.OK+rep.Shed503+rep.Denied429+rep.BadRequest != rep.Total {
+		t.Errorf("outcome counts do not sum to total: %+v", rep)
+	}
+}
+
+// TestLoadgenOpenLoop drives the fixed-schedule mode and checks the
+// arrival pacing produced roughly rate*duration requests, not a
+// closed-loop flood.
+func TestLoadgenOpenLoop(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{
+		"-inprocess", "-quiet", "-assert",
+		"-duration", "500ms", "-rate", "100", "-conc", "8",
+		"-targets", "freq",
+		"-out", out,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, out)
+	// ~50 arrivals scheduled; allow wide slack for CI timers but reject
+	// a closed-loop-scale flood (thousands).
+	if rep.Total == 0 || rep.Total > 120 {
+		t.Errorf("total = %d, want paced arrivals near 50", rep.Total)
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-targets", "bogus"},
+		{"-targets", ""},
+		{"-conc", "0"},
+		{"-duration", "0s"},
+		{"-targets", "freq"}, // remote mode without -gsp
+		{"-targets", "release"},
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted invalid input", args)
+		}
+	}
+}
+
+func readReport(t *testing.T, path string) Report {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}

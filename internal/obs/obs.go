@@ -299,6 +299,7 @@ type LatencySnapshot struct {
 	MeanMs float64 `json:"meanMs"`
 	P50Ms  float64 `json:"p50Ms"`
 	P90Ms  float64 `json:"p90Ms"`
+	P95Ms  float64 `json:"p95Ms"`
 	P99Ms  float64 `json:"p99Ms"`
 	MaxMs  float64 `json:"maxMs"`
 }
@@ -312,6 +313,7 @@ func SnapshotLatency(h *Histogram) LatencySnapshot {
 		MeanMs: ms(h.Mean()),
 		P50Ms:  ms(h.Quantile(0.50)),
 		P90Ms:  ms(h.Quantile(0.90)),
+		P95Ms:  ms(h.Quantile(0.95)),
 		P99Ms:  ms(h.Quantile(0.99)),
 		MaxMs:  ms(h.Max()),
 	}

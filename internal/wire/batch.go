@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 
 	"poiagg/internal/attack"
@@ -73,7 +72,12 @@ func (s *GSPServer) registerBatch() {
 // whole request with 400; item-level validation happens per item later.
 func (s *GSPServer) decodeBatch(w http.ResponseWriter, r *http.Request) ([]BatchItem, bool) {
 	var req BatchRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		if isMaxBytes(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBody))
+			return nil, false
+		}
 		writeError(w, http.StatusBadRequest, "malformed batch request")
 		return nil, false
 	}
@@ -117,11 +121,29 @@ func (s *GSPServer) splitBatch(items []BatchItem, report func(i int, err error))
 	return reqs, idx
 }
 
+// admitBatch charges a decoded batch by its item weight against the
+// server's admission limiter: a 256-item batch occupies 256 slots (or
+// the whole limiter if smaller), so batches can no longer smuggle
+// unbounded fan-out work past a per-request concurrency bound. Returns
+// a release func, or writes the 503 shed and reports false. No-op when
+// admission is disabled.
+func (s *GSPServer) admitBatch(w http.ResponseWriter, r *http.Request, n int) (func(), bool) {
+	if s.admit == nil {
+		return func() {}, true
+	}
+	return s.admit.admitHTTP(w, r, int64(n))
+}
+
 func (s *GSPServer) handleFreqBatch(w http.ResponseWriter, r *http.Request) {
 	items, ok := s.decodeBatch(w, r)
 	if !ok {
 		return
 	}
+	release, ok := s.admitBatch(w, r, len(items))
+	if !ok {
+		return
+	}
+	defer release()
 	results := make([]FreqBatchResult, len(items))
 	reqs, idx := s.splitBatch(items, func(i int, err error) {
 		results[i].Error = err.Error()
@@ -137,6 +159,11 @@ func (s *GSPServer) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	release, ok := s.admitBatch(w, r, len(items))
+	if !ok {
+		return
+	}
+	defer release()
 	results := make([]QueryBatchResult, len(items))
 	reqs, idx := s.splitBatch(items, func(i int, err error) {
 		results[i].Error = err.Error()

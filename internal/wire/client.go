@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"poiagg/internal/geo"
@@ -42,6 +43,28 @@ func (e *BudgetDeniedError) Error() string {
 
 // Is makes errors.Is(err, ErrBudgetDenied) match.
 func (e *BudgetDeniedError) Is(target error) bool { return target == ErrBudgetDenied }
+
+// ErrOverloaded matches 503 admission sheds with errors.Is. Unlike a
+// budget denial, an overload clears as soon as the present wave drains,
+// so these are transient: the client retries them, sleeping at most the
+// server's Retry-After hint.
+var ErrOverloaded = errors.New("wire: server overloaded")
+
+// OverloadedError is the typed error for a 503 shed; errors.As exposes
+// the server's Retry-After hint.
+type OverloadedError struct {
+	Path    string
+	Message string
+	// RetryAfter is the parsed Retry-After header; 0 when absent.
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("wire: %s: overloaded: %s", e.Path, e.Message)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // Client metric names recorded in the registry passed via
 // WithClientMetrics.
@@ -165,7 +188,15 @@ func (c *clientCore) do(ctx context.Context, method, path string, params url.Val
 		if !retryable || attempt >= c.retries {
 			break
 		}
-		if err := c.sleepBackoff(ctx, attempt); err != nil {
+		// A 503 shed carries the server's Retry-After hint: capacity
+		// frees as the admitted wave drains, so sleep min(hint, backoff)
+		// rather than stacking a full exponential delay on top.
+		var hint time.Duration
+		var overloaded *OverloadedError
+		if errors.As(err, &overloaded) {
+			hint = overloaded.RetryAfter
+		}
+		if err := c.sleepBackoff(ctx, attempt, hint); err != nil {
 			// The caller's context ended while we waited; report the
 			// last attempt's error, which is what the deadline killed.
 			break
@@ -217,15 +248,10 @@ func (c *clientCore) attempt(ctx context.Context, method, u, path string, body [
 	return false, nil
 }
 
-// sleepBackoff waits base<<attempt with equal jitter (half fixed, half
-// uniform), capped, or returns early when ctx ends.
-func (c *clientCore) sleepBackoff(ctx context.Context, attempt int) error {
-	d := c.backoffBase << uint(attempt)
-	if d > c.backoffMax || d <= 0 {
-		d = c.backoffMax
-	}
-	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
-	t := time.NewTimer(d)
+// sleepBackoff waits backoffDelay(attempt, hint), or returns early when
+// ctx ends.
+func (c *clientCore) sleepBackoff(ctx context.Context, attempt int, hint time.Duration) error {
+	t := time.NewTimer(c.backoffDelay(attempt, hint))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
@@ -233,6 +259,22 @@ func (c *clientCore) sleepBackoff(ctx context.Context, attempt int) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// backoffDelay is base<<attempt with equal jitter (half fixed, half
+// uniform), capped at the configured max. A positive hint (the server's
+// Retry-After on a shed) only ever shortens the sleep: the server knows
+// how fast its queue drains better than an exponential schedule does.
+func (c *clientCore) backoffDelay(attempt int, hint time.Duration) time.Duration {
+	d := c.backoffBase << uint(attempt)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	d = d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+	if hint > 0 && hint < d {
+		d = hint
+	}
+	return d
 }
 
 // drainClose consumes what remains of a response body before closing so
@@ -348,11 +390,46 @@ func (c *LBSClient) Releases(ctx context.Context, userID string) (*ReleasesRespo
 	return &out, nil
 }
 
+// Error-body read limits: JSON error envelopes are structured documents
+// the client wants whole (a batch 400 can legitimately carry hundreds
+// of per-item messages), so they get a generous cap; anything else —
+// HTML error pages from intermediaries, plain text — is only quoted
+// into an error string and stays tightly bounded.
+const (
+	errBodyLimit     = 4096
+	errBodyLimitJSON = 1 << 20
+)
+
+// readErrBody reads a non-2xx body up to its content-type's limit and
+// reports whether it was cut off mid-document.
+func readErrBody(resp *http.Response) (body []byte, truncated bool, err error) {
+	limit := errBodyLimit
+	if ct := resp.Header.Get("Content-Type"); strings.Contains(ct, "application/json") {
+		limit = errBodyLimitJSON
+	}
+	body, err = io.ReadAll(io.LimitReader(resp.Body, int64(limit)+1))
+	if len(body) > limit {
+		return body[:limit], true, err
+	}
+	return body, false, err
+}
+
+// retryAfterOf parses an integer-seconds Retry-After header; 0 when
+// absent or unparseable (the HTTP-date form is not worth supporting for
+// our own servers, which always send seconds).
+func retryAfterOf(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // decodeReply maps non-2xx replies to errors and decodes 2xx bodies.
 func decodeReply(resp *http.Response, path string, out any) error {
 	if resp.StatusCode/100 != 2 {
 		msg := resp.Status
-		body, readErr := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		body, truncated, readErr := readErrBody(resp)
 		if resp.StatusCode == http.StatusTooManyRequests {
 			denied := &BudgetDeniedError{Path: path, Message: msg}
 			var errResp BudgetErrorResponse
@@ -365,8 +442,17 @@ func decodeReply(resp *http.Response, path string, out any) error {
 			return denied
 		}
 		var errResp ErrorResponse
-		if readErr == nil && json.Unmarshal(body, &errResp) == nil && errResp.Error != "" {
+		switch {
+		case readErr == nil && json.Unmarshal(body, &errResp) == nil && errResp.Error != "":
 			msg = errResp.Error
+		case truncated:
+			// A clipped JSON document no longer unmarshals; say so
+			// cleanly instead of surfacing a raw syntax error or
+			// silently dropping the body.
+			msg = fmt.Sprintf("%s (error body truncated at %d bytes)", resp.Status, len(body))
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return &OverloadedError{Path: path, Message: msg, RetryAfter: retryAfterOf(resp)}
 		}
 		if resp.StatusCode/100 == 4 {
 			return fmt.Errorf("%w: %s: %s", ErrBadRequest, path, msg)

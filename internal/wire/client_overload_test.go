@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"poiagg/internal/geo"
+)
+
+// TestBackoffDelayHintBounds pins the Retry-After interaction as pure
+// arithmetic: the hint only ever shortens the sleep, never lengthens it,
+// and the exponential schedule stays within [base/2<<k, base<<k] capped
+// at max regardless of attempt count.
+func TestBackoffDelayHintBounds(t *testing.T) {
+	c := clientCore{backoffBase: 100 * time.Millisecond, backoffMax: 800 * time.Millisecond}
+	for i := 0; i < 200; i++ {
+		// No hint: attempt 0 sleeps within [base/2, base].
+		if d := c.backoffDelay(0, 0); d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("backoffDelay(0, no hint) = %v, want in [50ms, 100ms]", d)
+		}
+		// A short hint wins outright.
+		if d := c.backoffDelay(0, 10*time.Millisecond); d != 10*time.Millisecond {
+			t.Fatalf("backoffDelay(0, 10ms hint) = %v, want exactly 10ms", d)
+		}
+		// A long hint never stretches the sleep past the backoff.
+		if d := c.backoffDelay(0, time.Hour); d > 100*time.Millisecond {
+			t.Fatalf("backoffDelay(0, 1h hint) = %v, hint must not lengthen the sleep", d)
+		}
+		// Deep attempts (including shift overflow) stay capped at max.
+		if d := c.backoffDelay(40, 0); d <= 0 || d > 800*time.Millisecond {
+			t.Fatalf("backoffDelay(40, no hint) = %v, want in (0, 800ms]", d)
+		}
+	}
+}
+
+// TestClientRetriesShedThenSucceeds drives a 503-with-Retry-After shed
+// through the fault proxy: the client treats it as transient, sleeps at
+// most min(hint, backoff), retries, and the second attempt succeeds.
+func TestClientRetriesShedThenSucceeds(t *testing.T) {
+	client, ft, _ := faultyGSPClient(t, []faultAction{act503Retry}, 0,
+		WithRetries(2), fastBackoff())
+	start := time.Now()
+	if _, err := client.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats after one shed: %v", err)
+	}
+	if got := ft.callCount(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (shed + success)", got)
+	}
+	// fastBackoff sleeps ~1-4ms; the 1s Retry-After hint must not have
+	// stretched the wait (min(hint, backoff), not max).
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("retry slept %v; Retry-After hint must only shorten the backoff", elapsed)
+	}
+}
+
+// TestClientExposesRetryAfterOnExhaustedSheds asserts an all-shed script
+// surfaces as ErrOverloaded with the parsed Retry-After hint attached.
+func TestClientExposesRetryAfterOnExhaustedSheds(t *testing.T) {
+	client, ft, _ := faultyGSPClient(t, []faultAction{act503Retry, act503Retry}, 0,
+		WithRetries(1), fastBackoff())
+	_, err := client.Freq(context.Background(), geo.Point{X: 1, Y: 1}, 500)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	var ov *OverloadedError
+	if !errors.As(err, &ov) {
+		t.Fatalf("err = %v, want *OverloadedError", err)
+	}
+	if ov.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", ov.RetryAfter)
+	}
+	if ov.Path != PathFreq {
+		t.Errorf("Path = %q, want %q", ov.Path, PathFreq)
+	}
+	if !strings.Contains(ov.Message, "queue_full") {
+		t.Errorf("Message = %q, want the server's structured reason", ov.Message)
+	}
+	if got := ft.callCount(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
+// errResponse fabricates a non-2xx reply for decodeReply.
+func errResponse(status int, contentType, body string) *http.Response {
+	h := make(http.Header)
+	if contentType != "" {
+		h.Set("Content-Type", contentType)
+	}
+	return &http.Response{
+		Status:     fmt.Sprintf("%d %s", status, http.StatusText(status)),
+		StatusCode: status,
+		Header:     h,
+		Body:       io.NopCloser(strings.NewReader(body)),
+	}
+}
+
+// TestDecodeReplyLargeJSONErrorBody is the regression test for the
+// truncation bug: a legitimate JSON error envelope far beyond the old
+// 4 KiB cap (a batch 400 carrying hundreds of per-item messages) must
+// decode whole, with the tail of the message intact.
+func TestDecodeReplyLargeJSONErrorBody(t *testing.T) {
+	msg := strings.Repeat("item 17: freq has wrong dimension; ", 3000) + "END-MARKER"
+	if len(msg) <= errBodyLimit {
+		t.Fatalf("test body too small (%d bytes) to exercise the old cap", len(msg))
+	}
+	body, err := json.Marshal(ErrorResponse{Error: msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derr := decodeReply(errResponse(http.StatusBadRequest, "application/json", string(body)), PathQueryBatch, nil)
+	if !errors.Is(derr, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", derr)
+	}
+	if !strings.Contains(derr.Error(), "END-MARKER") {
+		t.Errorf("large JSON error body was clipped: tail marker missing from %q...", derr.Error()[:80])
+	}
+}
+
+// TestDecodeReplyTruncatedJSONErrorBody asserts a JSON envelope beyond
+// even the generous 1 MiB cap yields a clean "truncated" error instead
+// of a raw syntax error or a silently dropped body.
+func TestDecodeReplyTruncatedJSONErrorBody(t *testing.T) {
+	huge := `{"error":"` + strings.Repeat("x", errBodyLimitJSON+1024) + `"}`
+	derr := decodeReply(errResponse(http.StatusInternalServerError, "application/json", huge), PathFreq, nil)
+	if derr == nil {
+		t.Fatal("decodeReply = nil for a 500")
+	}
+	want := fmt.Sprintf("error body truncated at %d bytes", errBodyLimitJSON)
+	if !strings.Contains(derr.Error(), want) {
+		t.Errorf("err = %q, want it to contain %q", derr.Error(), want)
+	}
+}
+
+// TestDecodeReplyNonJSONBodyStaysBounded asserts non-JSON bodies (an
+// intermediary's HTML error page) keep the tight cap: the quoted body is
+// clipped and labeled truncated.
+func TestDecodeReplyNonJSONBodyStaysBounded(t *testing.T) {
+	page := "<html>" + strings.Repeat("gateway sadness ", 4096) + "</html>"
+	derr := decodeReply(errResponse(http.StatusBadGateway, "text/html", page), PathStats, nil)
+	if derr == nil {
+		t.Fatal("decodeReply = nil for a 502")
+	}
+	want := fmt.Sprintf("error body truncated at %d bytes", errBodyLimit)
+	if !strings.Contains(derr.Error(), want) {
+		t.Errorf("err = %q, want it to contain %q", derr.Error(), want)
+	}
+	if len(derr.Error()) > errBodyLimit {
+		t.Errorf("error string is %d bytes; non-JSON bodies must stay bounded", len(derr.Error()))
+	}
+}

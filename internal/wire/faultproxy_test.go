@@ -19,11 +19,12 @@ import (
 type faultAction int
 
 const (
-	actOK    faultAction = iota // pass through to the real server
-	act503                      // synthesize a 503 burst response
-	actDrop                     // fail at the transport (connection reset)
-	actDelay                    // stall before passing through
-	act429                      // synthesize a 429 budget denial with a structured body
+	actOK       faultAction = iota // pass through to the real server
+	act503                         // synthesize a 503 burst response
+	actDrop                        // fail at the transport (connection reset)
+	actDelay                       // stall before passing through
+	act429                         // synthesize a 429 budget denial with a structured body
+	act503Retry                    // synthesize an admission shed: 503 + Retry-After + structured body
 )
 
 // faultTransport is a test-only RoundTripper that injects failures
@@ -55,6 +56,20 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 			ProtoMajor: 1, ProtoMinor: 1,
 			Header:  make(http.Header),
 			Body:    io.NopCloser(strings.NewReader(`{"error":"injected overload"}`)),
+			Request: req,
+		}, nil
+	case act503Retry:
+		h := make(http.Header)
+		h.Set("Retry-After", "1")
+		h.Set("Content-Type", "application/json")
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1, ProtoMinor: 1,
+			Header: h,
+			Body: io.NopCloser(strings.NewReader(
+				`{"error":"server overloaded, request shed (queue_full)","reason":"queue_full","retryAfterSeconds":1}`)),
 			Request: req,
 		}, nil
 	case actDrop:

@@ -2,10 +2,12 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"log"
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"poiagg/internal/geo"
@@ -25,61 +27,77 @@ type GSPServer struct {
 	maxRadius float64
 	// maxBatch bounds items per batch request.
 	maxBatch int
+	// maxBody caps POST request bodies in bytes.
+	maxBody int64
 
 	reg        *obs.Registry
 	instrument bool
 	pprof      bool
 	handler    http.Handler
+
+	admitCfg AdmissionConfig
+	admit    *admission // nil when admission is disabled
+	draining atomic.Bool
 }
 
 var _ http.Handler = (*GSPServer)(nil)
 
-// GSPServerOption customizes a GSPServer.
-type GSPServerOption func(*GSPServer)
+// GSPServerOption customizes a GSPServer. Options are built with the
+// With* constructors; ServerOption values (admission control, body
+// caps) satisfy this interface too, so the same option value configures
+// a GSP or an LBS server.
+type GSPServerOption interface {
+	applyGSP(*GSPServer)
+}
+
+// gspOption adapts a plain function to GSPServerOption.
+type gspOption func(*GSPServer)
+
+func (o gspOption) applyGSP(s *GSPServer) { o(s) }
 
 // WithLogger sets the request logger (default: log.Default()).
 func WithLogger(l *log.Logger) GSPServerOption {
-	return func(s *GSPServer) { s.log = l }
+	return gspOption(func(s *GSPServer) { s.log = l })
 }
 
 // WithMaxRadius caps the accepted query radius in meters (default 10 km).
 func WithMaxRadius(r float64) GSPServerOption {
-	return func(s *GSPServer) { s.maxRadius = r }
+	return gspOption(func(s *GSPServer) { s.maxRadius = r })
 }
 
 // WithMaxBatch caps the number of items accepted in one batch request
 // (default DefaultMaxBatch).
 func WithMaxBatch(n int) GSPServerOption {
-	return func(s *GSPServer) {
+	return gspOption(func(s *GSPServer) {
 		if n > 0 {
 			s.maxBatch = n
 		}
-	}
+	})
 }
 
 // WithMetrics shares an externally owned metrics registry (default: a
 // fresh private one). Daemons pass their process registry so client
 // counters and server routes appear in one /v1/metrics document.
 func WithMetrics(reg *obs.Registry) GSPServerOption {
-	return func(s *GSPServer) {
+	return gspOption(func(s *GSPServer) {
 		if reg != nil {
 			s.reg = reg
 		}
-	}
+	})
 }
 
 // WithInstrumentation toggles the metrics middleware and operational
 // endpoints (default on). Disabling it yields the bare handler — used by
 // BenchmarkGSPServerParallel to price the middleware.
 func WithInstrumentation(on bool) GSPServerOption {
-	return func(s *GSPServer) { s.instrument = on }
+	return gspOption(func(s *GSPServer) { s.instrument = on })
 }
 
 // WithPprof serves the net/http/pprof profiling endpoints under
 // /debug/pprof/ (default off — the endpoints expose runtime internals,
 // so daemons gate them behind an explicit -pprof flag).
 func WithPprof(on bool) GSPServerOption {
-	return func(s *GSPServer) { s.pprof = on }
+	return gspOption(func(s *GSPServer) { s.pprof = on })
 }
 
 // NewGSPServer wraps a GSP service as an HTTP handler.
@@ -90,11 +108,12 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 		log:        log.Default(),
 		maxRadius:  10_000,
 		maxBatch:   DefaultMaxBatch,
+		maxBody:    DefaultMaxBody,
 		reg:        obs.NewRegistry(),
 		instrument: true,
 	}
 	for _, opt := range opts {
-		opt(s)
+		opt.applyGSP(s)
 	}
 	s.mux.HandleFunc("GET "+PathStats, s.handleStats)
 	s.mux.HandleFunc("GET "+PathQuery, s.handleQuery)
@@ -104,16 +123,41 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 	if s.pprof {
 		registerPprof(s.mux)
 	}
+	var inner http.Handler = s.mux
+	if s.admitCfg.Limit > 0 {
+		s.admit = newAdmission(s.admitCfg)
+		s.admit.export(s.reg)
+		// The batch endpoints admit themselves at item weight after
+		// decoding; everything else is gated here at weight 1.
+		inner = s.admit.middleware(inner, map[string]bool{
+			PathFreqBatch:  true,
+			PathQueryBatch: true,
+		})
+	}
 	if s.instrument {
-		s.handler = obs.Instrument(s.reg, s.mux, obs.WithRequestHook(s.logRequest))
+		s.handler = obs.Instrument(s.reg, inner,
+			obs.WithRequestHook(s.logRequest),
+			obs.WithReadyCheck(s.readyCheck))
 	} else {
-		s.handler = loggedHandler{mux: s.mux, hook: s.logRequest}
+		s.handler = loggedHandler{mux: inner, hook: s.logRequest}
 	}
 	return s
 }
 
 // Metrics returns the server's metrics registry.
 func (s *GSPServer) Metrics() *obs.Registry { return s.reg }
+
+// Drain flips /readyz to 503 so load balancers stop routing new work
+// here while in-flight requests finish; the daemons call it on SIGTERM
+// before http.Server.Shutdown.
+func (s *GSPServer) Drain() { s.draining.Store(true) }
+
+func (s *GSPServer) readyCheck() error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	return nil
+}
 
 // ServeHTTP implements http.Handler.
 func (s *GSPServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -124,10 +168,13 @@ func (s *GSPServer) logRequest(method, path string, status int, d time.Duration)
 	s.log.Printf("%s %s %d %s", method, path, status, d.Round(time.Microsecond))
 }
 
+// errDraining is the readiness error reported after Drain.
+var errDraining = errors.New("draining")
+
 // loggedHandler is the uninstrumented fallback: status capture for the
 // log line only, no metrics.
 type loggedHandler struct {
-	mux  *http.ServeMux
+	mux  http.Handler
 	hook func(method, path string, status int, d time.Duration)
 }
 
@@ -185,6 +232,13 @@ func (s *GSPServer) parseLocation(w http.ResponseWriter, r *http.Request) (geo.P
 
 func isFinite(v float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// isMaxBytes reports whether err came from an http.MaxBytesReader body
+// cap — the rejection that must surface as 413, not 400.
+func isMaxBytes(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
 }
 
 func (s *GSPServer) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -3,12 +3,12 @@ package wire
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"math"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"poiagg/internal/attack"
@@ -50,11 +50,16 @@ type LBSServer struct {
 	auditor Auditor // nil disables auditing
 	m       int     // expected vector dimension
 	maxR    float64 // reject implausible query ranges
+	maxBody int64   // POST body cap in bytes
 
 	reg     *obs.Registry
 	log     *log.Logger // nil disables per-request logging
 	pprof   bool
 	handler http.Handler
+
+	admitCfg AdmissionConfig
+	admit    *admission // nil when admission is disabled
+	draining atomic.Bool
 
 	// ledger, when set, charges (releaseEps, releaseDelta) per accepted
 	// release and serves the /v1/budget admin endpoints.
@@ -63,51 +68,100 @@ type LBSServer struct {
 	releaseDelta float64
 
 	mu       sync.Mutex
-	history  map[string][]ReleaseRequest
+	history  map[string]*userHistory
+	userQ    []string // second-chance queue over user IDs, front = oldest
 	maxPerID int
+	maxUsers int
 }
+
+// userHistory is one user's stored releases plus its second-chance bit.
+type userHistory struct {
+	rels    []ReleaseRequest
+	touched bool
+}
+
+// MetricLBSHistoryUsers gauges the number of distinct users with stored
+// history; bounded by WithHistoryUsers.
+const MetricLBSHistoryUsers = "lbs.history_users"
+
+// DefaultHistoryUsers caps distinct users with stored history unless
+// WithHistoryUsers overrides it.
+const DefaultHistoryUsers = 10_000
 
 var _ http.Handler = (*LBSServer)(nil)
 
-// LBSServerOption customizes an LBSServer.
-type LBSServerOption func(*LBSServer)
+// LBSServerOption customizes an LBSServer. ServerOption values
+// (admission control, body caps) satisfy this interface too.
+type LBSServerOption interface {
+	applyLBS(*LBSServer)
+}
+
+// lbsOption adapts a plain function to LBSServerOption.
+type lbsOption func(*LBSServer)
+
+func (o lbsOption) applyLBS(s *LBSServer) { o(s) }
 
 // WithAuditor enables release auditing.
 func WithAuditor(a Auditor) LBSServerOption {
-	return func(s *LBSServer) { s.auditor = a }
+	return lbsOption(func(s *LBSServer) { s.auditor = a })
 }
 
 // WithHistoryLimit caps stored releases per user (default 1000).
 func WithHistoryLimit(n int) LBSServerOption {
-	return func(s *LBSServer) { s.maxPerID = n }
+	return lbsOption(func(s *LBSServer) { s.maxPerID = n })
+}
+
+// WithHistoryUsers caps the number of distinct users with stored
+// history (default DefaultHistoryUsers). Past the cap, the least
+// recently active user is evicted second-chance style — a flood of
+// unique userIds can no longer grow the history map without bound,
+// while users that keep releasing (or being read) survive.
+func WithHistoryUsers(n int) LBSServerOption {
+	return lbsOption(func(s *LBSServer) {
+		if n > 0 {
+			s.maxUsers = n
+		}
+	})
 }
 
 // WithLBSMaxRadius caps the accepted release query range in meters
 // (default 10 km, matching the GSP's cap).
 func WithLBSMaxRadius(r float64) LBSServerOption {
-	return func(s *LBSServer) { s.maxR = r }
+	return lbsOption(func(s *LBSServer) { s.maxR = r })
 }
 
 // WithLBSMetrics shares an externally owned metrics registry (default: a
 // fresh private one).
 func WithLBSMetrics(reg *obs.Registry) LBSServerOption {
-	return func(s *LBSServer) {
+	return lbsOption(func(s *LBSServer) {
 		if reg != nil {
 			s.reg = reg
 		}
-	}
+	})
 }
 
 // WithLBSLogger enables per-request logging (default: off, preserving
 // the server's historically quiet behavior; lbsd turns it on).
 func WithLBSLogger(l *log.Logger) LBSServerOption {
-	return func(s *LBSServer) { s.log = l }
+	return lbsOption(func(s *LBSServer) { s.log = l })
 }
 
 // WithLBSPprof serves the net/http/pprof profiling endpoints under
 // /debug/pprof/ (default off; lbsd gates it behind -pprof).
 func WithLBSPprof(on bool) LBSServerOption {
-	return func(s *LBSServer) { s.pprof = on }
+	return lbsOption(func(s *LBSServer) { s.pprof = on })
+}
+
+// Drain flips /readyz to 503 so load balancers stop routing new work
+// here while in-flight requests finish; lbsd calls it on SIGTERM before
+// http.Server.Shutdown.
+func (s *LBSServer) Drain() { s.draining.Store(true) }
+
+func (s *LBSServer) readyCheck() error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	return nil
 }
 
 // WithBudget enforces a server-side privacy budget: every accepted
@@ -120,14 +174,14 @@ func WithLBSPprof(on bool) LBSServerOption {
 // is nil or eps is not positive. The server does not own the ledger;
 // the daemon closes a persistent one on shutdown.
 func WithBudget(led *budget.Ledger, eps, delta float64) LBSServerOption {
-	return func(s *LBSServer) {
+	return lbsOption(func(s *LBSServer) {
 		if led == nil || eps <= 0 || delta < 0 {
 			return
 		}
 		s.ledger = led
 		s.releaseEps = eps
 		s.releaseDelta = delta
-	}
+	})
 }
 
 // NewLBSServer returns an LBS application server expecting frequency
@@ -137,12 +191,14 @@ func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 		mux:      http.NewServeMux(),
 		m:        m,
 		maxR:     10_000,
+		maxBody:  DefaultMaxBody,
 		reg:      obs.NewRegistry(),
-		history:  make(map[string][]ReleaseRequest),
+		history:  make(map[string]*userHistory),
 		maxPerID: 1000,
+		maxUsers: DefaultHistoryUsers,
 	}
 	for _, opt := range opts {
-		opt(s)
+		opt.applyLBS(s)
 	}
 	s.mux.HandleFunc("POST "+PathRelease, s.handleRelease)
 	s.mux.HandleFunc("GET "+PathReleases, s.handleReleases)
@@ -153,13 +209,24 @@ func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 	if s.pprof {
 		registerPprof(s.mux)
 	}
-	obsOpts := []obs.Option{}
+	s.reg.CounterFunc(MetricLBSHistoryUsers, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(len(s.history))
+	})
+	var inner http.Handler = s.mux
+	if s.admitCfg.Limit > 0 {
+		s.admit = newAdmission(s.admitCfg)
+		s.admit.export(s.reg)
+		inner = s.admit.middleware(inner, nil)
+	}
+	obsOpts := []obs.Option{obs.WithReadyCheck(s.readyCheck)}
 	if s.log != nil {
 		obsOpts = append(obsOpts, obs.WithRequestHook(func(method, path string, status int, d time.Duration) {
 			s.log.Printf("%s %s %d %s", method, path, status, d.Round(time.Microsecond))
 		}))
 	}
-	s.handler = obs.Instrument(s.reg, s.mux, obsOpts...)
+	s.handler = obs.Instrument(s.reg, inner, obsOpts...)
 	return s
 }
 
@@ -173,8 +240,16 @@ func (s *LBSServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
 	var rel ReleaseRequest
-	body := io.LimitReader(r.Body, 1<<20)
+	// MaxBytesReader (not a silent LimitReader truncation) so an
+	// attacker-sized payload is rejected with an explicit 413 and the
+	// connection torn down instead of decoding a clipped prefix.
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	if err := json.NewDecoder(body).Decode(&rel); err != nil {
+		if isMaxBytes(err) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", s.maxBody))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid JSON body")
 		return
 	}
@@ -224,13 +299,7 @@ func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.mu.Lock()
-	h := append(s.history[rel.UserID], rel)
-	if len(h) > s.maxPerID {
-		h = h[len(h)-s.maxPerID:]
-	}
-	s.history[rel.UserID] = h
-	s.mu.Unlock()
+	s.storeRelease(rel)
 
 	resp := ReleaseResponse{Accepted: true, Budget: budgetState}
 	if s.auditor != nil {
@@ -238,6 +307,41 @@ func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
 		resp.ReIdentified, resp.CandidateCount = s.auditor.Audit(rel.Freq, rel.R)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// storeRelease appends rel to its user's history, bounding both the
+// per-user entry count (maxPerID) and the total distinct users
+// (maxUsers, second-chance eviction — same one-bit LRU approximation as
+// the GSP freq cache, so steadily active users survive a flood of
+// one-shot userIds).
+func (s *LBSServer) storeRelease(rel ReleaseRequest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	uh := s.history[rel.UserID]
+	if uh == nil {
+		for len(s.history) >= s.maxUsers && len(s.userQ) > 0 {
+			oldest := s.userQ[0]
+			s.userQ = s.userQ[1:]
+			old := s.history[oldest]
+			if old == nil {
+				continue
+			}
+			if old.touched {
+				old.touched = false
+				s.userQ = append(s.userQ, oldest)
+				continue
+			}
+			delete(s.history, oldest)
+		}
+		uh = &userHistory{}
+		s.history[rel.UserID] = uh
+		s.userQ = append(s.userQ, rel.UserID)
+	}
+	uh.touched = true
+	uh.rels = append(uh.rels, rel)
+	if len(uh.rels) > s.maxPerID {
+		uh.rels = uh.rels[len(uh.rels)-s.maxPerID:]
+	}
 }
 
 // principalOf resolves the budget principal for a release: X-Principal
@@ -288,9 +392,15 @@ func (s *LBSServer) handleReleases(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	stored := s.history[userID]
-	out := make([]ReleaseRequest, len(stored))
-	copy(out, stored)
+	var out []ReleaseRequest
+	if uh := s.history[userID]; uh != nil {
+		// A read is activity too: mark the user so eviction spares it.
+		uh.touched = true
+		out = make([]ReleaseRequest, len(uh.rels))
+		copy(out, uh.rels)
+	} else {
+		out = []ReleaseRequest{}
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, ReleasesResponse{UserID: userID, Releases: out})
 }

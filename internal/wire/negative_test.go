@@ -150,15 +150,60 @@ func TestLBSServerRejectsMalformedReleases(t *testing.T) {
 }
 
 // TestServersRejectOversizedReleaseBody proves the 1 MiB release body
-// cap holds: a massive but syntactically valid body is rejected rather
-// than buffered.
+// cap holds: a massive but syntactically valid body yields 413 with a
+// structured error instead of being decoded.
 func TestServersRejectOversizedReleaseBody(t *testing.T) {
 	ts, _ := newLBSTestServer(t)
 	huge := `{"userId":"u","freq":[` + strings.Repeat("1,", 1<<20) + `1],"r":900}`
-	status, _ := getStatusAndBody(t, http.MethodPost, ts.URL+PathRelease, huge)
-	if status != http.StatusBadRequest {
-		t.Errorf("oversized body = %d, want 400", status)
+	status, body := getStatusAndBody(t, http.MethodPost, ts.URL+PathRelease, huge)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", status)
 	}
+	assertJSONError(t, "oversized release", body)
+}
+
+// TestServersRejectOversizedBatchBody proves both batch endpoints apply
+// the same body cap as the release path.
+func TestServersRejectOversizedBatchBody(t *testing.T) {
+	ts, _ := newGSPTestServer(t)
+	huge := `{"items":[` + strings.Repeat(`{"x":1,"y":1,"r":500},`, 60_000) +
+		`{"x":1,"y":1,"r":500}]}`
+	if len(huge) <= 1<<20 {
+		t.Fatalf("test body too small to exceed the default cap: %d bytes", len(huge))
+	}
+	for _, path := range []string{PathFreqBatch, PathQueryBatch} {
+		status, body := getStatusAndBody(t, http.MethodPost, ts.URL+path, huge)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized body = %d, want 413", path, status)
+		}
+		assertJSONError(t, path, body)
+	}
+}
+
+// TestWithMaxBodyConfiguresCap pins the configurable cap: one byte over
+// a tiny limit is 413, at the limit the request decodes normally.
+func TestWithMaxBodyConfiguresCap(t *testing.T) {
+	city, svc := wireFixture(t)
+	ts, _ := newLBSTestServer(t, WithMaxBody(512))
+	l := city.RandomLocations(1, 91)[0]
+	rel := ReleaseRequest{UserID: "u", Freq: svc.Freq(l, 900), R: 900}
+	small, err := json.Marshal(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) > 512 {
+		t.Skipf("fixture release encodes to %d bytes, cannot fit the 512-byte cap", len(small))
+	}
+	status, _ := getStatusAndBody(t, http.MethodPost, ts.URL+PathRelease, string(small))
+	if status != http.StatusOK {
+		t.Errorf("within-cap release = %d, want 200", status)
+	}
+	over := `{"userId":"` + strings.Repeat("u", 600) + `"}`
+	status, body := getStatusAndBody(t, http.MethodPost, ts.URL+PathRelease, over)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-cap release = %d, want 413", status)
+	}
+	assertJSONError(t, "over-cap release", body)
 }
 
 // TestBatchEndpointsRejectBadEnvelopes drives the envelope-level
