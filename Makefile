@@ -7,7 +7,7 @@ GO ?= go
 BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay
 BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget
 
-.PHONY: all check fmt-check build vet test race bench bench-core bench-diff loadtest repro repro-full cover clean
+.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke loadtest repro repro-full cover clean
 
 all: check
 
@@ -53,6 +53,13 @@ bench-diff:
 	$(GO) test -run '^$$' -bench '$(BENCH_CORE_PATTERN)' \
 		-benchmem -benchtime=1s -count=1 $(BENCH_CORE_PKGS) \
 		| $(GO) run ./cmd/benchjson -prev BENCH_core.json
+
+# fuzz-smoke runs the auth fuzz targets briefly (the corpus seeds already
+# run as plain unit tests under `make test`; this adds a short mutation
+# pass). Go allows one -fuzz pattern per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzCanonicalString' -fuzztime 15s ./internal/wire
+	$(GO) test -run '^$$' -fuzz 'FuzzVerifyRequest' -fuzztime 15s ./internal/wire
 
 # loadtest is the overload-protection smoke: drive the in-process
 # GSP+LBS stack closed-loop at 4x the admission limit with realistic

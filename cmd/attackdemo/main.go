@@ -12,7 +12,9 @@
 //
 // Remote mode fetches the adversary's prior knowledge (the full POI set)
 // from a running gspd over HTTP with the hardened wire client: -timeout
-// bounds each attempt, -retries recovers from transient failures.
+// bounds each attempt, -retries recovers from transient failures. When
+// the daemons require signed requests (-auth-keys), pass
+// -auth-key "principal=hexkey" to sign every request transparently.
 //
 // With -lbs the demo also submits the release to a running lbsd as
 // -principal and, when that daemon enforces a privacy budget (lbsd
@@ -54,8 +56,17 @@ func run(args []string, w io.Writer) error {
 	retries := fs.Int("retries", 3, "remote mode: retries on transient GSP failures")
 	lbsURL := fs.String("lbs", "", "submit the release to this remote LBS base URL (budget demo)")
 	principal := fs.String("principal", "attackdemo", "budget principal to charge releases against (with -lbs)")
+	authKey := fs.String("auth-key", "", "sign remote requests as principal=hexkey (required against -auth-keys daemons)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var signOpts []wire.ClientOption
+	if *authKey != "" {
+		p, key, err := wire.ParseSigningKey(*authKey)
+		if err != nil {
+			return err
+		}
+		signOpts = append(signOpts, wire.WithSigningKey(p, key))
 	}
 
 	var (
@@ -69,7 +80,7 @@ func run(args []string, w io.Writer) error {
 	)
 	switch {
 	case *gspURL != "":
-		city, gspClient, remoteCity, err = fetchRemoteCity(*gspURL, *timeout, *retries)
+		city, gspClient, remoteCity, err = fetchRemoteCity(*gspURL, *timeout, *retries, signOpts)
 		if err == nil {
 			fmt.Fprintf(w, "fetched city over the wire from %s\n", *gspURL)
 		}
@@ -142,7 +153,7 @@ func run(args []string, w io.Writer) error {
 		}
 
 		if *lbsURL != "" {
-			if err := demoBudget(w, *lbsURL, *principal, *timeout, *retries, release, *r); err != nil {
+			if err := demoBudget(w, *lbsURL, *principal, *timeout, *retries, signOpts, release, *r); err != nil {
 				return err
 			}
 		}
@@ -154,12 +165,13 @@ func run(args []string, w io.Writer) error {
 // demoBudget submits the release to a running lbsd as the given
 // principal until the privacy-budget ledger denies it (or a safety cap),
 // tracing the window drain and the structured 429 the client receives.
-func demoBudget(w io.Writer, lbsURL, principal string, timeout time.Duration, retries int, release poiagg.FreqVector, r float64) error {
-	client := wire.NewLBSClient(lbsURL, nil,
+func demoBudget(w io.Writer, lbsURL, principal string, timeout time.Duration, retries int, signOpts []wire.ClientOption, release poiagg.FreqVector, r float64) error {
+	opts := append([]wire.ClientOption{
 		wire.WithRequestTimeout(timeout),
 		wire.WithRetries(retries),
 		wire.WithPrincipal(principal),
-	)
+	}, signOpts...)
+	client := wire.NewLBSClient(lbsURL, nil, opts...)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
@@ -198,11 +210,12 @@ func demoBudget(w io.Writer, lbsURL, principal string, timeout time.Duration, re
 // gspd, exactly as the paper's adversary would. It also returns the
 // client and the fetched city so the demo can mount the batched remote
 // attack against the same server.
-func fetchRemoteCity(baseURL string, timeout time.Duration, retries int) (*poiagg.City, *wire.GSPClient, *gsp.City, error) {
-	client := wire.NewGSPClient(baseURL, nil,
+func fetchRemoteCity(baseURL string, timeout time.Duration, retries int, signOpts []wire.ClientOption) (*poiagg.City, *wire.GSPClient, *gsp.City, error) {
+	opts := append([]wire.ClientOption{
 		wire.WithRequestTimeout(timeout),
 		wire.WithRetries(retries),
-	)
+	}, signOpts...)
+	client := wire.NewGSPClient(baseURL, nil, opts...)
 	remote, err := wire.FetchCity(context.Background(), client)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("fetch city from %s: %w", baseURL, err)

@@ -12,6 +12,11 @@
 // with per-item results), plus the operational /v1/metrics, /healthz,
 // and /readyz. The Freq cache's hit/miss/eviction counters are exported
 // through /v1/metrics.
+//
+// With -auth-keys every API request must carry an HMAC-SHA256 signature
+// (X-Auth header) from a provisioned principal; the operational
+// endpoints stay unsigned. Keys are given inline ("alice=<hexkey>,...")
+// or via @file, one principal=hexkey per line.
 package main
 
 import (
@@ -53,6 +58,8 @@ func run(args []string) error {
 	admitQueue := fs.Int("admit-queue", 128, "admission control: max requests waiting for a slot")
 	admitTimeout := fs.Duration("admit-timeout", 500*time.Millisecond, "admission control: max queue wait before shedding")
 	maxBody := fs.Int64("max-body", wire.DefaultMaxBody, "maximum accepted POST body in bytes")
+	authKeys := fs.String("auth-keys", "", "require signed requests; principal=hexkey[,principal=hexkey...] or @file with one pair per line (empty disables auth)")
+	authWindow := fs.Duration("auth-window", wire.DefaultAuthWindow, "signed-request timestamp validity window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +83,14 @@ func run(args []string) error {
 		opts = append(opts, wire.WithAdmission(*admitLimit, *admitQueue, *admitTimeout))
 		logger.Printf("admission control on: limit %d, queue %d, wait %v",
 			*admitLimit, *admitQueue, *admitTimeout)
+	}
+	if *authKeys != "" {
+		kr, err := wire.LoadKeyring(*authKeys)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, wire.WithAuth(kr, wire.WithAuthWindow(*authWindow)))
+		logger.Printf("request signing required: %d principals, ±%v window", kr.Len(), *authWindow)
 	}
 	handler := wire.NewGSPServer(svc, opts...)
 	if *pprofOn {

@@ -16,6 +16,12 @@
 // principals get 429 until their sliding window refills. -budget-dir
 // makes the ledger crash-safe (snapshot + spend log) across restarts.
 //
+// With -auth-keys every API request must carry an HMAC-SHA256 signature
+// (X-Auth header) from a provisioned principal, and the budget charges
+// ONLY the signature-verified identity — the header/query/userId
+// fallback chain is disabled. Keys are given inline
+// ("alice=<hexkey>,...") or via @file, one principal=hexkey per line.
+//
 // Endpoints: POST /v1/release, GET /v1/releases?user=, the budget admin
 // pair GET /v1/budget/{principal} and POST /v1/budget/{principal}/reset
 // (with -budget), plus the operational /v1/metrics, /healthz, /readyz.
@@ -72,6 +78,8 @@ func run(args []string) error {
 	budgetDir := fs.String("budget-dir", "", "ledger persistence directory (empty = in-memory)")
 	budgetTTL := fs.Duration("budget-idle-ttl", 0, "retire ledgers idle this long (0 disables; must be >= the window)")
 	snapshotEvery := fs.Int("budget-snapshot-every", 1000, "auto-snapshot the persistent ledger every N logged spends")
+	authKeys := fs.String("auth-keys", "", "require signed requests; principal=hexkey[,principal=hexkey...] or @file with one pair per line (empty disables auth)")
+	authWindow := fs.Duration("auth-window", wire.DefaultAuthWindow, "signed-request timestamp validity window")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +115,14 @@ func run(args []string) error {
 	}
 	if *pprofOn {
 		logger.Printf("pprof profiling enabled at %s", wire.PathPprof)
+	}
+	if *authKeys != "" {
+		kr, err := wire.LoadKeyring(*authKeys)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, wire.WithAuth(kr, wire.WithAuthWindow(*authWindow)))
+		logger.Printf("request signing required: %d principals, ±%v window; budget charges verified principals only", kr.Len(), *authWindow)
 	}
 	if !*noAudit {
 		svc := gsp.NewService(city.City, 1<<18)

@@ -28,6 +28,11 @@
 // (small synthetic city, region-audit enabled) over loopback HTTP, so a
 // single command measures the whole stack with no daemons to start —
 // this is what `make loadtest` runs.
+//
+// With -auth-key "principal=hexkey" every request is HMAC-signed; against
+// daemons started with -auth-keys this is required, and with -inprocess
+// the in-memory servers are provisioned with the same key so the run
+// measures the stack with signature verification on the hot path.
 package main
 
 import (
@@ -82,6 +87,8 @@ type config struct {
 	admitTimeout time.Duration
 	auditCost    time.Duration
 	shedPause    time.Duration
+
+	authKey string
 
 	out       string
 	assertRun bool
@@ -148,6 +155,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.admitTimeout, "admit-timeout", 250*time.Millisecond, "in-process servers' admission queue wait cap")
 	fs.DurationVar(&cfg.auditCost, "audit-cost", 0, "in-process LBS: CPU time burned per audited release (fixed work, so oversubscription inflates latency like a real service)")
 	fs.DurationVar(&cfg.shedPause, "shed-pause", 100*time.Millisecond, "closed-loop worker pause after a 503 shed, emulating client backoff (0 = hammer)")
+	fs.StringVar(&cfg.authKey, "auth-key", "", "sign requests as principal=hexkey; with -inprocess the servers also require that signature")
 	fs.StringVar(&cfg.out, "out", "-", "report destination file (- = stdout)")
 	fs.BoolVar(&cfg.assertRun, "assert", false, "exit nonzero when the run made no progress or hit unexpected errors")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress the progress line on stderr")
@@ -281,6 +289,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 	locs := city.RandomLocations(4096, cfg.seed+7)
 
+	var signPrincipal string
+	var signKey []byte
+	if cfg.authKey != "" {
+		signPrincipal, signKey, err = wire.ParseSigningKey(cfg.authKey)
+		if err != nil {
+			return err
+		}
+	}
+
 	gspURL, lbsURL := cfg.gspURL, cfg.lbsURL
 	if cfg.inprocess {
 		svc := gsp.NewService(city.City, 1<<14)
@@ -288,6 +305,16 @@ func run(args []string, stdout io.Writer) error {
 		if cfg.admitLimit > 0 {
 			serverOpts = append(serverOpts,
 				wire.WithAdmission(cfg.admitLimit, cfg.admitQueue, cfg.admitTimeout))
+		}
+		if signKey != nil {
+			// Provision the in-process servers with the same key the
+			// clients sign with, so -auth-key measures the stack with
+			// signature verification on the hot path.
+			kr := wire.NewKeyring()
+			if err := kr.Add(signPrincipal, signKey); err != nil {
+				return err
+			}
+			serverOpts = append(serverOpts, wire.WithAuth(kr))
 		}
 		quiet := log.New(io.Discard, "", 0)
 		gspOpts := []wire.GSPServerOption{wire.WithLogger(quiet)}
@@ -313,6 +340,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	clientOpts := []wire.ClientOption{wire.WithRequestTimeout(cfg.timeout)}
+	if signKey != nil {
+		clientOpts = append(clientOpts, wire.WithSigningKey(signPrincipal, signKey))
+	}
 	gspClient := wire.NewGSPClient(gspURL, nil, clientOpts...)
 	lbsClient := wire.NewLBSClient(lbsURL, nil, clientOpts...)
 

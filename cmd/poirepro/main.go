@@ -10,6 +10,8 @@
 // Remote mode: -gsp fetches the named city (-gsp-city) from a running
 // gspd over HTTP instead of generating it locally, using the hardened
 // wire client (-timeout per attempt, -retries on transient failures).
+// Against a gspd that requires signed requests (-auth-keys), pass
+// -auth-key "principal=hexkey".
 //
 // Figure IDs: datasets, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12 (matching the
 // paper's figure numbering), the extensions ext-seq, ext-robust, and
@@ -50,13 +52,22 @@ func run(args []string, out io.Writer) error {
 	gspCity := fs.String("gsp-city", "beijing", "which city preset the remote GSP replaces (beijing or nyc)")
 	timeout := fs.Duration("timeout", 10*time.Second, "remote mode: per-attempt request timeout")
 	retries := fs.Int("retries", 3, "remote mode: retries on transient GSP failures")
+	authKey := fs.String("auth-key", "", "remote mode: sign requests as principal=hexkey (required against gspd -auth-keys)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var signOpts []wire.ClientOption
+	if *authKey != "" {
+		p, key, err := wire.ParseSigningKey(*authKey)
+		if err != nil {
+			return err
+		}
+		signOpts = append(signOpts, wire.WithSigningKey(p, key))
+	}
 	cfg := experiments.Config{Seed: *seed, Locations: *locations}
 	if *gspURL != "" {
-		remote, err := fetchRemoteCity(*gspURL, *gspCity, *timeout, *retries)
+		remote, err := fetchRemoteCity(*gspURL, *gspCity, *timeout, *retries, signOpts)
 		if err != nil {
 			return err
 		}
@@ -91,14 +102,15 @@ func run(args []string, out io.Writer) error {
 
 // fetchRemoteCity materializes a city from a running gspd with the
 // hardened wire client.
-func fetchRemoteCity(baseURL, name string, timeout time.Duration, retries int) (*citygen.City, error) {
+func fetchRemoteCity(baseURL, name string, timeout time.Duration, retries int, signOpts []wire.ClientOption) (*citygen.City, error) {
 	if name != "beijing" && name != "nyc" {
 		return nil, fmt.Errorf("unknown -gsp-city %q (want beijing or nyc)", name)
 	}
-	client := wire.NewGSPClient(baseURL, nil,
+	opts := append([]wire.ClientOption{
 		wire.WithRequestTimeout(timeout),
 		wire.WithRetries(retries),
-	)
+	}, signOpts...)
+	client := wire.NewGSPClient(baseURL, nil, opts...)
 	city, err := wire.FetchCity(context.Background(), client)
 	if err != nil {
 		return nil, fmt.Errorf("fetch city from %s: %w", baseURL, err)

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Fuzz targets for the auth parsing/canonicalization path. The corpus
+// seeds come from the unit tests (the valid round-trip header plus the
+// malformed corpus), so `go test` exercises every seed even without
+// -fuzz; CI additionally runs a short -fuzz smoke (make fuzz-smoke).
+
+// FuzzCanonicalString checks the canonical string's structural
+// invariants for arbitrary inputs: construction never panics, is
+// deterministic, and — whenever the charset-validated fields are
+// themselves valid — every signed field survives in its exact position,
+// so no input can shift another field's meaning (the canonicalization
+// injection an attacker would need to forge cross-field collisions).
+func FuzzCanonicalString(f *testing.F) {
+	f.Add("GET", "/v1/freq", "x=1&y=2&r=300", []byte(nil), "alice", int64(1_760_000_000), "00ff00ff")
+	f.Add("POST", "/v1/release", "", []byte(`{"userId":"alice"}`), "tenant-7", int64(1), "feedfacecafebeef")
+	f.Add("GET", "/v1/freq", "r=300&y=2&x=1", []byte{}, "alice", int64(1), "00ff00ff")
+	f.Add("PUT", "/a\nb", "q=%0A", []byte{0}, "p\nq", int64(-5), "NOT HEX")
+	f.Add("", "", "", []byte(nil), "", int64(0), "")
+	f.Add("GET", "/v1/query", "a=1&a=2&b==&=c", []byte("x"), "a", int64(1<<62), strings.Repeat("f", 64))
+
+	f.Fuzz(func(t *testing.T, method, path, rawQuery string, body []byte, principal string, ts int64, nonce string) {
+		sum := sha256.Sum256(body)
+		got := canonicalString(method, path, rawQuery, sum, principal, ts, nonce)
+		if again := canonicalString(method, path, rawQuery, sum, principal, ts, nonce); again != got {
+			t.Fatal("canonicalString is not deterministic")
+		}
+		if !strings.HasPrefix(got, authScheme+"\n") {
+			t.Fatalf("canonical string does not lead with the scheme: %q", got)
+		}
+		// The trailing fields are fixed-position: body hash, principal,
+		// ts, nonce. When principal and nonce satisfy their charsets
+		// (which forbid newlines — enforced before signing), they cannot
+		// bleed into neighboring fields.
+		if validPrincipal(principal) && validNonce(nonce) &&
+			!strings.Contains(method, "\n") && !strings.Contains(path, "\n") {
+			wantSuffix := strings.Join([]string{
+				hex.EncodeToString(sum[:]), principal, strconv.FormatInt(ts, 10), nonce,
+			}, "\n")
+			if !strings.HasSuffix(got, "\n"+wantSuffix) {
+				t.Fatalf("signed fields not at fixed positions:\n%q", got)
+			}
+			// The query canonicalizes through url.Values.Encode, which
+			// percent-encodes control bytes, so the field count is exact.
+			if q, err := url.ParseQuery(rawQuery); err == nil {
+				want := strings.Join([]string{authScheme, method, path, q.Encode(), wantSuffix}, "\n")
+				if got != want {
+					t.Fatalf("canonical string diverged:\n got %q\nwant %q", got, want)
+				}
+			}
+		}
+	})
+}
+
+// FuzzVerifyRequest throws arbitrary auth headers (and request shapes)
+// at the verifier: it must never panic, and — the soundness property —
+// any request it ACCEPTS must carry a signature that independently
+// recomputes from the registered key over the request's exact bytes.
+// Acceptance of anything else is a forgery.
+func FuzzVerifyRequest(f *testing.F) {
+	// A genuinely valid header for the fuzz keyring, so the corpus
+	// starts with an accepting input whose neighborhood gets explored.
+	validReq := &http.Request{
+		Method: http.MethodGet,
+		URL:    &url.URL{Path: "/v1/freq", RawQuery: "x=1&y=2&r=300"},
+		Header: http.Header{},
+	}
+	if err := SignRequest(validReq, nil, "alice", testKey('A'),
+		time.Unix(1_760_000_000, 0), "00ff00ff"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validReq.Header.Get(HeaderAuth), "GET", "/v1/freq", "x=1&y=2&r=300", []byte(nil))
+	for _, h := range malformedAuthHeaders {
+		f.Add(h, "GET", "/v1/freq", "x=1&y=2&r=300", []byte(nil))
+		f.Add(h, "POST", "/v1/release", "", []byte(`{"userId":"alice"}`))
+	}
+
+	f.Fuzz(func(t *testing.T, header, method, path, rawQuery string, body []byte) {
+		a := newAuthenticator(mustKeyring(t, "alice"),
+			WithAuthClock(func() time.Time { return time.Unix(1_760_000_000, 30) }))
+		req := &http.Request{
+			Method: method,
+			URL:    &url.URL{Path: path, RawQuery: rawQuery},
+			Header: http.Header{HeaderAuth: []string{header}},
+		}
+		principal, reason, _ := a.verifyRequest(req, body)
+		if reason != "" {
+			return
+		}
+		// Accepted: prove it deserved to be. The header must parse, name
+		// the registered principal, sit inside the window, and its sig
+		// must equal an independent HMAC over the request's exact bytes.
+		h, err := parseAuthHeader(header)
+		if err != nil {
+			t.Fatalf("accepted an unparseable header %q", header)
+		}
+		if h.principal != "alice" || principal != "alice" {
+			t.Fatalf("accepted principal %q/%q, only alice is registered", h.principal, principal)
+		}
+		if d := time.Unix(1_760_000_000, 30).Sub(time.Unix(h.ts, 0)); d > DefaultAuthWindow || d < -DefaultAuthWindow {
+			t.Fatalf("accepted ts %d outside the window", h.ts)
+		}
+		want := computeSig(testKey('A'), canonicalString(
+			method, path, rawQuery, sha256.Sum256(body), h.principal, h.ts, h.nonce))
+		if h.sig != want {
+			t.Fatalf("accepted signature %q, independent recompute %q", h.sig, want)
+		}
+	})
+}

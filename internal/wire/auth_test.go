@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testKey returns a deterministic 32-byte key filled with b.
+func testKey(b byte) []byte {
+	k := make([]byte, 32)
+	for i := range k {
+		k[i] = b
+	}
+	return k
+}
+
+func mustKeyring(t testing.TB, principals ...string) *Keyring {
+	t.Helper()
+	kr := NewKeyring()
+	for i, p := range principals {
+		if err := kr.Add(p, testKey(byte('A'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return kr
+}
+
+func TestKeyringValidation(t *testing.T) {
+	kr := NewKeyring()
+	cases := []struct {
+		name      string
+		principal string
+		key       []byte
+	}{
+		{"empty principal", "", testKey(1)},
+		{"principal with space", "a b", testKey(1)},
+		{"principal with comma", "a,b", testKey(1)},
+		{"principal with equals", "a=b", testKey(1)},
+		{"principal with newline", "a\nb", testKey(1)},
+		{"principal with high byte", "a\x80b", testKey(1)},
+		{"overlong principal", strings.Repeat("p", maxPrincipalLen+1), testKey(1)},
+		{"short key", "alice", make([]byte, MinKeyBytes-1)},
+		{"empty key", "alice", nil},
+	}
+	for _, tc := range cases {
+		if err := kr.Add(tc.principal, tc.key); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if kr.Len() != 0 {
+		t.Errorf("invalid entries registered: %d", kr.Len())
+	}
+	if err := kr.Add("alice", testKey(1)); err != nil {
+		t.Fatal(err)
+	}
+	// The keyring copies keys: mutating the caller's slice must not
+	// change what the server verifies against.
+	k := testKey(2)
+	if err := kr.Add("bob", k); err != nil {
+		t.Fatal(err)
+	}
+	k[0] = 0xFF
+	if got := kr.lookup("bob"); got[0] != 2 {
+		t.Error("keyring aliased the caller's key slice")
+	}
+	if kr.lookup("nobody") != nil {
+		t.Error("unknown principal has a key")
+	}
+}
+
+func TestLoadKeyringInlineAndFile(t *testing.T) {
+	hexA := strings.Repeat("41", 32) // 32 bytes of 'A'
+	hexB := strings.Repeat("42", 32)
+
+	kr, err := LoadKeyring("alice=" + hexA + ",bob=" + hexB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.Len() != 2 || kr.lookup("alice") == nil || kr.lookup("bob") == nil {
+		t.Fatalf("inline spec loaded %d principals", kr.Len())
+	}
+	if !bytes.Equal(kr.lookup("alice"), testKey('A')) {
+		t.Error("alice's key decoded wrong")
+	}
+
+	path := filepath.Join(t.TempDir(), "keys")
+	content := "# comment\n\nalice=" + hexA + "\n  bob=" + hexB + "  \n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	kr, err = LoadKeyring("@" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.Len() != 2 {
+		t.Fatalf("file spec loaded %d principals", kr.Len())
+	}
+
+	for _, bad := range []string{
+		"",                      // empty
+		"alice",                 // no =
+		"alice=nothex",          // bad hex
+		"alice=abcd",            // short key
+		"a b=" + hexA,           // bad principal
+		"@" + path + ".missing", // unreadable file
+	} {
+		if _, err := LoadKeyring(bad); err == nil {
+			t.Errorf("LoadKeyring(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseAuthHeaderRoundTrip(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/v1/freq?x=1&y=2&r=300", nil)
+	ts := time.Unix(1_760_000_000, 0)
+	if err := SignRequest(req, nil, "alice", testKey('A'), ts, "00ff00ff"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := parseAuthHeader(req.Header.Get(HeaderAuth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.principal != "alice" || h.ts != ts.Unix() || h.nonce != "00ff00ff" || len(h.sig) != 64 {
+		t.Fatalf("parsed header = %+v", h)
+	}
+}
+
+// malformedAuthHeaders is the malformed corpus shared with the fuzz
+// seeds: every entry must be rejected by the strict parser.
+var malformedAuthHeaders = []string{
+	"",
+	"POIAGG1",
+	"POIAGG1 ",
+	"Bearer abc",
+	"POIAGG2 principal=a,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=a,ts=1,nonce=00ff00ff",                                            // missing sig
+	"POIAGG1 ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),                         // missing principal
+	"POIAGG1 principal=a,principal=b,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 64), // dup field
+	"POIAGG1 principal=a,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 63),             // short sig
+	"POIAGG1 principal=a,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 65),             // long sig
+	"POIAGG1 principal=a,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("G", 64),             // non-hex sig
+	"POIAGG1 principal=a,ts=1,nonce=00ff00f,sig=" + strings.Repeat("0", 64),              // short nonce
+	"POIAGG1 principal=a,ts=1,nonce=" + strings.Repeat("f", 65) + ",sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=a,ts=1,nonce=00FF00FF,sig=" + strings.Repeat("0", 64), // uppercase nonce
+	"POIAGG1 principal=a,ts=abc,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=a,ts=-5,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=a,ts=0,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=a,ts=99999999999999999999,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=a b,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 64),
+	"POIAGG1 principal=a,ts=1,nonce=00ff00ff,sig=" + strings.Repeat("0", 64) + ",extra=1",
+	"POIAGG1 principal=a,ts=1,nonce=00ff00ff,sig",
+	"POIAGG1 ,,,",
+}
+
+func TestParseAuthHeaderRejectsMalformed(t *testing.T) {
+	for _, v := range malformedAuthHeaders {
+		if _, err := parseAuthHeader(v); err == nil {
+			t.Errorf("parseAuthHeader(%q) accepted", v)
+		}
+	}
+}
+
+func TestCanonicalStringQueryOrderInvariant(t *testing.T) {
+	// The signer and verifier may see the same logical query in different
+	// parameter orders (clients assemble url.Values, proxies may not
+	// preserve order); canonicalization makes the signature agree.
+	sum := sha256.Sum256(nil)
+	a := canonicalString("GET", "/v1/freq", "x=1&y=2&r=300", sum, "alice", 1, "00ff00ff")
+	b := canonicalString("GET", "/v1/freq", "r=300&y=2&x=1", sum, "alice", 1, "00ff00ff")
+	if a != b {
+		t.Errorf("query order changed the canonical string:\n%q\n%q", a, b)
+	}
+	// But different values must differ.
+	c := canonicalString("GET", "/v1/freq", "x=1&y=2&r=301", sum, "alice", 1, "00ff00ff")
+	if a == c {
+		t.Error("different query canonicalized identically")
+	}
+	// Exactly 8 newline-separated fields, scheme first.
+	if fields := strings.Split(a, "\n"); len(fields) != 8 || fields[0] != authScheme {
+		t.Errorf("canonical string shape: %q", a)
+	}
+}
+
+func TestNonceCacheReplayAndExpiry(t *testing.T) {
+	c := newNonceCache(0)
+	t0 := time.Unix(1000, 0)
+	if !c.insert("alice\naaaa", t0, t0.Add(time.Minute)) {
+		t.Fatal("fresh nonce rejected")
+	}
+	if c.insert("alice\naaaa", t0, t0.Add(time.Minute)) {
+		t.Fatal("replay accepted")
+	}
+	// A different principal's identical nonce is a different key.
+	if !c.insert("bob\naaaa", t0, t0.Add(time.Minute)) {
+		t.Fatal("other principal's nonce rejected")
+	}
+	// Past expiry the nonce may be forgotten (the window check rejects
+	// such a request before the cache is consulted).
+	if !c.insert("alice\naaaa", t0.Add(2*time.Minute), t0.Add(3*time.Minute)) {
+		t.Fatal("expired nonce still held")
+	}
+}
+
+func TestNonceCacheBoundedByCap(t *testing.T) {
+	c := newNonceCache(4)
+	t0 := time.Unix(1000, 0)
+	exp := t0.Add(time.Hour)
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		if !c.insert(k, t0, exp) {
+			t.Fatalf("fresh nonce %q rejected", k)
+		}
+	}
+	if got := c.len(); got > 4 {
+		t.Fatalf("cache holds %d entries past cap 4", got)
+	}
+	// The newest entries survive; the oldest were evicted (which only
+	// shortens the replay horizon, never extends it).
+	if c.insert("f", t0, exp) {
+		t.Error("newest entry evicted before oldest")
+	}
+}
+
+func TestAuthenticatorVerifySignRoundTrip(t *testing.T) {
+	clk := newBudgetClock()
+	a := newAuthenticator(mustKeyring(t, "alice"), WithAuthClock(clk.Now))
+	body := []byte(`{"userId":"alice"}`)
+
+	sign := func(nonce string) *http.Request {
+		req := httptest.NewRequest(http.MethodPost, "/v1/release?principal=x", bytes.NewReader(body))
+		if err := SignRequest(req, body, "alice", testKey('A'), clk.Now(), nonce); err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+
+	if p, reason, msg := a.verifyRequest(sign("aaaa1111"), body); reason != "" || p != "alice" {
+		t.Fatalf("valid request rejected: %s (%s)", reason, msg)
+	}
+	// Same nonce again: replay.
+	if _, reason, _ := a.verifyRequest(sign("aaaa1111"), body); reason != authReplay {
+		t.Fatalf("replayed nonce classified %q, want %q", reason, authReplay)
+	}
+	// Fresh nonce: fine.
+	if _, reason, _ := a.verifyRequest(sign("aaaa2222"), body); reason != "" {
+		t.Fatalf("fresh nonce rejected: %s", reason)
+	}
+	// A request signed now but presented after the window expired.
+	late := sign("aaaa3333")
+	clk.Advance(DefaultAuthWindow + time.Second)
+	if _, reason, _ := a.verifyRequest(late, body); reason != authStale {
+		t.Fatalf("expired request classified %q, want %q", reason, authStale)
+	}
+}
+
+func TestSignRequestValidatesInputs(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	if err := SignRequest(req, nil, "a b", testKey(1), time.Unix(1, 0), "00ff00ff"); err == nil {
+		t.Error("bad principal signed")
+	}
+	if err := SignRequest(req, nil, "alice", []byte("short"), time.Unix(1, 0), "00ff00ff"); err == nil {
+		t.Error("short key signed")
+	}
+	if err := SignRequest(req, nil, "alice", testKey(1), time.Unix(1, 0), "UPPER!"); err == nil {
+		t.Error("bad nonce signed")
+	}
+}

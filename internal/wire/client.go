@@ -44,6 +44,30 @@ func (e *BudgetDeniedError) Error() string {
 // Is makes errors.Is(err, ErrBudgetDenied) match.
 func (e *BudgetDeniedError) Is(target error) bool { return target == ErrBudgetDenied }
 
+// ErrUnauthorized matches 401 auth rejections with errors.Is. A request
+// the server will not authenticate cannot succeed by being resent —
+// the key is wrong or absent — so these are terminal like the rest of
+// 4xx: the client never retries them.
+var ErrUnauthorized = errors.New("wire: unauthorized")
+
+// UnauthorizedError is the typed error for a 401 auth rejection;
+// errors.As exposes the server's structured reason.
+type UnauthorizedError struct {
+	Path    string
+	Message string
+	// Reason is the server's rejection class ("missing_signature",
+	// "bad_signature", "stale_timestamp", "replay", ...); empty when the
+	// server sent no structured body.
+	Reason string
+}
+
+func (e *UnauthorizedError) Error() string {
+	return fmt.Sprintf("wire: %s: unauthorized: %s", e.Path, e.Message)
+}
+
+// Is makes errors.Is(err, ErrUnauthorized) match.
+func (e *UnauthorizedError) Is(target error) bool { return target == ErrUnauthorized }
+
 // ErrOverloaded matches 503 admission sheds with errors.Is. Unlike a
 // budget denial, an overload clears as soon as the present wave drains,
 // so these are transient: the client retries them, sleeping at most the
@@ -90,6 +114,9 @@ type clientCore struct {
 	backoffMax  time.Duration
 	reg         *obs.Registry // nil disables client metrics
 	principal   string        // X-Principal header; "" omits it
+
+	signPrincipal string // identity requests are signed as; "" disables
+	signKey       []byte // HMAC-SHA256 key for signPrincipal
 }
 
 // ClientOption customizes a GSPClient or LBSClient.
@@ -143,6 +170,18 @@ func WithClientMetrics(reg *obs.Registry) ClientOption {
 // (overriding the release's userId fallback).
 func WithPrincipal(principal string) ClientOption {
 	return func(c *clientCore) { c.principal = principal }
+}
+
+// WithSigningKey signs every request as principal with the given
+// HMAC-SHA256 key (see SignRequest for the format) — required against a
+// server running WithAuth. Signing happens per attempt with a fresh
+// nonce, so retries are never self-rejected as replays. The key is
+// copied.
+func WithSigningKey(principal string, key []byte) ClientOption {
+	return func(c *clientCore) {
+		c.signPrincipal = principal
+		c.signKey = bytes.Clone(key)
+	}
 }
 
 func newClientCore(baseURL string, hc *http.Client, opts []ClientOption) clientCore {
@@ -229,6 +268,14 @@ func (c *clientCore) attempt(ctx context.Context, method, u, path string, body [
 	}
 	if c.principal != "" {
 		req.Header.Set(HeaderPrincipal, c.principal)
+	}
+	if c.signPrincipal != "" {
+		// Sign inside the attempt, not once per logical request: the
+		// server's replay cache spends each nonce, so a retry must carry
+		// a fresh one (and a fresh timestamp) to be admissible.
+		if err := SignRequest(req, body, c.signPrincipal, c.signKey, time.Now(), newNonce()); err != nil {
+			return false, fmt.Errorf("wire: sign request: %w", err)
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -440,6 +487,19 @@ func decodeReply(resp *http.Response, path string, out any) error {
 				denied.State = errResp.Budget
 			}
 			return denied
+		}
+		if resp.StatusCode == http.StatusUnauthorized {
+			unauth := &UnauthorizedError{Path: path, Message: msg}
+			var errResp AuthErrorResponse
+			if readErr == nil && json.Unmarshal(body, &errResp) == nil {
+				if errResp.Error != "" {
+					// Error() re-prefixes "unauthorized: ", so strip the
+					// server's copy rather than stutter.
+					unauth.Message = strings.TrimPrefix(errResp.Error, "unauthorized: ")
+				}
+				unauth.Reason = errResp.Reason
+			}
+			return unauth
 		}
 		var errResp ErrorResponse
 		switch {

@@ -25,6 +25,7 @@ const (
 	actDelay                       // stall before passing through
 	act429                         // synthesize a 429 budget denial with a structured body
 	act503Retry                    // synthesize an admission shed: 503 + Retry-After + structured body
+	act401                         // synthesize an auth rejection with a structured body
 )
 
 // faultTransport is a test-only RoundTripper that injects failures
@@ -70,6 +71,19 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 			Header: h,
 			Body: io.NopCloser(strings.NewReader(
 				`{"error":"server overloaded, request shed (queue_full)","reason":"queue_full","retryAfterSeconds":1}`)),
+			Request: req,
+		}, nil
+	case act401:
+		h := make(http.Header)
+		h.Set("Content-Type", "application/json")
+		return &http.Response{
+			Status:     "401 Unauthorized",
+			StatusCode: http.StatusUnauthorized,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1, ProtoMinor: 1,
+			Header: h,
+			Body: io.NopCloser(strings.NewReader(
+				`{"error":"unauthorized: signature does not match request","reason":"bad_signature"}`)),
 			Request: req,
 		}, nil
 	case actDrop:

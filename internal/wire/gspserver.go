@@ -38,6 +38,10 @@ type GSPServer struct {
 	admitCfg AdmissionConfig
 	admit    *admission // nil when admission is disabled
 	draining atomic.Bool
+
+	authKeys *Keyring
+	authOpts []AuthOption
+	auth     *authenticator // nil when auth is disabled
 }
 
 var _ http.Handler = (*GSPServer)(nil)
@@ -133,6 +137,12 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 			PathFreqBatch:  true,
 			PathQueryBatch: true,
 		})
+	}
+	if s.auth = newServerAuth(s.authKeys, s.authOpts); s.auth != nil {
+		s.auth.export(s.reg)
+		// Auth sits outside admission: a forged request costs one HMAC
+		// and is gone — it never occupies an admission slot.
+		inner = s.auth.middleware(inner, s.maxBody)
 	}
 	if s.instrument {
 		s.handler = obs.Instrument(s.reg, inner,

@@ -61,6 +61,10 @@ type LBSServer struct {
 	admit    *admission // nil when admission is disabled
 	draining atomic.Bool
 
+	authKeys *Keyring
+	authOpts []AuthOption
+	auth     *authenticator // nil when auth is disabled
+
 	// ledger, when set, charges (releaseEps, releaseDelta) per accepted
 	// release and serves the /v1/budget admin endpoints.
 	ledger       *budget.Ledger
@@ -220,6 +224,13 @@ func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 		s.admit.export(s.reg)
 		inner = s.admit.middleware(inner, nil)
 	}
+	if s.auth = newServerAuth(s.authKeys, s.authOpts); s.auth != nil {
+		s.auth.export(s.reg)
+		// Auth sits outside admission: a forged request costs one HMAC
+		// and is gone — it never occupies an admission slot, and a
+		// rejected release never reaches the budget ledger.
+		inner = s.auth.middleware(inner, s.maxBody)
+	}
 	obsOpts := []obs.Option{obs.WithReadyCheck(s.readyCheck)}
 	if s.log != nil {
 		obsOpts = append(obsOpts, obs.WithRequestHook(func(method, path string, status int, d time.Duration) {
@@ -280,7 +291,7 @@ func (s *LBSServer) handleRelease(w http.ResponseWriter, r *http.Request) {
 	// denied release must leave no trace and cost no audit work.
 	var budgetState *BudgetState
 	if s.ledger != nil {
-		dec, err := s.ledger.Spend(principalOf(r, rel), s.releaseEps, s.releaseDelta)
+		dec, err := s.ledger.Spend(s.principalFromRequest(r, rel), s.releaseEps, s.releaseDelta)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -344,9 +355,21 @@ func (s *LBSServer) storeRelease(rel ReleaseRequest) {
 	}
 }
 
-// principalOf resolves the budget principal for a release: X-Principal
-// header, ?principal= query parameter, or the release's userId.
-func principalOf(r *http.Request, rel ReleaseRequest) string {
+// principalFromRequest resolves the budget principal for a release.
+// With auth enabled, the signature-verified identity is the ONLY one
+// consulted — the client-asserted X-Principal header and ?principal=
+// query parameter are ignored, closing the hole where any client could
+// charge (or, via the admin reset, refill) another tenant's budget.
+// Without auth the historical fallback chain applies: X-Principal
+// header, ?principal= query parameter, then the release's userId.
+func (s *LBSServer) principalFromRequest(r *http.Request, rel ReleaseRequest) string {
+	if s.auth != nil {
+		// The auth middleware rejected anything unsigned before it could
+		// reach this handler, so the verified principal is always here;
+		// the empty fallback fails closed if that invariant ever breaks.
+		p, _ := VerifiedPrincipal(r.Context())
+		return p
+	}
 	if p := r.Header.Get(HeaderPrincipal); p != "" {
 		return p
 	}
