@@ -84,13 +84,24 @@ const (
 	// MetricAuthReplay counts correctly signed requests rejected because
 	// their nonce was already spent.
 	MetricAuthReplay = "auth.replay"
+	// MetricAuthUnknownPrincipal counts the subset of auth.rejected whose
+	// claimed principal has no registered key. The split lives ONLY here:
+	// the 401 body reports bad_signature for unknown and wrong-key alike,
+	// so an unauthenticated caller cannot enumerate which principals
+	// exist, while operators still see key-provisioning problems.
+	MetricAuthUnknownPrincipal = "auth.unknown_principal"
 )
 
-// AuthErrorResponse is the structured body of every 401 rejection.
+// AuthErrorResponse is the structured body of every 401 rejection, and
+// of the budget admin endpoints' 403 when a verified tenant acts on
+// another tenant's budget.
 type AuthErrorResponse struct {
 	Error string `json:"error"`
 	// Reason is one of "missing_signature", "malformed_signature",
-	// "unknown_principal", "bad_signature", "stale_timestamp", "replay".
+	// "bad_signature", "stale_timestamp", "replay" (401), or
+	// "principal_mismatch" (403). An unknown principal reports
+	// bad_signature, indistinguishable from a wrong key — the existence
+	// of a principal is not disclosed to unauthenticated callers.
 	Reason string `json:"reason"`
 }
 
@@ -98,12 +109,18 @@ type AuthErrorResponse struct {
 type authReason string
 
 const (
-	authMissing          authReason = "missing_signature"
-	authMalformed        authReason = "malformed_signature"
+	authMissing   authReason = "missing_signature"
+	authMalformed authReason = "malformed_signature"
+	// authUnknownPrincipal is internal-only (metrics): externally it is
+	// reported as authBadSignature so 401 bodies are not a
+	// principal-enumeration oracle.
 	authUnknownPrincipal authReason = "unknown_principal"
 	authBadSignature     authReason = "bad_signature"
 	authStale            authReason = "stale_timestamp"
 	authReplay           authReason = "replay"
+	// authPrincipalMismatch is the 403 reason when a signature-verified
+	// principal addresses a budget admin endpoint for a different tenant.
+	authPrincipalMismatch authReason = "principal_mismatch"
 )
 
 // validPrincipal restricts principal names to a charset that cannot
@@ -417,7 +434,15 @@ func (c *nonceCache) insert(key string, now, expiry time.Time) bool {
 		return false
 	}
 	for len(c.seen) >= c.cap && len(c.fifo) > 0 {
-		delete(c.seen, c.fifo[0].key)
+		// Mirror the sweep's guard: a fifo slot owns its map entry only
+		// while the expiries match. A stale duplicate left mid-queue by a
+		// re-inserted key (expiries are not monotone in FIFO order, and
+		// `now` itself can step backwards — wall clocks do) must not evict
+		// the live entry and open that nonce to an in-window replay; skip
+		// it and evict the next real owner instead.
+		if e, ok := c.seen[c.fifo[0].key]; ok && (e.Equal(c.fifo[0].expiry) || !e.After(now)) {
+			delete(c.seen, c.fifo[0].key)
+		}
 		c.fifo = c.fifo[1:]
 	}
 	c.seen[key] = expiry
@@ -442,9 +467,10 @@ type authenticator struct {
 	// the unknown-vs-wrong-key paths cost the same work.
 	dummyKey []byte
 
-	ok       atomic.Uint64
-	rejected atomic.Uint64
-	replay   atomic.Uint64
+	ok        atomic.Uint64
+	rejected  atomic.Uint64
+	replay    atomic.Uint64
+	unknownPr atomic.Uint64
 }
 
 // AuthOption customizes WithAuth.
@@ -502,6 +528,7 @@ func (a *authenticator) export(reg *obs.Registry) {
 	reg.CounterFunc(MetricAuthOK, a.ok.Load)
 	reg.CounterFunc(MetricAuthRejected, a.rejected.Load)
 	reg.CounterFunc(MetricAuthReplay, a.replay.Load)
+	reg.CounterFunc(MetricAuthUnknownPrincipal, a.unknownPr.Load)
 }
 
 // verifyRequest checks r's signature over body and returns the verified
@@ -535,7 +562,11 @@ func (a *authenticator) verifyRequest(r *http.Request, body []byte) (string, aut
 	// would let an attacker grow a forgery one byte at a time.
 	equal := err == nil && subtle.ConstantTimeCompare(got, want) == 1
 	if unknown {
-		return "", authUnknownPrincipal, fmt.Sprintf("unknown principal %q", h.principal)
+		// Same message as the wrong-key branch on purpose: the dummy-key
+		// HMAC equalizes the timing, and the identical response equalizes
+		// the content — no principal-enumeration oracle. The internal
+		// reason only routes the metric split.
+		return "", authUnknownPrincipal, "signature does not match request"
 	}
 	if !equal {
 		return "", authBadSignature, "signature does not match request"
@@ -568,11 +599,26 @@ func VerifiedPrincipal(ctx context.Context) (string, bool) {
 
 // count records a rejection under the right metric.
 func (a *authenticator) count(reason authReason) {
-	if reason == authReplay {
+	switch reason {
+	case authReplay:
 		a.replay.Add(1)
-	} else {
+	case authUnknownPrincipal:
+		a.rejected.Add(1)
+		a.unknownPr.Add(1)
+	default:
 		a.rejected.Add(1)
 	}
+}
+
+// externalReason maps an internal rejection class to the one disclosed
+// in the 401 body: unknown principals are reported as bad_signature so
+// an unauthenticated probe cannot learn which principals are
+// registered; every other class passes through unchanged.
+func externalReason(reason authReason) authReason {
+	if reason == authUnknownPrincipal {
+		return authBadSignature
+	}
+	return reason
 }
 
 // writeReject emits the 401 with the structured reason.
@@ -580,6 +626,15 @@ func writeAuthReject(w http.ResponseWriter, reason authReason, msg string) {
 	writeJSON(w, http.StatusUnauthorized, AuthErrorResponse{
 		Error:  "unauthorized: " + msg,
 		Reason: string(reason),
+	})
+}
+
+// writeAuthForbidden emits the 403 for an authenticated-but-unauthorized
+// request (valid signature, wrong tenant).
+func writeAuthForbidden(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusForbidden, AuthErrorResponse{
+		Error:  "forbidden: " + msg,
+		Reason: string(authPrincipalMismatch),
 	})
 }
 
@@ -616,7 +671,7 @@ func (a *authenticator) middleware(next http.Handler, maxBody int64) http.Handle
 		principal, reason, msg := a.verifyRequest(r, body)
 		if reason != "" {
 			a.count(reason)
-			writeAuthReject(w, reason, msg)
+			writeAuthReject(w, externalReason(reason), msg)
 			return
 		}
 		a.ok.Add(1)

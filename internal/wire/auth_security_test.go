@@ -125,7 +125,10 @@ func TestAuthForgedAndTamperedRequestsRejected(t *testing.T) {
 			return signedProbe(t, ts.URL, http.MethodGet, freq, nil,
 				"alice", bobKey, now, nonce(), nil)
 		}},
-		{"unknown principal", authUnknownPrincipal, func() (int, []byte) {
+		{"unknown principal", authBadSignature, func() (int, []byte) {
+			// Externally indistinguishable from a wrong key — the
+			// split exists only in the auth.unknown_principal metric
+			// (see TestAuthNoPrincipalEnumerationOracle).
 			return signedProbe(t, ts.URL, http.MethodGet, freq, nil,
 				"mallory", testKey('M'), now, nonce(), nil)
 		}},
@@ -172,6 +175,46 @@ func TestAuthForgedAndTamperedRequestsRejected(t *testing.T) {
 	}
 	if got := snap.Counters[MetricAuthReplay]; got != 0 {
 		t.Errorf("%s = %d, want 0", MetricAuthReplay, got)
+	}
+	if got := snap.Counters[MetricAuthUnknownPrincipal]; got != 1 {
+		t.Errorf("%s = %d, want 1 (the mallory probe)", MetricAuthUnknownPrincipal, got)
+	}
+}
+
+// TestAuthNoPrincipalEnumerationOracle proves the 401 surface leaks
+// nothing about which principals are registered: a wrong-key request
+// for an existing principal and a request for a nonexistent principal
+// come back with byte-identical bodies (the dummy-key HMAC already
+// equalizes the work/timing). The distinction survives only in the
+// server-side auth.unknown_principal counter.
+func TestAuthNoPrincipalEnumerationOracle(t *testing.T) {
+	clk := newBudgetClock()
+	ts, _ := newGSPTestServer(t,
+		WithAuth(mustKeyring(t, "alice"), WithAuthClock(clk.Now)))
+	now := clk.Now()
+	freq := PathFreq + "?x=1&y=2&r=300"
+
+	wrongKeyStatus, wrongKeyBody := signedProbe(t, ts.URL, http.MethodGet, freq, nil,
+		"alice", testKey('Z'), now, "0bace1e0", nil)
+	unknownStatus, unknownBody := signedProbe(t, ts.URL, http.MethodGet, freq, nil,
+		"mallory", testKey('Z'), now, "0bace1e0", nil)
+
+	if wrongKeyStatus != http.StatusUnauthorized || unknownStatus != http.StatusUnauthorized {
+		t.Fatalf("statuses = %d, %d, want 401, 401", wrongKeyStatus, unknownStatus)
+	}
+	if !bytes.Equal(wrongKeyBody, unknownBody) {
+		t.Errorf("401 bodies differ — principal-enumeration oracle:\n registered: %s\n unknown:    %s",
+			wrongKeyBody, unknownBody)
+	}
+	assertAuthReject(t, "registered principal, wrong key", wrongKeyStatus, wrongKeyBody, authBadSignature)
+	assertAuthReject(t, "unknown principal", unknownStatus, unknownBody, authBadSignature)
+
+	snap := fetchSnapshot(t, ts.URL)
+	if got := snap.Counters[MetricAuthUnknownPrincipal]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricAuthUnknownPrincipal, got)
+	}
+	if got := snap.Counters[MetricAuthRejected]; got != 2 {
+		t.Errorf("%s = %d, want 2", MetricAuthRejected, got)
 	}
 }
 
@@ -350,6 +393,11 @@ func TestAuthBypassProbesEveryRoute(t *testing.T) {
 		t.Errorf("unsigned probes touched the ledger: %+v", st)
 	}
 
+	// Authentication is not authorization: a *registered* tenant signing
+	// another tenant's budget admin paths verifies (the signature covers
+	// the path, after all) but must be refused — see
+	// TestAuthBudgetAdminCrossTenantForbidden for the full matrix.
+
 	// Ops endpoints answer unsigned.
 	for _, base := range []string{gspTS.URL, lbsTS.URL} {
 		for _, path := range []string{obs.PathHealthz, obs.PathReadyz, obs.PathMetrics} {
@@ -362,6 +410,74 @@ func TestAuthBypassProbesEveryRoute(t *testing.T) {
 				t.Errorf("unsigned GET %s = %d, want 200", path, resp.StatusCode)
 			}
 		}
+	}
+}
+
+// TestAuthBudgetAdminCrossTenantForbidden is the authorization matrix
+// for the budget admin endpoints: a valid signature names WHO is
+// calling, not WHAT they may touch. Tenant mallory signing
+// GET/POST /v1/budget/alice[/reset] verifies — the path is inside the
+// canonical string — but must come back 403 with a structured
+// principal_mismatch reason and leave alice's (ε, δ) accounting
+// byte-exact, while each tenant keeps full self-service on its own
+// budget.
+func TestAuthBudgetAdminCrossTenantForbidden(t *testing.T) {
+	led, err := budget.New(budget.Policy{LifetimeEps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newBudgetClock()
+	kr := mustKeyring(t, "alice", "mallory") // keys 'A' and 'B'
+	ts, _ := newLBSTestServer(t,
+		WithAuth(kr, WithAuthClock(clk.Now)), WithBudget(led, 0.5, 0))
+	now := clk.Now()
+
+	// Alice spends once, so a successful cross-tenant reset would be
+	// visible as Releases dropping back to zero.
+	relBody, _ := json.Marshal(testRelease(t, "alice"))
+	if status, body := signedProbe(t, ts.URL, http.MethodPost, PathRelease, relBody,
+		"alice", testKey('A'), now, "a11ce001", nil); status != http.StatusOK {
+		t.Fatalf("alice's release = %d: %s", status, body)
+	}
+
+	crossProbes := []struct {
+		name, method, path string
+	}{
+		{"cross-tenant status", http.MethodGet, PathBudget + "/alice"},
+		{"cross-tenant reset", http.MethodPost, PathBudget + "/alice/reset"},
+	}
+	for i, p := range crossProbes {
+		status, body := signedProbe(t, ts.URL, p.method, p.path, nil,
+			"mallory", testKey('B'), now, fmt.Sprintf("ba4ba4%02x", i), nil)
+		if status != http.StatusForbidden {
+			t.Errorf("%s: status %d, want 403 (body %s)", p.name, status, body)
+			continue
+		}
+		var e AuthErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Errorf("%s: 403 body is not JSON: %q", p.name, body)
+			continue
+		}
+		if e.Reason != string(authPrincipalMismatch) {
+			t.Errorf("%s: reason %q, want %q", p.name, e.Reason, authPrincipalMismatch)
+		}
+	}
+	if st := led.Status("alice"); st.Releases != 1 {
+		t.Errorf("mallory's cross-tenant calls moved alice's accounting: %+v", st)
+	}
+
+	// Self-service stays intact: mallory reads her own budget, alice
+	// resets her own.
+	if status, body := signedProbe(t, ts.URL, http.MethodGet, PathBudget+"/mallory", nil,
+		"mallory", testKey('B'), now, "5e1f0001", nil); status != http.StatusOK {
+		t.Errorf("mallory's own status = %d: %s", status, body)
+	}
+	if status, body := signedProbe(t, ts.URL, http.MethodPost, PathBudget+"/alice/reset", nil,
+		"alice", testKey('A'), now, "5e1f0002", nil); status != http.StatusOK {
+		t.Errorf("alice's own reset = %d: %s", status, body)
+	}
+	if st := led.Status("alice"); st.Releases != 0 {
+		t.Errorf("alice's own reset did not take: %+v", st)
 	}
 }
 

@@ -228,6 +228,39 @@ func TestNonceCacheBoundedByCap(t *testing.T) {
 	}
 }
 
+func TestNonceCacheCapEvictionSparesReinsertedLiveEntry(t *testing.T) {
+	// A re-inserted key leaves its old, expired fifo slot behind, so
+	// expiries are not monotone in FIFO order. Under cap pressure the
+	// eviction loop must not let such a stale duplicate delete the key's
+	// LIVE map entry — that would forget a spent nonce mid-window and
+	// admit a replay. The front sweep already guards this; the eviction
+	// loop must mirror it. `now` stepping backwards between calls is how
+	// a duplicate gets past the sweep: wall clocks do step (NTP), and the
+	// verifier's clock is injectable.
+	c := newNonceCache(3)
+	t0 := time.Unix(1000, 0)
+	t1 := t0.Add(2 * time.Second)
+	long := 10 * time.Minute
+
+	c.insert("b", t0, t0.Add(long))
+	c.insert("a", t0, t0.Add(time.Second)) // expired by t1
+	c.insert("c", t0, t0.Add(long))
+	// Re-insert "a" live at t1; its expired slot stays queued mid-fifo
+	// (the cap eviction this triggers takes "b", the true oldest).
+	if !c.insert("a", t1, t1.Add(long)) {
+		t.Fatal("expired nonce could not be re-inserted")
+	}
+	// The clock steps back to t0: the stale "a" slot now looks live to
+	// the front sweep, and the next cap evictions walk straight into it.
+	c.insert("d", t0, t0.Add(long))
+	c.insert("e", t0, t0.Add(long))
+	// The live "a" entry (held until t1+10m) must still be remembered:
+	// replaying its nonce inside the window has to fail.
+	if c.insert("a", t1, t1.Add(long)) {
+		t.Error("cap eviction dropped a live nonce via its stale duplicate — replay admitted")
+	}
+}
+
 func TestAuthenticatorVerifySignRoundTrip(t *testing.T) {
 	clk := newBudgetClock()
 	a := newAuthenticator(mustKeyring(t, "alice"), WithAuthClock(clk.Now))

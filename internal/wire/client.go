@@ -405,7 +405,9 @@ func (c *LBSClient) Release(ctx context.Context, rel ReleaseRequest) (*ReleaseRe
 }
 
 // BudgetStatus fetches a principal's privacy-budget accounting from a
-// budget-enforced LBS server (admin endpoint).
+// budget-enforced LBS server (admin endpoint). On an authenticated
+// server, principal must equal the client's signing principal — the
+// endpoints are tenant-isolated, and a mismatch is a 403.
 func (c *LBSClient) BudgetStatus(ctx context.Context, principal string) (*BudgetState, error) {
 	var out BudgetState
 	path := PathBudget + "/" + url.PathEscape(principal)
@@ -416,7 +418,8 @@ func (c *LBSClient) BudgetStatus(ctx context.Context, principal string) (*Budget
 }
 
 // BudgetReset zeroes a principal's privacy-budget accounting (admin
-// endpoint) and returns the post-reset state.
+// endpoint) and returns the post-reset state. Tenant-isolated under
+// auth, like BudgetStatus.
 func (c *LBSClient) BudgetReset(ctx context.Context, principal string) (*BudgetState, error) {
 	var out BudgetState
 	path := PathBudget + "/" + url.PathEscape(principal) + "/reset"

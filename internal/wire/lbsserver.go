@@ -398,12 +398,42 @@ func budgetStateOf(dec budget.Decision) *BudgetState {
 	return st
 }
 
+// authorizeBudgetPrincipal gates the budget admin endpoints: with auth
+// on, authentication alone is not authorization — the path's {principal}
+// must equal the signature-verified identity, or any key-holding tenant
+// could sign POST /v1/budget/<victim>/reset (the signature covers the
+// path, so it verifies) and refill or inspect another tenant's (ε, δ)
+// accounting. Cross-tenant requests get 403 with a structured
+// principal_mismatch reason. Operators are not locked out: they
+// provision the keyring, so they hold (and can sign as) every tenant.
+// Without auth the endpoints stay open, as before.
+func (s *LBSServer) authorizeBudgetPrincipal(w http.ResponseWriter, r *http.Request) (string, bool) {
+	principal := r.PathValue("principal")
+	if s.auth == nil {
+		return principal, true
+	}
+	verified, ok := VerifiedPrincipal(r.Context())
+	if !ok || verified != principal {
+		writeAuthForbidden(w, fmt.Sprintf(
+			"principal %q may not act on %q's budget", verified, principal))
+		return "", false
+	}
+	return principal, true
+}
+
 func (s *LBSServer) handleBudgetStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, budgetStateOf(s.ledger.Status(r.PathValue("principal"))))
+	principal, ok := s.authorizeBudgetPrincipal(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, budgetStateOf(s.ledger.Status(principal)))
 }
 
 func (s *LBSServer) handleBudgetReset(w http.ResponseWriter, r *http.Request) {
-	principal := r.PathValue("principal")
+	principal, ok := s.authorizeBudgetPrincipal(w, r)
+	if !ok {
+		return
+	}
 	s.ledger.Reset(principal)
 	writeJSON(w, http.StatusOK, budgetStateOf(s.ledger.Status(principal)))
 }
