@@ -7,7 +7,7 @@ GO ?= go
 BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay
 BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget
 
-.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke loadtest repro repro-full cover clean
+.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke e2e-cluster loadtest loadtest-cluster repro repro-full cover clean
 
 all: check
 
@@ -60,6 +60,29 @@ bench-diff:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzCanonicalString' -fuzztime 15s ./internal/wire
 	$(GO) test -run '^$$' -fuzz 'FuzzVerifyRequest' -fuzztime 15s ./internal/wire
+
+# e2e-cluster runs the multi-node proof layer under the race detector:
+# the consistent-hash ring property tests, the differential cluster e2e
+# (N shards behind gspgw byte-identical to one gspd, auth on and off),
+# and the fault-injection tests (shard death mid-batch, probe-driven
+# recovery, concurrent ring mutation during fanout).
+e2e-cluster:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestCluster|TestGSPClientConnectionRefused|TestGSPClientRecoversFromSingleRefusal' ./internal/wire
+	$(GO) test -race -count=1 ./cmd/gspgw
+
+# loadtest-cluster drives the in-process closed loop against a bare
+# gspd (n=0) and 1/2/4-shard fleets behind the gateway, writing
+# LOADTEST_cluster_<n>.json. On one machine every shard shares the same
+# cores, so this measures the gateway's fan-out/merge overhead — not
+# horizontal scaling; scaling needs one machine per shard (see
+# DESIGN.md §10 for the committed run and its reading).
+loadtest-cluster:
+	for n in 0 1 2 4; do \
+		$(GO) run ./cmd/loadgen -inprocess -assert -cluster $$n \
+			-targets freq,batch -conc 32 -duration 3s -batch 16 \
+			-name cluster-$$n -out LOADTEST_cluster_$$n.json; \
+	done
 
 # loadtest is the overload-protection smoke: drive the in-process
 # GSP+LBS stack closed-loop at 4x the admission limit with realistic

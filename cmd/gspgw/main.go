@@ -1,0 +1,210 @@
+// Command gspgw is the cluster gateway in front of a fleet of gspd
+// shards: it serves the same GSP endpoint surface — GET /v1/stats,
+// /v1/pois, /v1/query, /v1/freq, POST /v1/freq/batch and
+// /v1/query/batch — and routes each query to the consistent-hash owner
+// of its (city × grid cell). Batch requests are split per shard, fanned
+// out concurrently, and merged preserving input order with per-item
+// errors. Every shard must hold the same city (same snapshot or same
+// -city/-seed), so the fleet is byte-identical to one gspd while each
+// shard's cache holds only its slice of the keyspace.
+//
+// Shard health is driven by each shard's /readyz: dead shards are
+// evicted from the ring and recovered ones re-added, and the gateway's
+// own /readyz fails only when no shard is healthy. /v1/metrics exports
+// the cluster.* gauges (per-shard inflight/errors/health, fanout
+// latency, evictions/restores).
+//
+// Usage:
+//
+//	gspgw -addr :8079 -peers http://s0:8080,http://s1:8080,http://s2:8080
+//
+// The gateway mirrors gspd's hardening flags: -admit-* for admission
+// control, -max-body, and -auth-keys to require signed client requests.
+// Against auth-enabled shards, -peer-auth-key gives the gateway its own
+// signing identity (provision the same principal on every shard).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"poiagg/internal/cluster"
+	"poiagg/internal/obs"
+	"poiagg/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gspgw:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed flag set, separated from run so tests can cover
+// the flag → gateway wiring without binding sockets.
+type config struct {
+	addr          string
+	peers         []string
+	vnodes        int
+	cellSize      float64
+	cityLabel     string
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	peerRetries   int
+	peerTimeout   time.Duration
+	peerAuthKey   string
+	maxRadius     float64
+	maxBody       int64
+	maxBatch      int
+	admitLimit    int
+	admitQueue    int
+	admitTimeout  time.Duration
+	authKeys      string
+	authWindow    time.Duration
+	statsInterval time.Duration
+	pprofOn       bool
+}
+
+func parseConfig(args []string) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("gspgw", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", ":8079", "listen address")
+	peers := fs.String("peers", "", "comma-separated gspd shard base URLs (required)")
+	fs.IntVar(&cfg.vnodes, "vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+	fs.Float64Var(&cfg.cellSize, "cell", cluster.DefaultCellSize, "routing grid cell size in meters")
+	fs.StringVar(&cfg.cityLabel, "city-label", "", "city label mixed into the routing keyspace (isolates co-hosted cities)")
+	fs.DurationVar(&cfg.probeInterval, "probe-interval", wire.DefaultProbeInterval, "shard /readyz probe cadence")
+	fs.DurationVar(&cfg.probeTimeout, "probe-timeout", wire.DefaultProbeTimeout, "per-probe timeout")
+	fs.IntVar(&cfg.peerRetries, "peer-retries", 2, "retry budget per shard call")
+	fs.DurationVar(&cfg.peerTimeout, "peer-timeout", 5*time.Second, "per-attempt timeout for shard calls")
+	fs.StringVar(&cfg.peerAuthKey, "peer-auth-key", "", "principal=hexkey the gateway signs shard calls with (for auth-enabled shards)")
+	fs.Float64Var(&cfg.maxRadius, "max-radius", 10_000, "maximum accepted query radius in meters (must match the shards)")
+	fs.Int64Var(&cfg.maxBody, "max-body", wire.DefaultMaxBody, "maximum accepted POST body in bytes")
+	fs.IntVar(&cfg.maxBatch, "max-batch", wire.DefaultMaxBatch, "maximum items per batch request (must match the shards)")
+	fs.IntVar(&cfg.admitLimit, "admit-limit", 0, "admission control: max concurrent request weight (0 disables)")
+	fs.IntVar(&cfg.admitQueue, "admit-queue", 128, "admission control: max requests waiting for a slot")
+	fs.DurationVar(&cfg.admitTimeout, "admit-timeout", 500*time.Millisecond, "admission control: max queue wait before shedding")
+	fs.StringVar(&cfg.authKeys, "auth-keys", "", "require signed client requests; principal=hexkey[,...] or @file (empty disables auth)")
+	fs.DurationVar(&cfg.authWindow, "auth-window", wire.DefaultAuthWindow, "signed-request timestamp validity window")
+	fs.DurationVar(&cfg.statsInterval, "stats-interval", time.Minute, "periodic traffic summary log interval (0 disables)")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "serve net/http/pprof profiling endpoints under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			cfg.peers = append(cfg.peers, p)
+		}
+	}
+	if len(cfg.peers) == 0 {
+		return nil, errors.New("-peers is required (comma-separated shard URLs)")
+	}
+	return cfg, nil
+}
+
+// buildGateway assembles the gateway and its registry from a config.
+func buildGateway(cfg *config, logger *log.Logger) (*wire.ClusterGateway, *obs.Registry, error) {
+	reg := obs.NewRegistry()
+	opts := []wire.ClusterOption{
+		wire.WithClusterLogger(logger),
+		wire.WithClusterMetrics(reg),
+		wire.WithVirtualNodes(cfg.vnodes),
+		wire.WithCellSize(cfg.cellSize),
+		wire.WithCityLabel(cfg.cityLabel),
+		wire.WithProbeInterval(cfg.probeInterval),
+		wire.WithProbeTimeout(cfg.probeTimeout),
+		wire.WithClusterMaxRadius(cfg.maxRadius),
+		wire.WithClusterMaxBatch(cfg.maxBatch),
+		wire.WithClusterPprof(cfg.pprofOn),
+		wire.WithMaxBody(cfg.maxBody),
+	}
+	peerOpts := []wire.ClientOption{
+		wire.WithRetries(cfg.peerRetries),
+		wire.WithRequestTimeout(cfg.peerTimeout),
+	}
+	if cfg.peerAuthKey != "" {
+		principal, key, err := wire.ParseSigningKey(cfg.peerAuthKey)
+		if err != nil {
+			return nil, nil, err
+		}
+		peerOpts = append(peerOpts, wire.WithSigningKey(principal, key))
+		logger.Printf("signing shard calls as %q", principal)
+	}
+	opts = append(opts, wire.WithPeerClientOptions(peerOpts...))
+	if cfg.admitLimit > 0 {
+		opts = append(opts, wire.WithAdmission(cfg.admitLimit, cfg.admitQueue, cfg.admitTimeout))
+		logger.Printf("admission control on: limit %d, queue %d, wait %v",
+			cfg.admitLimit, cfg.admitQueue, cfg.admitTimeout)
+	}
+	if cfg.authKeys != "" {
+		kr, err := wire.LoadKeyring(cfg.authKeys)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, wire.WithAuth(kr, wire.WithAuthWindow(cfg.authWindow)))
+		logger.Printf("request signing required: %d principals, ±%v window", kr.Len(), cfg.authWindow)
+	}
+	gw, err := wire.NewClusterGateway(cfg.peers, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return gw, reg, nil
+}
+
+func run(args []string) error {
+	cfg, err := parseConfig(args)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "gspgw ", log.LstdFlags)
+	gw, reg, err := buildGateway(cfg, logger)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gw.StartProber(ctx)
+	obs.StartSummary(ctx, logger, reg, cfg.statsInterval)
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("routing %d shards on %s (probe every %v, metrics at %s)",
+			len(cfg.peers), cfg.addr, cfg.probeInterval, obs.PathMetrics)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case sig := <-stop:
+		logger.Printf("received %v, shutting down", sig)
+		gw.Drain()
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		return srv.Shutdown(sctx)
+	}
+}

@@ -27,7 +27,11 @@
 // With -inprocess the generator spins up in-memory GSP and LBS servers
 // (small synthetic city, region-audit enabled) over loopback HTTP, so a
 // single command measures the whole stack with no daemons to start —
-// this is what `make loadtest` runs.
+// this is what `make loadtest` runs. Adding -cluster N puts N GSP
+// shards behind an in-memory gspgw gateway and drives the gateway
+// instead, measuring the fan-out/merge overhead and throughput scaling
+// of the sharded deployment (`make loadtest-cluster` sweeps shard
+// counts).
 //
 // With -auth-key "principal=hexkey" every request is HMAC-signed; against
 // daemons started with -auth-keys this is required, and with -inprocess
@@ -70,6 +74,7 @@ func main() {
 type config struct {
 	name      string
 	inprocess bool
+	shards    int
 	gspURL    string
 	lbsURL    string
 	targets   []string
@@ -123,6 +128,9 @@ type ReportConfig struct {
 	AdmitQueue   int     `json:"admitQueue,omitempty"`
 	AdmitTimeout string  `json:"admitTimeout,omitempty"`
 	BatchItems   int     `json:"batchItems"`
+	// ClusterShards is the in-process fleet size behind the gateway
+	// (0 = single node, no gateway).
+	ClusterShards int `json:"clusterShards,omitempty"`
 }
 
 // TargetReport is one endpoint's slice of the run.
@@ -139,6 +147,7 @@ func parseFlags(args []string) (*config, error) {
 	cfg := &config{}
 	fs.StringVar(&cfg.name, "name", "loadgen", "run label embedded in the report")
 	fs.BoolVar(&cfg.inprocess, "inprocess", false, "spin up in-memory GSP+LBS servers instead of dialing daemons")
+	fs.IntVar(&cfg.shards, "cluster", 0, "with -inprocess: put N GSP shards behind an in-memory gspgw gateway and drive that (0 = single node)")
 	fs.StringVar(&cfg.gspURL, "gsp", "", "GSP base URL (required for freq/batch targets unless -inprocess)")
 	fs.StringVar(&cfg.lbsURL, "lbs", "", "LBS base URL (required for the release target unless -inprocess)")
 	targets := fs.String("targets", "freq,batch,release", "comma-separated endpoints to drive: freq, batch, release")
@@ -180,6 +189,12 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if cfg.duration <= 0 {
 		return nil, errors.New("-duration must be positive")
+	}
+	if cfg.shards < 0 {
+		return nil, errors.New("-cluster must be >= 0")
+	}
+	if cfg.shards > 0 && !cfg.inprocess {
+		return nil, errors.New("-cluster needs -inprocess (point -gsp at a running gspgw to load-test a real fleet)")
 	}
 	if !cfg.inprocess {
 		needsGSP := false
@@ -332,11 +347,42 @@ func run(args []string, stdout io.Writer) error {
 			gspOpts = append(gspOpts, o)
 			lbsOpts = append(lbsOpts, o)
 		}
-		gspTS := httptest.NewServer(wire.NewGSPServer(svc, gspOpts...))
-		defer gspTS.Close()
+		if cfg.shards > 0 {
+			// Cluster mode: N shards behind an in-memory gateway, each
+			// shard configured exactly like the single node would be. The
+			// gateway inherits the same admission/auth ServerOptions and
+			// re-signs shard calls with the load key, so signed runs keep
+			// verification on both hops.
+			peers := make([]string, cfg.shards)
+			for i := range peers {
+				shardTS := httptest.NewServer(wire.NewGSPServer(svc, gspOpts...))
+				defer shardTS.Close()
+				peers[i] = shardTS.URL
+			}
+			gwOpts := []wire.ClusterOption{wire.WithClusterLogger(quiet)}
+			for _, o := range serverOpts {
+				gwOpts = append(gwOpts, o)
+			}
+			var peerOpts []wire.ClientOption
+			if signKey != nil {
+				peerOpts = append(peerOpts, wire.WithSigningKey(signPrincipal, signKey))
+			}
+			gwOpts = append(gwOpts, wire.WithPeerClientOptions(peerOpts...))
+			gw, err := wire.NewClusterGateway(peers, gwOpts...)
+			if err != nil {
+				return err
+			}
+			gwTS := httptest.NewServer(gw)
+			defer gwTS.Close()
+			gspURL = gwTS.URL
+		} else {
+			gspTS := httptest.NewServer(wire.NewGSPServer(svc, gspOpts...))
+			defer gspTS.Close()
+			gspURL = gspTS.URL
+		}
 		lbsTS := httptest.NewServer(wire.NewLBSServer(city.M(), lbsOpts...))
 		defer lbsTS.Close()
-		gspURL, lbsURL = gspTS.URL, lbsTS.URL
+		lbsURL = lbsTS.URL
 	}
 
 	clientOpts := []wire.ClientOption{wire.WithRequestTimeout(cfg.timeout)}
@@ -521,12 +567,13 @@ func buildReport(cfg *config, stats map[string]*targetStats, overall, overallOK 
 	rep := Report{
 		Name: cfg.name,
 		Config: ReportConfig{
-			Mode:        mode,
-			Targets:     strings.Join(cfg.targets, ","),
-			Concurrency: cfg.conc,
-			RateRPS:     cfg.rate,
-			AdmitLimit:  cfg.admitLimit,
-			BatchItems:  cfg.batchN,
+			Mode:          mode,
+			Targets:       strings.Join(cfg.targets, ","),
+			Concurrency:   cfg.conc,
+			RateRPS:       cfg.rate,
+			AdmitLimit:    cfg.admitLimit,
+			BatchItems:    cfg.batchN,
+			ClusterShards: cfg.shards,
 		},
 		DurationSeconds: wall.Seconds(),
 		Latency:         obs.SnapshotLatency(overall),

@@ -99,6 +99,37 @@ func TestLoadgenOpenLoop(t *testing.T) {
 	}
 }
 
+// TestLoadgenClusterMode drives the in-process sharded stack: 3 GSP
+// shards behind a gateway must serve the same load the single node
+// does, with the shard count echoed in the report.
+func TestLoadgenClusterMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{
+		"-inprocess", "-quiet", "-assert", "-cluster", "3",
+		"-duration", "300ms", "-conc", "4", "-batch", "8",
+		"-targets", "freq,batch",
+		"-out", out,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, out)
+	if rep.Config.ClusterShards != 3 {
+		t.Errorf("clusterShards = %d, want 3", rep.Config.ClusterShards)
+	}
+	if rep.OK == 0 {
+		t.Error("ok = 0, want progress through the gateway")
+	}
+	if rep.BadRequest != 0 || rep.TransportErrors != 0 {
+		t.Errorf("unexpected errors: badRequest=%d transport=%d", rep.BadRequest, rep.TransportErrors)
+	}
+	for _, tgt := range []string{"freq", "batch"} {
+		if pt := rep.PerTarget[tgt]; pt.Total == 0 || pt.OK == 0 {
+			t.Errorf("target %q made no progress through the gateway: %+v", tgt, pt)
+		}
+	}
+}
+
 func TestLoadgenFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{"-targets", "bogus"},
@@ -107,6 +138,8 @@ func TestLoadgenFlagValidation(t *testing.T) {
 		{"-duration", "0s"},
 		{"-targets", "freq"}, // remote mode without -gsp
 		{"-targets", "release"},
+		{"-cluster", "2"},  // cluster needs -inprocess
+		{"-cluster", "-1"}, // negative fleet
 	}
 	for _, args := range cases {
 		if _, err := parseFlags(args); err == nil {

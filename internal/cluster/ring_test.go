@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// testPeers returns n synthetic peer URLs.
+func testPeers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://shard-%d:8080", i)
+	}
+	return out
+}
+
+// testKeys returns a deterministic population of (city × cell) keys
+// shaped like a real routing workload: a contiguous block of grid
+// cells, not random 64-bit values — the ring must balance the keys it
+// will actually see.
+func testKeys(n int) []uint64 {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	keys := make([]uint64, 0, n)
+	for cx := 0; cx < side && len(keys) < n; cx++ {
+		for cy := 0; cy < side && len(keys) < n; cy++ {
+			keys = append(keys, Key("beijing", cx, cy))
+		}
+	}
+	return keys
+}
+
+// ownersOf resolves every key, failing the test on an empty ring.
+func ownersOf(t *testing.T, r *Ring, keys []uint64) []string {
+	t.Helper()
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		p, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("ring with %d peers owned nothing for key %d", r.Len(), k)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TestRingBalance asserts the distribution property across ring sizes:
+// with enough virtual nodes, no peer owns disproportionately many cells.
+// The hash is deterministic, so the observed ratios are stable; the
+// bounds carry roughly 40% headroom over measured values.
+func TestRingBalance(t *testing.T) {
+	const numKeys = 20000
+	keys := testKeys(numKeys)
+	cases := []struct {
+		peers    int
+		vnodes   int
+		maxRatio float64 // max/min ownership bound
+	}{
+		{2, 64, 2.0},
+		{2, 128, 1.8},
+		{3, 128, 1.8},
+		{4, 128, 2.0},
+		{5, 256, 1.8},
+		{8, 128, 2.2},
+		{8, 256, 2.0},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("peers=%d,vnodes=%d", tc.peers, tc.vnodes), func(t *testing.T) {
+			r := New(tc.vnodes)
+			for _, p := range testPeers(tc.peers) {
+				r.Add(p)
+			}
+			counts := make(map[string]int, tc.peers)
+			for _, owner := range ownersOf(t, r, keys) {
+				counts[owner]++
+			}
+			if len(counts) != tc.peers {
+				t.Fatalf("only %d of %d peers own any cells: %v", len(counts), tc.peers, counts)
+			}
+			minN, maxN := numKeys, 0
+			for _, n := range counts {
+				minN = min(minN, n)
+				maxN = max(maxN, n)
+			}
+			ratio := float64(maxN) / float64(minN)
+			t.Logf("ownership %v, max/min ratio %.3f", counts, ratio)
+			if ratio > tc.maxRatio {
+				t.Errorf("ownership ratio %.3f exceeds bound %.2f (counts %v)", ratio, tc.maxRatio, counts)
+			}
+		})
+	}
+}
+
+// TestRingMinimalDisruptionOnAdd asserts the consistent-hashing
+// contract exactly: when peer N+1 joins, every key either keeps its
+// owner or moves to the new peer — never between old peers — and the
+// moved share is in the neighborhood of 1/(N+1).
+func TestRingMinimalDisruptionOnAdd(t *testing.T) {
+	const numKeys = 20000
+	keys := testKeys(numKeys)
+	for _, n := range []int{1, 2, 3, 5, 7} {
+		t.Run(fmt.Sprintf("peers=%d", n), func(t *testing.T) {
+			r := New(128)
+			peers := testPeers(n + 1)
+			for _, p := range peers[:n] {
+				r.Add(p)
+			}
+			before := ownersOf(t, r, keys)
+			newcomer := peers[n]
+			r.Add(newcomer)
+			after := ownersOf(t, r, keys)
+
+			moved := 0
+			for i := range keys {
+				if after[i] == before[i] {
+					continue
+				}
+				moved++
+				if after[i] != newcomer {
+					t.Fatalf("key %d moved %s -> %s, not to the new peer %s",
+						keys[i], before[i], after[i], newcomer)
+				}
+			}
+			ideal := float64(numKeys) / float64(n+1)
+			t.Logf("%d of %d keys moved (ideal %.0f)", moved, numKeys, ideal)
+			if moved == 0 {
+				t.Fatal("new peer took no keys")
+			}
+			if f := float64(moved); f < 0.4*ideal || f > 2.0*ideal {
+				t.Errorf("moved %d keys, want within [0.4, 2.0]x the ideal %.0f", moved, ideal)
+			}
+		})
+	}
+}
+
+// TestRingMinimalDisruptionOnRemove asserts the inverse contract: when
+// a peer leaves, exactly its keys move (to survivors) and every other
+// key keeps its owner — the probe-driven eviction path must not
+// reshuffle healthy shards' cells.
+func TestRingMinimalDisruptionOnRemove(t *testing.T) {
+	const numKeys = 20000
+	keys := testKeys(numKeys)
+	for _, n := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("peers=%d", n), func(t *testing.T) {
+			r := New(128)
+			peers := testPeers(n)
+			for _, p := range peers {
+				r.Add(p)
+			}
+			before := ownersOf(t, r, keys)
+			victim := peers[n/2]
+			r.Remove(victim)
+			after := ownersOf(t, r, keys)
+
+			moved := 0
+			for i := range keys {
+				switch {
+				case before[i] == victim:
+					moved++
+					if after[i] == victim {
+						t.Fatalf("key %d still owned by removed peer %s", keys[i], victim)
+					}
+				case after[i] != before[i]:
+					t.Fatalf("key %d not owned by the removed peer moved %s -> %s",
+						keys[i], before[i], after[i])
+				}
+			}
+			if moved == 0 {
+				t.Fatal("removed peer owned no keys")
+			}
+			t.Logf("%d of %d keys moved off the removed peer", moved, numKeys)
+
+			// Re-adding restores the exact pre-removal ownership: vnode
+			// positions depend only on the peer name.
+			r.Add(victim)
+			restored := ownersOf(t, r, keys)
+			for i := range keys {
+				if restored[i] != before[i] {
+					t.Fatalf("key %d owner %s after re-add, want %s", keys[i], restored[i], before[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRingOwnerDeterministicAcrossInsertionOrder: ownership is a pure
+// function of the member set, not the join sequence — otherwise two
+// gateways over the same fleet would route the same cell differently.
+func TestRingOwnerDeterministicAcrossInsertionOrder(t *testing.T) {
+	keys := testKeys(5000)
+	peers := testPeers(5)
+	a := New(128)
+	for _, p := range peers {
+		a.Add(p)
+	}
+	b := New(128)
+	for i := len(peers) - 1; i >= 0; i-- {
+		b.Add(peers[i])
+	}
+	for _, k := range keys {
+		pa, _ := a.Owner(k)
+		pb, _ := b.Owner(k)
+		if pa != pb {
+			t.Fatalf("key %d: owner %s vs %s across insertion orders", k, pa, pb)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := New(16)
+	if _, ok := r.Owner(42); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	if r.Len() != 0 || len(r.Peers()) != 0 {
+		t.Errorf("empty ring reports members: len=%d peers=%v", r.Len(), r.Peers())
+	}
+	if !r.Add("a") {
+		t.Error("first Add reported duplicate")
+	}
+	if r.Add("a") {
+		t.Error("duplicate Add reported success")
+	}
+	for _, k := range testKeys(100) {
+		if p, ok := r.Owner(k); !ok || p != "a" {
+			t.Fatalf("single-peer ring: Owner = %q, %v", p, ok)
+		}
+	}
+	if r.Remove("ghost") {
+		t.Error("removing an absent peer reported success")
+	}
+	if !r.Remove("a") {
+		t.Error("removing a present peer failed")
+	}
+	if _, ok := r.Owner(42); ok {
+		t.Error("drained ring claimed an owner")
+	}
+	if r.Contains("a") {
+		t.Error("drained ring still contains peer")
+	}
+}
+
+// TestRingConcurrentMutation hammers Owner against concurrent Add and
+// Remove of floating peers; under -race this proves the locking, and
+// the assertions prove a reader always sees a coherent member.
+func TestRingConcurrentMutation(t *testing.T) {
+	r := New(64)
+	stable := testPeers(3)
+	for _, p := range stable {
+		r.Add(p)
+	}
+	stableSet := map[string]bool{}
+	for _, p := range stable {
+		stableSet[p] = true
+	}
+	keys := testKeys(512)
+
+	var readers, mutators sync.WaitGroup
+	stop := make(chan struct{})
+	// Mutators churn two floating peers on and off the ring.
+	for m := 0; m < 2; m++ {
+		mutators.Add(1)
+		go func(m int) {
+			defer mutators.Done()
+			peer := "http://floater-" + strconv.Itoa(m) + ":8080"
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Add(peer)
+				r.Remove(peer)
+			}
+		}(m)
+	}
+	// Readers resolve owners the whole time; every result must be a
+	// peer that can legitimately be on the ring.
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewPCG(7, uint64(w)))
+			for i := 0; i < 20000; i++ {
+				k := keys[rng.IntN(len(keys))]
+				p, ok := r.Owner(k)
+				if !ok {
+					t.Errorf("ring with 3 stable peers reported empty")
+					return
+				}
+				if !stableSet[p] && p != "http://floater-0:8080" && p != "http://floater-1:8080" {
+					t.Errorf("Owner returned unknown peer %q", p)
+					return
+				}
+			}
+		}(w)
+	}
+	readers.Wait()
+	close(stop)
+	mutators.Wait()
+}

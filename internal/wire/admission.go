@@ -262,12 +262,13 @@ func (a *admission) middleware(next http.Handler, selfAdmit map[string]bool) htt
 	})
 }
 
-// ServerOption is an option shared by GSPServer and LBSServer; it
-// satisfies both GSPServerOption and LBSServerOption, so one value
-// configures either daemon identically.
+// ServerOption is an option shared by GSPServer, LBSServer, and the
+// cluster gateway; it satisfies GSPServerOption, LBSServerOption, and
+// ClusterOption, so one value configures any of the three identically.
 type ServerOption struct {
-	gsp func(*GSPServer)
-	lbs func(*LBSServer)
+	gsp     func(*GSPServer)
+	lbs     func(*LBSServer)
+	cluster func(*ClusterGateway)
 }
 
 func (o ServerOption) applyGSP(s *GSPServer) {
@@ -282,6 +283,12 @@ func (o ServerOption) applyLBS(s *LBSServer) {
 	}
 }
 
+func (o ServerOption) applyCluster(g *ClusterGateway) {
+	if o.cluster != nil {
+		o.cluster(g)
+	}
+}
+
 // WithAdmission bounds concurrent work on a server (GSP or LBS): at
 // most limit weight executes at once, up to queue requests wait FIFO
 // for at most timeout (or their own deadline, whichever is sooner), and
@@ -292,8 +299,9 @@ func (o ServerOption) applyLBS(s *LBSServer) {
 func WithAdmission(limit, queue int, timeout time.Duration) ServerOption {
 	cfg := AdmissionConfig{Limit: limit, Queue: queue, Timeout: timeout}
 	return ServerOption{
-		gsp: func(s *GSPServer) { s.admitCfg = cfg },
-		lbs: func(s *LBSServer) { s.admitCfg = cfg },
+		gsp:     func(s *GSPServer) { s.admitCfg = cfg },
+		lbs:     func(s *LBSServer) { s.admitCfg = cfg },
+		cluster: func(g *ClusterGateway) { g.admitCfg = cfg },
 	}
 }
 
@@ -310,6 +318,11 @@ func WithMaxBody(n int64) ServerOption {
 		lbs: func(s *LBSServer) {
 			if n > 0 {
 				s.maxBody = n
+			}
+		},
+		cluster: func(g *ClusterGateway) {
+			if n > 0 {
+				g.maxBody = n
 			}
 		},
 	}

@@ -693,8 +693,9 @@ func (a *authenticator) middleware(next http.Handler, maxBody int64) http.Handle
 // byte-identical to an unauthenticated server.
 func WithAuth(kr *Keyring, opts ...AuthOption) ServerOption {
 	return ServerOption{
-		gsp: func(s *GSPServer) { s.authKeys, s.authOpts = kr, opts },
-		lbs: func(s *LBSServer) { s.authKeys, s.authOpts = kr, opts },
+		gsp:     func(s *GSPServer) { s.authKeys, s.authOpts = kr, opts },
+		lbs:     func(s *LBSServer) { s.authKeys, s.authOpts = kr, opts },
+		cluster: func(g *ClusterGateway) { g.authKeys, g.authOpts = kr, opts },
 	}
 }
 

@@ -67,15 +67,22 @@ func (s *GSPServer) registerBatch() {
 	s.mux.HandleFunc("POST "+PathQueryBatch, s.handleQueryBatch)
 }
 
-// decodeBatch reads and validates the request envelope. Envelope-level
-// failures (malformed JSON, empty batch, oversized batch) reject the
-// whole request with 400; item-level validation happens per item later.
+// decodeBatch reads and validates the request envelope.
 func (s *GSPServer) decodeBatch(w http.ResponseWriter, r *http.Request) ([]BatchItem, bool) {
+	return decodeBatchRequest(w, r, s.maxBody, s.maxBatch)
+}
+
+// decodeBatchRequest is the shared batch-envelope validator: the GSP
+// server and the cluster gateway both run it, so envelope-level
+// failures (malformed JSON, empty batch, oversized batch, oversized
+// body) reject with byte-identical 400/413 responses from either.
+// Item-level validation happens per item later.
+func decodeBatchRequest(w http.ResponseWriter, r *http.Request, maxBody int64, maxBatch int) ([]BatchItem, bool) {
 	var req BatchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
 		if isMaxBytes(err) {
 			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", s.maxBody))
+				fmt.Sprintf("request body exceeds %d bytes", maxBody))
 			return nil, false
 		}
 		writeError(w, http.StatusBadRequest, "malformed batch request")
@@ -85,9 +92,9 @@ func (s *GSPServer) decodeBatch(w http.ResponseWriter, r *http.Request) ([]Batch
 		writeError(w, http.StatusBadRequest, "empty batch")
 		return nil, false
 	}
-	if len(req.Items) > s.maxBatch {
+	if len(req.Items) > maxBatch {
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("batch of %d items exceeds limit %d", len(req.Items), s.maxBatch))
+			fmt.Sprintf("batch of %d items exceeds limit %d", len(req.Items), maxBatch))
 		return nil, false
 	}
 	return req.Items, true
@@ -95,10 +102,16 @@ func (s *GSPServer) decodeBatch(w http.ResponseWriter, r *http.Request) ([]Batch
 
 // validateItem applies the same location rules as the GET endpoints.
 func (s *GSPServer) validateItem(it BatchItem) error {
+	return validateBatchItem(it, s.maxRadius)
+}
+
+// validateBatchItem is the shared per-item validator (server and
+// gateway), keeping per-item error strings identical on both.
+func validateBatchItem(it BatchItem, maxRadius float64) error {
 	if !isFinite(it.X) || !isFinite(it.Y) || !isFinite(it.R) {
 		return fmt.Errorf("x, y, r must be finite")
 	}
-	if it.R <= 0 || it.R > s.maxRadius {
+	if it.R <= 0 || it.R > maxRadius {
 		return fmt.Errorf("r out of range")
 	}
 	return nil

@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"poiagg/internal/geo"
@@ -67,6 +68,36 @@ func (e *UnauthorizedError) Error() string {
 
 // Is makes errors.Is(err, ErrUnauthorized) match.
 func (e *UnauthorizedError) Is(target error) bool { return target == ErrUnauthorized }
+
+// ErrPeerUnreachable matches transport failures where nothing was
+// listening at the peer at all — a refused connection — with errors.Is.
+// A refusal is unlike other transport faults (resets, timeouts): it
+// fails in microseconds and means the process is down, not busy, so the
+// client spends at most one retry on it instead of the full budget. The
+// typed error doubles as an eviction hint: a caller holding a peer list
+// (the cluster gateway) should drop the peer from its ring and re-route
+// rather than keep dialing a dead shard.
+var ErrPeerUnreachable = errors.New("wire: peer unreachable")
+
+// PeerUnreachableError is the typed error for a refused connection;
+// errors.As exposes which peer was down.
+type PeerUnreachableError struct {
+	// Peer is the base URL of the unreachable server.
+	Peer string
+	Path string
+	// Err is the underlying transport error.
+	Err error
+}
+
+func (e *PeerUnreachableError) Error() string {
+	return fmt.Sprintf("wire: %s%s: peer unreachable: %v", e.Peer, e.Path, e.Err)
+}
+
+// Unwrap exposes the transport error.
+func (e *PeerUnreachableError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrPeerUnreachable) match.
+func (e *PeerUnreachableError) Is(target error) bool { return target == ErrPeerUnreachable }
 
 // ErrOverloaded matches 503 admission sheds with errors.Is. Unlike a
 // budget denial, an overload clears as soon as the present wave drains,
@@ -217,6 +248,7 @@ func (c *clientCore) do(ctx context.Context, method, path string, params url.Val
 		u += "?" + params.Encode()
 	}
 	var lastErr error
+	refused := 0
 	for attempt := 0; ; attempt++ {
 		c.count(MetricClientAttempts)
 		retryable, err := c.attempt(ctx, method, u, path, body, out)
@@ -224,6 +256,16 @@ func (c *clientCore) do(ctx context.Context, method, path string, params url.Val
 			return nil
 		}
 		lastErr = err
+		if errors.Is(err, ErrPeerUnreachable) {
+			// Connection refused: transient enough for one retry (a server
+			// mid-restart comes back in milliseconds), terminal after — a
+			// dead peer stays dead across any backoff schedule, and burning
+			// the whole retry budget on it starves the caller's deadline.
+			// The typed error survives as the eviction hint.
+			if refused++; refused > 1 {
+				break
+			}
+		}
 		if !retryable || attempt >= c.retries {
 			break
 		}
@@ -280,7 +322,12 @@ func (c *clientCore) attempt(ctx context.Context, method, u, path string, body [
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		// Transport-level failure (refused, reset, timeout). Retry
-		// unless the caller's own context is done.
+		// unless the caller's own context is done. A refused connection
+		// is classified separately: do() caps it at one retry and the
+		// typed error carries the peer-eviction hint.
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			return ctx.Err() == nil, &PeerUnreachableError{Peer: c.base, Path: path, Err: err}
+		}
 		return ctx.Err() == nil, fmt.Errorf("wire: %s: %w", path, err)
 	}
 	defer drainClose(resp.Body)

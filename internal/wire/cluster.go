@@ -1,0 +1,749 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"poiagg/internal/cluster"
+	"poiagg/internal/obs"
+	"poiagg/internal/poi"
+)
+
+// Cluster metric names exported on the gateway's registry. Per-shard
+// gauges are suffixed with the shard's index in the configured peer
+// list ("cluster.shard.0.inflight", ...); the gateway logs the
+// index → URL mapping at startup.
+const (
+	// MetricClusterPeers is the configured fleet size.
+	MetricClusterPeers = "cluster.peers"
+	// MetricClusterHealthy / Unhealthy split the fleet by probe state.
+	MetricClusterHealthy   = "cluster.healthy"
+	MetricClusterUnhealthy = "cluster.unhealthy"
+	// MetricClusterEvictions counts shards removed from the ring.
+	MetricClusterEvictions = "cluster.evictions"
+	// MetricClusterRestores counts shards re-added after recovery.
+	MetricClusterRestores = "cluster.restores"
+	// MetricClusterProbesOK / Fail count individual health probes.
+	MetricClusterProbesOK   = "cluster.probes.ok"
+	MetricClusterProbesFail = "cluster.probes.fail"
+	// MetricClusterFanout is the latency histogram of batch fan-outs
+	// (split → concurrent shard calls → merge).
+	MetricClusterFanout = "cluster.fanout"
+)
+
+// DefaultProbeInterval is the health-probe cadence unless
+// WithProbeInterval overrides it.
+const DefaultProbeInterval = 2 * time.Second
+
+// DefaultProbeTimeout bounds one /readyz probe.
+const DefaultProbeTimeout = time.Second
+
+// clusterPeer is one gspd shard behind the gateway.
+type clusterPeer struct {
+	url    string
+	index  int
+	client *GSPClient
+	hc     *http.Client
+
+	// healthy gates ring membership: the transition edges (CAS) are
+	// what add and remove the peer, so concurrent probes and fan-out
+	// evictions cannot double-mutate the ring.
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	errs     atomic.Uint64
+}
+
+// ClusterGateway routes the GSP endpoint surface across a fleet of gspd
+// shards: single queries go to the consistent-hash owner of the
+// query's (city × grid cell), batch requests are split per shard,
+// fanned out concurrently through the hardened wire client, and merged
+// preserving input order with per-item errors. A fleet behind the
+// gateway is bit-identical to one gspd over the same city — proven by
+// the differential cluster e2e — because every shard holds the full
+// city and the gateway reuses the server's own validators and response
+// types. Sharding buys capacity: each shard's freq cache holds only its
+// ~1/N slice of the cell keyspace.
+//
+// Shard death is handled twice over: a refused connection evicts the
+// peer from the ring mid-request (single queries fail over to the new
+// owner; batch items report structured per-item errors), and the
+// /readyz-driven health prober (StartProber/ProbeOnce) removes dead
+// peers and re-adds recovered ones.
+//
+// ClusterGateway is an http.Handler; callers own the http.Server.
+type ClusterGateway struct {
+	mux *http.ServeMux
+	log *log.Logger
+
+	maxRadius float64
+	maxBatch  int
+	maxBody   int64
+
+	cellSize  float64
+	cityLabel string
+	vnodes    int
+
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+
+	peerTransport http.RoundTripper
+	peerOpts      []ClientOption
+
+	ring     *cluster.Ring
+	peers    []*clusterPeer
+	byURL    map[string]*clusterPeer
+	reg      *obs.Registry
+	fanout   obs.Histogram
+	pprof    bool
+	handler  http.Handler
+	draining atomic.Bool
+
+	admitCfg AdmissionConfig
+	admit    *admission
+
+	authKeys *Keyring
+	authOpts []AuthOption
+	auth     *authenticator
+}
+
+var _ http.Handler = (*ClusterGateway)(nil)
+
+// ClusterOption customizes a ClusterGateway. The shared ServerOption
+// values (WithAdmission, WithMaxBody, WithAuth) satisfy this interface
+// too, so the gateway mirrors gspd's admission and auth configuration
+// with the same option values.
+type ClusterOption interface {
+	applyCluster(*ClusterGateway)
+}
+
+type clusterOption func(*ClusterGateway)
+
+func (o clusterOption) applyCluster(g *ClusterGateway) { o(g) }
+
+// WithClusterLogger sets the gateway's logger (default log.Default()).
+func WithClusterLogger(l *log.Logger) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) { g.log = l })
+}
+
+// WithClusterMetrics shares an externally owned metrics registry.
+func WithClusterMetrics(reg *obs.Registry) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if reg != nil {
+			g.reg = reg
+		}
+	})
+}
+
+// WithClusterMaxRadius caps the accepted query radius in meters; it
+// must match the shards' -max-radius so gateway-side validation rejects
+// exactly what the shards would.
+func WithClusterMaxRadius(r float64) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) { g.maxRadius = r })
+}
+
+// WithClusterMaxBatch caps items per batch request, mirroring the
+// shards' WithMaxBatch.
+func WithClusterMaxBatch(n int) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if n > 0 {
+			g.maxBatch = n
+		}
+	})
+}
+
+// WithVirtualNodes sets the consistent-hash ring's virtual nodes per
+// shard (default cluster.DefaultVirtualNodes).
+func WithVirtualNodes(n int) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if n > 0 {
+			g.vnodes = n
+		}
+	})
+}
+
+// WithCellSize sets the routing grid's cell edge in meters (default
+// cluster.DefaultCellSize). All gateways over one fleet must agree.
+func WithCellSize(m float64) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if m > 0 {
+			g.cellSize = m
+		}
+	})
+}
+
+// WithCityLabel sets the city component of the routing keyspace,
+// isolating co-hosted cities on one fleet. Single-city deployments may
+// leave it empty (the default).
+func WithCityLabel(label string) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) { g.cityLabel = label })
+}
+
+// WithProbeInterval sets the health-probe cadence for StartProber
+// (default DefaultProbeInterval).
+func WithProbeInterval(d time.Duration) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if d > 0 {
+			g.probeInterval = d
+		}
+	})
+}
+
+// WithProbeTimeout bounds one /readyz probe (default
+// DefaultProbeTimeout).
+func WithProbeTimeout(d time.Duration) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if d > 0 {
+			g.probeTimeout = d
+		}
+	})
+}
+
+// WithPeerTransport sets the http.RoundTripper under every per-shard
+// client and health probe (default http.DefaultTransport). The cluster
+// e2e injects shard death here.
+func WithPeerTransport(rt http.RoundTripper) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if rt != nil {
+			g.peerTransport = rt
+		}
+	})
+}
+
+// WithPeerClientOptions appends options to every per-shard wire client
+// — WithSigningKey to sign gateway→shard traffic against authenticated
+// shards, WithRetries/WithBackoff to tune the fan-out retry policy.
+// They are applied after the gateway's defaults (2 retries, the probe
+// timeout as per-attempt bound), so they win.
+func WithPeerClientOptions(opts ...ClientOption) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		g.peerOpts = append(g.peerOpts, opts...)
+	})
+}
+
+// WithClusterPprof serves net/http/pprof under /debug/pprof/ (default
+// off), mirroring gspd's -pprof.
+func WithClusterPprof(on bool) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) { g.pprof = on })
+}
+
+// NewClusterGateway builds a gateway over a static shard list (base
+// URLs). Every peer starts on the ring; the prober corrects membership
+// from /readyz. The peer list must be non-empty and duplicate-free.
+func NewClusterGateway(peers []string, opts ...ClusterOption) (*ClusterGateway, error) {
+	g := &ClusterGateway{
+		mux:           http.NewServeMux(),
+		log:           log.Default(),
+		maxRadius:     10_000,
+		maxBatch:      DefaultMaxBatch,
+		maxBody:       DefaultMaxBody,
+		cellSize:      cluster.DefaultCellSize,
+		vnodes:        cluster.DefaultVirtualNodes,
+		probeInterval: DefaultProbeInterval,
+		probeTimeout:  DefaultProbeTimeout,
+		peerTransport: http.DefaultTransport,
+		reg:           obs.NewRegistry(),
+		byURL:         make(map[string]*clusterPeer),
+	}
+	for _, opt := range opts {
+		opt.applyCluster(g)
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("wire: cluster gateway needs at least one shard")
+	}
+	g.ring = cluster.New(g.vnodes)
+	for i, raw := range peers {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return nil, fmt.Errorf("wire: cluster gateway: empty peer at position %d", i)
+		}
+		if _, dup := g.byURL[u]; dup {
+			return nil, fmt.Errorf("wire: cluster gateway: duplicate peer %s", u)
+		}
+		hc := &http.Client{Transport: g.peerTransport}
+		clientOpts := append([]ClientOption{
+			WithRetries(2),
+			WithRequestTimeout(g.probeTimeout * 4),
+			WithClientMetrics(g.reg),
+		}, g.peerOpts...)
+		p := &clusterPeer{
+			url:    u,
+			index:  i,
+			client: NewGSPClient(u, hc, clientOpts...),
+			hc:     hc,
+		}
+		p.healthy.Store(true)
+		g.ring.Add(u)
+		g.peers = append(g.peers, p)
+		g.byURL[u] = p
+	}
+	g.exportMetrics()
+
+	g.mux.HandleFunc("GET "+PathStats, g.handleStats)
+	g.mux.HandleFunc("GET "+PathPOIs, g.handlePOIs)
+	g.mux.HandleFunc("GET "+PathQuery, g.handleQuery)
+	g.mux.HandleFunc("GET "+PathFreq, g.handleFreq)
+	g.mux.HandleFunc("POST "+PathFreqBatch, g.handleFreqBatch)
+	g.mux.HandleFunc("POST "+PathQueryBatch, g.handleQueryBatch)
+	if g.pprof {
+		registerPprof(g.mux)
+	}
+
+	// Middleware order mirrors GSPServer exactly: admission inside auth
+	// inside instrumentation, so a forged request costs one HMAC and a
+	// shed is counted per route.
+	var inner http.Handler = g.mux
+	if g.admitCfg.Limit > 0 {
+		g.admit = newAdmission(g.admitCfg)
+		g.admit.export(g.reg)
+		inner = g.admit.middleware(inner, map[string]bool{
+			PathFreqBatch:  true,
+			PathQueryBatch: true,
+		})
+	}
+	if g.auth = newServerAuth(g.authKeys, g.authOpts); g.auth != nil {
+		g.auth.export(g.reg)
+		inner = g.auth.middleware(inner, g.maxBody)
+	}
+	g.handler = obs.Instrument(g.reg, inner,
+		obs.WithRequestHook(g.logRequest),
+		obs.WithReadyCheck(g.readyCheck))
+
+	for _, p := range g.peers {
+		g.log.Printf("cluster: shard %d = %s", p.index, p.url)
+	}
+	return g, nil
+}
+
+// exportMetrics publishes the cluster gauges and counters.
+func (g *ClusterGateway) exportMetrics() {
+	g.reg.CounterFunc(MetricClusterPeers, func() uint64 { return uint64(len(g.peers)) })
+	g.reg.CounterFunc(MetricClusterHealthy, func() uint64 { return uint64(g.healthyCount()) })
+	g.reg.CounterFunc(MetricClusterUnhealthy, func() uint64 {
+		return uint64(len(g.peers) - g.healthyCount())
+	})
+	g.reg.RegisterLatency(MetricClusterFanout, &g.fanout)
+	// Pre-create the event counters so they appear in snapshots at zero.
+	g.reg.Counter(MetricClusterEvictions)
+	g.reg.Counter(MetricClusterRestores)
+	g.reg.Counter(MetricClusterProbesOK)
+	g.reg.Counter(MetricClusterProbesFail)
+	for _, p := range g.peers {
+		p := p
+		prefix := "cluster.shard." + strconv.Itoa(p.index)
+		g.reg.CounterFunc(prefix+".inflight", func() uint64 { return uint64(p.inflight.Load()) })
+		g.reg.CounterFunc(prefix+".errors", p.errs.Load)
+		g.reg.CounterFunc(prefix+".healthy", func() uint64 {
+			if p.healthy.Load() {
+				return 1
+			}
+			return 0
+		})
+	}
+}
+
+// Metrics returns the gateway's metrics registry.
+func (g *ClusterGateway) Metrics() *obs.Registry { return g.reg }
+
+// Drain flips /readyz to 503 ahead of shutdown, like GSPServer.Drain.
+func (g *ClusterGateway) Drain() { g.draining.Store(true) }
+
+// ServeHTTP implements http.Handler.
+func (g *ClusterGateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.handler.ServeHTTP(w, r)
+}
+
+func (g *ClusterGateway) logRequest(method, path string, status int, d time.Duration) {
+	g.log.Printf("%s %s %d %s", method, path, status, d.Round(time.Microsecond))
+}
+
+// errNoHealthyShards is reported when the ring is empty — every shard
+// evicted and none recovered yet.
+var errNoHealthyShards = errors.New("wire: no healthy shards")
+
+func (g *ClusterGateway) readyCheck() error {
+	if g.draining.Load() {
+		return errDraining
+	}
+	if g.healthyCount() == 0 {
+		return errNoHealthyShards
+	}
+	return nil
+}
+
+func (g *ClusterGateway) healthyCount() int {
+	n := 0
+	for _, p := range g.peers {
+		if p.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// evict removes a peer from the ring. The CAS makes concurrent
+// evictions (a probe and a fan-out hitting the same dead shard) mutate
+// the ring exactly once.
+func (g *ClusterGateway) evict(p *clusterPeer, reason string) {
+	if p.healthy.CompareAndSwap(true, false) {
+		g.ring.Remove(p.url)
+		g.reg.Counter(MetricClusterEvictions).Inc()
+		g.log.Printf("cluster: evicted shard %d (%s): %s", p.index, p.url, reason)
+	}
+}
+
+// restore re-adds a recovered peer; its vnode positions depend only on
+// its URL, so it reclaims exactly the cells it owned before eviction.
+func (g *ClusterGateway) restore(p *clusterPeer) {
+	if p.healthy.CompareAndSwap(false, true) {
+		g.ring.Add(p.url)
+		g.reg.Counter(MetricClusterRestores).Inc()
+		g.log.Printf("cluster: restored shard %d (%s)", p.index, p.url)
+	}
+}
+
+// StartProber launches the periodic health-probe loop; it stops when
+// ctx is canceled. Tests drive ProbeOnce directly instead.
+func (g *ClusterGateway) StartProber(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(g.probeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.ProbeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// ProbeOnce probes every configured shard's /readyz concurrently and
+// converges the ring: ready shards are (re-)added, unready ones
+// evicted. One pass is a full state reconciliation, so a test (or an
+// operator signal handler) can call it for deterministic convergence.
+func (g *ClusterGateway) ProbeOnce(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, p := range g.peers {
+		wg.Add(1)
+		go func(p *clusterPeer) {
+			defer wg.Done()
+			if g.probePeer(ctx, p) {
+				g.reg.Counter(MetricClusterProbesOK).Inc()
+				g.restore(p)
+			} else {
+				g.reg.Counter(MetricClusterProbesFail).Inc()
+				g.evict(p, "readyz probe failed")
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probePeer reports whether one shard answers /readyz with 200.
+func (g *ClusterGateway) probePeer(ctx context.Context, p *clusterPeer) bool {
+	ctx, cancel := context.WithTimeout(ctx, g.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.url+obs.PathReadyz, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	drainClose(resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// keyFor maps a query location to its ring key.
+func (g *ClusterGateway) keyFor(x, y float64) uint64 {
+	cx, cy := cluster.CellOf(x, y, g.cellSize)
+	return cluster.Key(g.cityLabel, cx, cy)
+}
+
+// ownerPeer resolves the live peer owning key.
+func (g *ClusterGateway) ownerPeer(key uint64) (*clusterPeer, bool) {
+	u, ok := g.ring.Owner(key)
+	if !ok {
+		return nil, false
+	}
+	p, ok := g.byURL[u]
+	return p, ok
+}
+
+// withShard runs fn against the owner of key, failing over: a refused
+// connection evicts the owner from the ring and re-resolves, so a
+// single query survives shard death in the same request. Other errors
+// surface unchanged. The loop is bounded by the fleet size — each
+// failover removes a peer.
+func (g *ClusterGateway) withShard(key uint64, fn func(p *clusterPeer) error) error {
+	for attempt := 0; attempt <= len(g.peers); attempt++ {
+		p, ok := g.ownerPeer(key)
+		if !ok {
+			return errNoHealthyShards
+		}
+		p.inflight.Add(1)
+		err := fn(p)
+		p.inflight.Add(-1)
+		if err == nil {
+			return nil
+		}
+		p.errs.Add(1)
+		if errors.Is(err, ErrPeerUnreachable) {
+			g.evict(p, "connection refused")
+			continue
+		}
+		return err
+	}
+	return errNoHealthyShards
+}
+
+// writeUpstreamError maps a shard-side failure onto the gateway's own
+// response. Validation never reaches a shard (the gateway mirrors the
+// server's validators), so what lands here is availability: overload
+// propagates as 503 with the shard's Retry-After, everything else is a
+// 502 naming the gateway as the failing hop.
+func (g *ClusterGateway) writeUpstreamError(w http.ResponseWriter, err error) {
+	var over *OverloadedError
+	switch {
+	case errors.Is(err, errNoHealthyShards):
+		w.Header().Set("Retry-After", strconv.Itoa(max(1, int(g.probeInterval.Seconds()))))
+		writeError(w, http.StatusServiceUnavailable, "no healthy shards")
+	case errors.As(err, &over):
+		if secs := int(over.RetryAfter.Seconds()); secs > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		writeError(w, http.StatusServiceUnavailable, "shard overloaded: "+over.Message)
+	default:
+		writeError(w, http.StatusBadGateway, "upstream shard error: "+err.Error())
+	}
+}
+
+func (g *ClusterGateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Every shard serves the same city, so stats (like the POI dump)
+	// routes through the ring at a fixed key — deterministic, and it
+	// inherits the same failover as the query endpoints.
+	var out *StatsResponse
+	err := g.withShard(0, func(p *clusterPeer) error {
+		var err error
+		out, err = p.client.Stats(r.Context())
+		return err
+	})
+	if err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, *out)
+}
+
+func (g *ClusterGateway) handlePOIs(w http.ResponseWriter, r *http.Request) {
+	var out []poi.POI
+	err := g.withShard(0, func(p *clusterPeer) error {
+		pois, err := p.client.POIs(r.Context())
+		if err != nil {
+			return err
+		}
+		out = pois
+		return nil
+	})
+	if err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, POIsResponse{POIs: out})
+}
+
+func (g *ClusterGateway) handleFreq(w http.ResponseWriter, r *http.Request) {
+	l, radius, ok := parseLocationQuery(w, r, g.maxRadius)
+	if !ok {
+		return
+	}
+	var out FreqResponse
+	err := g.withShard(g.keyFor(l.X, l.Y), func(p *clusterPeer) error {
+		f, err := p.client.Freq(r.Context(), l, radius)
+		if err != nil {
+			return err
+		}
+		out.Freq = f
+		return nil
+	})
+	if err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (g *ClusterGateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	l, radius, ok := parseLocationQuery(w, r, g.maxRadius)
+	if !ok {
+		return
+	}
+	var out QueryResponse
+	err := g.withShard(g.keyFor(l.X, l.Y), func(p *clusterPeer) error {
+		pois, err := p.client.Query(r.Context(), l, radius)
+		if err != nil {
+			return err
+		}
+		out.POIs = pois
+		return nil
+	})
+	if err != nil {
+		g.writeUpstreamError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// admitBatch mirrors GSPServer.admitBatch: item-count weight against
+// the gateway's own admission gate.
+func (g *ClusterGateway) admitBatch(w http.ResponseWriter, r *http.Request, n int) (func(), bool) {
+	if g.admit == nil {
+		return func() {}, true
+	}
+	return g.admit.admitHTTP(w, r, int64(n))
+}
+
+// shardBatch is one shard's slice of a batch fan-out: the items it
+// owns plus their positions in the caller's order.
+type shardBatch struct {
+	p     *clusterPeer
+	items []BatchItem
+	idx   []int
+}
+
+// splitByOwner validates every item and groups the valid ones by the
+// shard owning each item's cell, preserving first-seen shard order.
+// Invalid or unroutable items get their error recorded through reject.
+func (g *ClusterGateway) splitByOwner(items []BatchItem, reject func(i int, msg string)) []*shardBatch {
+	var order []*shardBatch
+	byPeer := make(map[*clusterPeer]*shardBatch)
+	for i, it := range items {
+		if err := validateBatchItem(it, g.maxRadius); err != nil {
+			reject(i, err.Error())
+			continue
+		}
+		p, ok := g.ownerPeer(g.keyFor(it.X, it.Y))
+		if !ok {
+			reject(i, "no healthy shards")
+			continue
+		}
+		sb := byPeer[p]
+		if sb == nil {
+			sb = &shardBatch{p: p}
+			byPeer[p] = sb
+			order = append(order, sb)
+		}
+		sb.items = append(sb.items, it)
+		sb.idx = append(sb.idx, i)
+	}
+	return order
+}
+
+// shardItemError is the structured per-item error for a whole-shard
+// failure mid-batch.
+func shardItemError(p *clusterPeer, err error) string {
+	switch {
+	case errors.Is(err, ErrPeerUnreachable):
+		return fmt.Sprintf("shard %d unreachable", p.index)
+	case errors.Is(err, ErrOverloaded):
+		return fmt.Sprintf("shard %d overloaded", p.index)
+	default:
+		return fmt.Sprintf("shard %d failed: %v", p.index, err)
+	}
+}
+
+// fanOut runs one shard call per group concurrently and records the
+// fan-out latency. call must only write results at its own group's
+// indices — disjoint by construction, so the merge is lock-free.
+func (g *ClusterGateway) fanOut(groups []*shardBatch, call func(sb *shardBatch)) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, sb := range groups {
+		wg.Add(1)
+		go func(sb *shardBatch) {
+			defer wg.Done()
+			sb.p.inflight.Add(1)
+			defer sb.p.inflight.Add(-1)
+			call(sb)
+		}(sb)
+	}
+	wg.Wait()
+	g.fanout.Observe(time.Since(start))
+}
+
+// shardCallFailed books a failed shard call and reports the per-item
+// message; a refused connection additionally evicts the shard so the
+// next request routes around it.
+func (g *ClusterGateway) shardCallFailed(sb *shardBatch, err error) string {
+	sb.p.errs.Add(1)
+	if errors.Is(err, ErrPeerUnreachable) {
+		g.evict(sb.p, "connection refused during fanout")
+	}
+	return shardItemError(sb.p, err)
+}
+
+func (g *ClusterGateway) handleFreqBatch(w http.ResponseWriter, r *http.Request) {
+	items, ok := decodeBatchRequest(w, r, g.maxBody, g.maxBatch)
+	if !ok {
+		return
+	}
+	release, ok := g.admitBatch(w, r, len(items))
+	if !ok {
+		return
+	}
+	defer release()
+	results := make([]FreqBatchResult, len(items))
+	groups := g.splitByOwner(items, func(i int, msg string) { results[i].Error = msg })
+	g.fanOut(groups, func(sb *shardBatch) {
+		res, err := sb.p.client.FreqBatch(r.Context(), sb.items)
+		if err != nil {
+			msg := g.shardCallFailed(sb, err)
+			for _, i := range sb.idx {
+				results[i].Error = msg
+			}
+			return
+		}
+		for j := range res {
+			results[sb.idx[j]] = res[j]
+		}
+	})
+	writeJSON(w, http.StatusOK, FreqBatchResponse{Results: results})
+}
+
+func (g *ClusterGateway) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	items, ok := decodeBatchRequest(w, r, g.maxBody, g.maxBatch)
+	if !ok {
+		return
+	}
+	release, ok := g.admitBatch(w, r, len(items))
+	if !ok {
+		return
+	}
+	defer release()
+	results := make([]QueryBatchResult, len(items))
+	groups := g.splitByOwner(items, func(i int, msg string) { results[i].Error = msg })
+	g.fanOut(groups, func(sb *shardBatch) {
+		res, err := sb.p.client.QueryBatch(r.Context(), sb.items)
+		if err != nil {
+			msg := g.shardCallFailed(sb, err)
+			for _, i := range sb.idx {
+				results[i].Error = msg
+			}
+			return
+		}
+		for j := range res {
+			results[sb.idx[j]] = res[j]
+		}
+	})
+	writeJSON(w, http.StatusOK, QueryBatchResponse{Results: results})
+}

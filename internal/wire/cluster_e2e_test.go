@@ -1,0 +1,700 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"poiagg/internal/obs"
+)
+
+// This file is the proof layer of the cluster gateway: a fleet of gspd
+// shards behind gspgw must be indistinguishable — byte for byte — from
+// one gspd over the same city, across the full endpoint surface,
+// with and without request signing; and when a shard dies mid-batch the
+// gateway must degrade into structured per-item errors and converge
+// back once the health probe sees the shard recover.
+
+// killSwitch is a RoundTripper that simulates shard death: requests to
+// a killed host fail with the same wrapped ECONNREFUSED a dead process
+// produces, without closing the httptest listener (reopening a closed
+// listener on the same port is racy; flipping a map entry is not).
+type killSwitch struct {
+	base http.RoundTripper
+
+	mu   sync.Mutex
+	dead map[string]bool
+}
+
+func newKillSwitch() *killSwitch {
+	return &killSwitch{base: http.DefaultTransport, dead: make(map[string]bool)}
+}
+
+func hostOf(t testing.TB, baseURL string) string {
+	t.Helper()
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+func (k *killSwitch) set(host string, dead bool) {
+	k.mu.Lock()
+	k.dead[host] = dead
+	k.mu.Unlock()
+}
+
+func (k *killSwitch) RoundTrip(req *http.Request) (*http.Response, error) {
+	k.mu.Lock()
+	dead := k.dead[req.URL.Host]
+	k.mu.Unlock()
+	if dead {
+		return nil, refusedErr()
+	}
+	return k.base.RoundTrip(req)
+}
+
+// clusterHarness is one differential setup: nShards gspd shards behind
+// a gateway, plus a single-node reference gspd over the same service.
+type clusterHarness struct {
+	single *httptest.Server // the reference
+	gwTS   *httptest.Server
+	gw     *ClusterGateway
+	shards []*httptest.Server
+	kill   *killSwitch
+}
+
+const (
+	clusterPrincipal = "alice"
+	gatewayPrincipal = "gateway"
+)
+
+// newClusterHarness builds the differential setup. With withAuth, the
+// single node and the gateway both verify the client keyring (alice),
+// the shards verify the gateway's key, and the gateway's peer clients
+// re-sign as the gateway principal — the trust chain of a real
+// deployment.
+func newClusterHarness(t *testing.T, nShards int, withAuth bool) *clusterHarness {
+	t.Helper()
+	_, svc := wireFixture(t)
+	quiet := WithLogger(log.New(io.Discard, "", 0))
+
+	clientKR := NewKeyring()
+	if err := clientKR.Add(clusterPrincipal, testKey('A')); err != nil {
+		t.Fatal(err)
+	}
+	gwKey := testKey('G')
+	shardKR := NewKeyring()
+	if err := shardKR.Add(gatewayPrincipal, gwKey); err != nil {
+		t.Fatal(err)
+	}
+
+	var shardOpts, singleOpts []GSPServerOption
+	shardOpts = append(shardOpts, quiet)
+	singleOpts = append(singleOpts, quiet)
+	if withAuth {
+		shardOpts = append(shardOpts, WithAuth(shardKR))
+		singleOpts = append(singleOpts, WithAuth(clientKR))
+	}
+
+	h := &clusterHarness{kill: newKillSwitch()}
+	h.single = httptest.NewServer(NewGSPServer(svc, singleOpts...))
+	t.Cleanup(h.single.Close)
+
+	peers := make([]string, nShards)
+	for i := range peers {
+		ts := httptest.NewServer(NewGSPServer(svc, shardOpts...))
+		t.Cleanup(ts.Close)
+		h.shards = append(h.shards, ts)
+		peers[i] = ts.URL
+	}
+
+	peerOpts := []ClientOption{fastBackoff()}
+	if withAuth {
+		peerOpts = append(peerOpts, WithSigningKey(gatewayPrincipal, gwKey))
+	}
+	gwOpts := []ClusterOption{
+		WithClusterLogger(log.New(io.Discard, "", 0)),
+		WithPeerTransport(h.kill),
+		WithPeerClientOptions(peerOpts...),
+		WithProbeTimeout(200 * time.Millisecond),
+	}
+	if withAuth {
+		gwOpts = append(gwOpts, WithAuth(clientKR))
+	}
+	gw, err := NewClusterGateway(peers, gwOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.gw = gw
+	h.gwTS = httptest.NewServer(gw)
+	t.Cleanup(h.gwTS.Close)
+	return h
+}
+
+// killShard makes one shard refuse connections; reviveShard undoes it.
+func (h *clusterHarness) killShard(t testing.TB, i int) {
+	h.kill.set(hostOf(t, h.shards[i].URL), true)
+}
+
+func (h *clusterHarness) reviveShard(t testing.TB, i int) {
+	h.kill.set(hostOf(t, h.shards[i].URL), false)
+}
+
+// rawResponse is everything the differential assertion compares.
+type rawResponse struct {
+	status      int
+	contentType string
+	retryAfter  string
+	body        []byte
+}
+
+// send fires one request at base. If principal is non-empty the request
+// is signed (same timestamp and nonce across both targets of a
+// differential pair — each server sees the nonce once, and the
+// canonical string excludes the host, so the signature is valid for
+// both).
+func (h *clusterHarness) send(t *testing.T, base, method, pathQuery string, body []byte,
+	principal string, key []byte, at time.Time, nonce string) rawResponse {
+	t.Helper()
+	req, err := http.NewRequest(method, base+pathQuery, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if principal != "" {
+		if err := SignRequest(req, body, principal, key, at, nonce); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rawResponse{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		body:        raw,
+	}
+}
+
+var nonceCounter int
+
+// assertIdentical sends the same request to the single-node reference
+// and to the gateway and requires byte-identical responses.
+func (h *clusterHarness) assertIdentical(t *testing.T, method, pathQuery string, body []byte, signed bool) {
+	t.Helper()
+	principal, key := "", []byte(nil)
+	at, nonce := time.Time{}, ""
+	if signed {
+		principal, key = clusterPrincipal, testKey('A')
+		at = time.Now()
+		nonceCounter++
+		nonce = fmt.Sprintf("d1f%013d", nonceCounter) // lowercase hex, as validNonce requires
+	}
+	ref := h.send(t, h.single.URL, method, pathQuery, body, principal, key, at, nonce)
+	got := h.send(t, h.gwTS.URL, method, pathQuery, body, principal, key, at, nonce)
+	if got.status != ref.status {
+		t.Errorf("%s %s: gateway status %d, single-node %d (gateway body %q)",
+			method, pathQuery, got.status, ref.status, got.body)
+		return
+	}
+	if got.contentType != ref.contentType {
+		t.Errorf("%s %s: gateway Content-Type %q, single-node %q",
+			method, pathQuery, got.contentType, ref.contentType)
+	}
+	if !bytes.Equal(got.body, ref.body) {
+		t.Errorf("%s %s: responses diverge\n gateway: %q\n single:  %q",
+			method, pathQuery, got.body, ref.body)
+	}
+}
+
+// freqBatchBody builds a batch body spraying n probes across the city,
+// so a multi-shard gateway must split it across every shard.
+func freqBatchBody(t testing.TB, n int, seed uint64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	items := make([]BatchItem, n)
+	for i := range items {
+		items[i] = BatchItem{
+			X: rng.Float64() * 12_000,
+			Y: rng.Float64() * 12_000,
+			R: 200 + rng.Float64()*1500,
+		}
+	}
+	raw, err := json.Marshal(BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// differentialSurface is the full endpoint surface the e2e walks: the
+// happy paths, every validation failure class, wrong methods, and an
+// unknown route. The error strings come from the shared validators, so
+// a divergence here means gateway and shard drifted apart.
+func differentialSurface(t *testing.T) []struct {
+	name, method, pathQuery string
+	body                    []byte
+} {
+	t.Helper()
+	bigBatch := freqBatchBody(t, DefaultMaxBatch+1, 9)
+	mixedBatch := []byte(`{"items":[` +
+		`{"x":6000,"y":6000,"r":800},` +
+		`{"x":1,"y":2,"r":-5},` + // invalid radius
+		`{"x":11000,"y":200,"r":400},` +
+		`{"x":0,"y":0,"r":1e300},` + // radius beyond the cap
+		`{"x":3000,"y":9000,"r":1200}]}`)
+	return []struct {
+		name, method, pathQuery string
+		body                    []byte
+	}{
+		{"stats", http.MethodGet, PathStats, nil},
+		{"pois", http.MethodGet, PathPOIs, nil},
+		{"freq", http.MethodGet, PathFreq + "?x=6000&y=6000&r=900", nil},
+		{"freq_far_corner", http.MethodGet, PathFreq + "?x=11900&y=150&r=400", nil},
+		{"freq_outside_city", http.MethodGet, PathFreq + "?x=-4000&y=-4000&r=500", nil},
+		{"query", http.MethodGet, PathQuery + "?x=4000&y=8000&r=700", nil},
+		{"query_empty_region", http.MethodGet, PathQuery + "?x=-9000&y=-9000&r=10", nil},
+		{"freq_malformed_x", http.MethodGet, PathFreq + "?x=abc&y=0&r=100", nil},
+		{"freq_missing_r", http.MethodGet, PathFreq + "?x=1&y=2", nil},
+		{"freq_radius_too_big", http.MethodGet, PathFreq + "?x=1&y=2&r=1e12", nil},
+		{"freq_radius_negative", http.MethodGet, PathFreq + "?x=1&y=2&r=-1", nil},
+		{"query_malformed_y", http.MethodGet, PathQuery + "?x=0&y=zz&r=100", nil},
+		{"freq_wrong_method", http.MethodPost, PathFreq + "?x=1&y=2&r=100", []byte(`{}`)},
+		{"batch_wrong_method", http.MethodGet, PathFreqBatch, nil},
+		{"unknown_route", http.MethodGet, "/v1/nope", nil},
+		{"freq_batch", http.MethodPost, PathFreqBatch, freqBatchBody(t, 64, 5)},
+		{"query_batch", http.MethodPost, PathQueryBatch, freqBatchBody(t, 32, 6)},
+		{"freq_batch_mixed_invalid", http.MethodPost, PathFreqBatch, mixedBatch},
+		{"query_batch_mixed_invalid", http.MethodPost, PathQueryBatch, mixedBatch},
+		{"freq_batch_empty", http.MethodPost, PathFreqBatch, []byte(`{"items":[]}`)},
+		{"freq_batch_malformed", http.MethodPost, PathFreqBatch, []byte(`{"items":[`)},
+		{"freq_batch_oversized", http.MethodPost, PathFreqBatch, bigBatch},
+	}
+}
+
+// TestClusterDifferentialIdentical is the core tentpole assertion: for
+// every request in the surface, a 3-shard cluster behind the gateway
+// answers byte-identically to a single gspd.
+func TestClusterDifferentialIdentical(t *testing.T) {
+	h := newClusterHarness(t, 3, false)
+	for _, tc := range differentialSurface(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			h.assertIdentical(t, tc.method, tc.pathQuery, tc.body, false)
+		})
+	}
+}
+
+// TestClusterDifferentialSingleShard: the degenerate fleet of one must
+// also be transparent — the split/merge machinery handles the
+// everything-on-one-shard case.
+func TestClusterDifferentialSingleShard(t *testing.T) {
+	h := newClusterHarness(t, 1, false)
+	for _, tc := range differentialSurface(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			h.assertIdentical(t, tc.method, tc.pathQuery, tc.body, false)
+		})
+	}
+}
+
+// TestClusterDifferentialAuth repeats the surface with request signing
+// enabled end to end: alice's signature admits her at both the single
+// node and the gateway, and the gateway re-signs toward the shards.
+func TestClusterDifferentialAuth(t *testing.T) {
+	h := newClusterHarness(t, 3, true)
+	for _, tc := range differentialSurface(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			h.assertIdentical(t, tc.method, tc.pathQuery, tc.body, true)
+		})
+	}
+
+	// The rejection side must be identical too: unsigned, wrong key, and
+	// tampered-after-signing requests get the same structured 401 from
+	// both. (Unsigned requests share one empty nonce — fine, they never
+	// reach the replay cache.)
+	t.Run("unsigned_rejected", func(t *testing.T) {
+		h.assertIdentical(t, http.MethodGet, PathFreq+"?x=1&y=2&r=100", nil, false)
+	})
+	t.Run("wrong_key_rejected", func(t *testing.T) {
+		ref := h.send(t, h.single.URL, http.MethodGet, PathStats, nil,
+			clusterPrincipal, testKey('Z'), time.Now(), "deadbeef01")
+		got := h.send(t, h.gwTS.URL, http.MethodGet, PathStats, nil,
+			clusterPrincipal, testKey('Z'), time.Now(), "deadbeef02")
+		if ref.status != http.StatusUnauthorized || got.status != ref.status {
+			t.Errorf("wrong-key statuses: gateway %d, single %d, want 401 from both", got.status, ref.status)
+		}
+		if !bytes.Equal(got.body, ref.body) {
+			t.Errorf("wrong-key 401 bodies diverge\n gateway: %q\n single:  %q", got.body, ref.body)
+		}
+	})
+}
+
+// TestClusterShardDeathMidBatch kills one of three shards and proves
+// the contract of the ISSUE: the in-flight batch degrades into
+// structured per-item errors for exactly the dead shard's items, the
+// gateway evicts the shard, the next batch fully succeeds on the
+// survivors, and a probe pass after recovery re-converges the ring to
+// byte-identical behavior.
+func TestClusterShardDeathMidBatch(t *testing.T) {
+	h := newClusterHarness(t, 3, false)
+	ctx := context.Background()
+	body := freqBatchBody(t, 96, 11)
+
+	// Victim: whichever shard owns the first batch item, so the test is
+	// deterministic regardless of ring layout.
+	var items BatchRequest
+	if err := json.Unmarshal(body, &items); err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := h.gw.ownerPeer(h.gw.keyFor(items.Items[0].X, items.Items[0].Y))
+	if !ok {
+		t.Fatal("ring empty")
+	}
+	victim := -1
+	for i, ts := range h.shards {
+		if ts.URL == owner.url {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("owner %s not among shards", owner.url)
+	}
+	h.killShard(t, victim)
+
+	resp := h.send(t, h.gwTS.URL, http.MethodPost, PathFreqBatch, body, "", nil, time.Time{}, "")
+	if resp.status != http.StatusOK {
+		t.Fatalf("batch with one dead shard returned %d: %s", resp.status, resp.body)
+	}
+	var out FreqBatchResponse
+	if err := json.Unmarshal(resp.body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(items.Items) {
+		t.Fatalf("merge lost items: %d results for %d items", len(out.Results), len(items.Items))
+	}
+	wantErr := fmt.Sprintf("shard %d unreachable", owner.index)
+	failed, succeeded := 0, 0
+	for i, res := range out.Results {
+		switch {
+		case res.Error == "":
+			succeeded++
+			if res.Freq == nil {
+				t.Errorf("item %d: no error but no freq either", i)
+			}
+		case res.Error == wantErr:
+			failed++
+		default:
+			t.Errorf("item %d: unexpected error %q", i, res.Error)
+		}
+	}
+	if failed == 0 || succeeded == 0 {
+		t.Fatalf("want a mix of per-item errors and successes, got %d failed / %d ok", failed, succeeded)
+	}
+	if res := out.Results[0]; res.Error != wantErr {
+		t.Errorf("victim-owned item 0 error = %q, want %q", res.Error, wantErr)
+	}
+
+	// The refused connections evicted the victim, so the very next batch
+	// routes entirely to survivors and fully succeeds.
+	if h.gw.ring.Contains(owner.url) {
+		t.Fatal("dead shard still on the ring after refused fanout")
+	}
+	resp = h.send(t, h.gwTS.URL, http.MethodPost, PathFreqBatch, body, "", nil, time.Time{}, "")
+	if resp.status != http.StatusOK {
+		t.Fatalf("post-eviction batch returned %d", resp.status)
+	}
+	out = FreqBatchResponse{}
+	if err := json.Unmarshal(resp.body, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range out.Results {
+		if res.Error != "" {
+			t.Fatalf("post-eviction item %d still failing: %q", i, res.Error)
+		}
+	}
+
+	// Recovery: revive the shard, run one probe pass, and the ring
+	// converges back — the full differential surface holds again.
+	h.reviveShard(t, victim)
+	h.gw.ProbeOnce(ctx)
+	if !h.gw.ring.Contains(owner.url) {
+		t.Fatal("probe pass did not restore the recovered shard")
+	}
+	h.assertIdentical(t, http.MethodPost, PathFreqBatch, body, false)
+	h.assertIdentical(t, http.MethodGet, PathFreq+"?x=6000&y=6000&r=900", nil, false)
+
+	snap := fetchSnapshot(t, h.gwTS.URL)
+	if snap.Counters[MetricClusterEvictions] < 1 {
+		t.Errorf("evictions counter = %d, want >= 1", snap.Counters[MetricClusterEvictions])
+	}
+	if snap.Counters[MetricClusterRestores] < 1 {
+		t.Errorf("restores counter = %d, want >= 1", snap.Counters[MetricClusterRestores])
+	}
+}
+
+// TestClusterSingleQueryFailsOver: a plain GET whose owner is dead must
+// not error — the gateway evicts the owner mid-request and retries
+// against the key's new owner, still answering byte-identically.
+func TestClusterSingleQueryFailsOver(t *testing.T) {
+	h := newClusterHarness(t, 3, false)
+	const pathQuery = PathFreq + "?x=6000&y=6000&r=900"
+	owner, ok := h.gw.ownerPeer(h.gw.keyFor(6000, 6000))
+	if !ok {
+		t.Fatal("ring empty")
+	}
+	for i, ts := range h.shards {
+		if ts.URL == owner.url {
+			h.killShard(t, i)
+		}
+	}
+	h.assertIdentical(t, http.MethodGet, pathQuery, nil, false)
+	if h.gw.ring.Contains(owner.url) {
+		t.Error("failover did not evict the dead owner")
+	}
+	if now, _ := h.gw.ownerPeer(h.gw.keyFor(6000, 6000)); now == owner {
+		t.Error("key still resolves to the dead shard")
+	}
+}
+
+// TestClusterReadyzTracksFleet: with every shard dead the gateway fails
+// its own readiness and answers queries 503 "no healthy shards"; one
+// probe pass after recovery flips both back.
+func TestClusterReadyzTracksFleet(t *testing.T) {
+	h := newClusterHarness(t, 2, false)
+	ctx := context.Background()
+	for i := range h.shards {
+		h.killShard(t, i)
+	}
+	h.gw.ProbeOnce(ctx)
+	if n := h.gw.healthyCount(); n != 0 {
+		t.Fatalf("healthyCount = %d after killing the fleet", n)
+	}
+
+	assertStatus := func(path string, want int) {
+		t.Helper()
+		resp, err := http.Get(h.gwTS.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d (%s)", path, resp.StatusCode, want, body)
+		}
+	}
+	assertStatus(obs.PathReadyz, http.StatusServiceUnavailable)
+	assertStatus(obs.PathHealthz, http.StatusOK) // liveness is about the gateway process
+
+	resp := h.send(t, h.gwTS.URL, http.MethodGet, PathFreq+"?x=1&y=2&r=100", nil, "", nil, time.Time{}, "")
+	if resp.status != http.StatusServiceUnavailable {
+		t.Fatalf("query against a dead fleet = %d, want 503", resp.status)
+	}
+	if !strings.Contains(string(resp.body), "no healthy shards") {
+		t.Errorf("503 body does not name the condition: %s", resp.body)
+	}
+	if resp.retryAfter == "" {
+		t.Error("fleet-down 503 carries no Retry-After")
+	}
+
+	for i := range h.shards {
+		h.reviveShard(t, i)
+	}
+	h.gw.ProbeOnce(ctx)
+	assertStatus(obs.PathReadyz, http.StatusOK)
+	h.assertIdentical(t, http.MethodGet, PathFreq+"?x=1&y=2&r=100", nil, false)
+
+	// Drain still wins over a healthy fleet, mirroring gspd.
+	h.gw.Drain()
+	assertStatus(obs.PathReadyz, http.StatusServiceUnavailable)
+}
+
+// TestClusterGatewayAdmissionAndLimits: the gateway enforces its own
+// admission and body caps with the same envelopes as a gspd shard.
+func TestClusterGatewayAdmissionAndLimits(t *testing.T) {
+	_, svc := wireFixture(t)
+	quiet := WithLogger(log.New(io.Discard, "", 0))
+	shard := httptest.NewServer(NewGSPServer(svc, quiet))
+	defer shard.Close()
+
+	gw, err := NewClusterGateway([]string{shard.URL},
+		WithClusterLogger(log.New(io.Discard, "", 0)),
+		WithAdmission(1, 0, 0),
+		WithMaxBody(128),
+		WithClusterMaxBatch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gw)
+	defer ts.Close()
+
+	// Body over the gateway's own cap → 413 before any shard is dialed.
+	resp, err := http.Post(ts.URL+PathFreqBatch, "application/json",
+		bytes.NewReader(freqBatchBody(t, 8, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413", resp.StatusCode)
+	}
+
+	// Batch over the gateway's item cap → 400 with the shared message.
+	small := []byte(`{"items":[{"x":1,"y":1,"r":9},{"x":1,"y":1,"r":9},{"x":1,"y":1,"r":9},{"x":1,"y":1,"r":9},{"x":1,"y":1,"r":9}]}`)
+	resp, err = http.Post(ts.URL+PathFreqBatch, "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "exceeds limit 4") {
+		t.Errorf("oversized batch = %d %s, want 400 naming the limit", resp.StatusCode, body)
+	}
+
+	// Admission: a batch holding the only slot sheds a concurrent one.
+	release, ok := gw.admitBatch(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, PathFreqBatch, nil), 1)
+	if !ok {
+		t.Fatal("first admit failed")
+	}
+	resp, err = http.Get(ts.URL + PathFreq + "?x=1&y=2&r=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("request at capacity = %d, want 503 shed", resp.StatusCode)
+	}
+	release()
+	resp, err = http.Get(ts.URL + PathFreq + "?x=1&y=2&r=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-release request = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestClusterMetricsSurface: the gateway's registry exposes the fleet
+// gauges and per-shard counters promised by the ISSUE.
+func TestClusterMetricsSurface(t *testing.T) {
+	h := newClusterHarness(t, 3, false)
+	h.send(t, h.gwTS.URL, http.MethodPost, PathFreqBatch, freqBatchBody(t, 48, 21), "", nil, time.Time{}, "")
+	snap := fetchSnapshot(t, h.gwTS.URL)
+
+	for _, name := range []string{
+		MetricClusterPeers, MetricClusterHealthy, MetricClusterUnhealthy,
+		MetricClusterEvictions, MetricClusterRestores,
+		MetricClusterProbesOK, MetricClusterProbesFail,
+		"cluster.shard.0.inflight", "cluster.shard.1.errors", "cluster.shard.2.healthy",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("metric %q missing from snapshot", name)
+		}
+	}
+	if got := snap.Counters[MetricClusterPeers]; got != 3 {
+		t.Errorf("cluster.peers = %d, want 3", got)
+	}
+	if got := snap.Counters[MetricClusterHealthy]; got != 3 {
+		t.Errorf("cluster.healthy = %d, want 3", got)
+	}
+	lat, ok := snap.Latencies[MetricClusterFanout]
+	if !ok || lat.Count == 0 {
+		t.Errorf("fanout latency not recorded: %+v (present=%v)", lat, ok)
+	}
+}
+
+// TestClusterConcurrentFanoutDuringMutation is the satellite race
+// stress: batches fan out while a shard flaps dead/alive and probe
+// passes mutate the ring concurrently. Run under -race this proves the
+// gateway's eviction/restore CAS discipline; the assertions prove every
+// response stays structurally sound (full-length, each item either a
+// result or a shard error).
+func TestClusterConcurrentFanoutDuringMutation(t *testing.T) {
+	h := newClusterHarness(t, 3, false)
+	ctx := context.Background()
+	const iters = 30
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Flapper: toggles shard 1 and immediately reconciles via probe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.killShard(t, 1)
+			h.gw.ProbeOnce(ctx)
+			h.reviveShard(t, 1)
+			h.gw.ProbeOnce(ctx)
+		}
+	}()
+
+	// Senders: concurrent batch fanouts the whole time.
+	var senders sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		senders.Add(1)
+		go func(s int) {
+			defer senders.Done()
+			body := freqBatchBody(t, 32, uint64(100+s))
+			for i := 0; i < iters; i++ {
+				resp := h.send(t, h.gwTS.URL, http.MethodPost, PathFreqBatch, body, "", nil, time.Time{}, "")
+				if resp.status != http.StatusOK {
+					t.Errorf("sender %d iter %d: status %d", s, i, resp.status)
+					return
+				}
+				var out FreqBatchResponse
+				if err := json.Unmarshal(resp.body, &out); err != nil {
+					t.Errorf("sender %d iter %d: %v", s, i, err)
+					return
+				}
+				if len(out.Results) != 32 {
+					t.Errorf("sender %d iter %d: %d results, want 32", s, i, len(out.Results))
+					return
+				}
+				for j, res := range out.Results {
+					if res.Error == "" && res.Freq == nil {
+						t.Errorf("sender %d iter %d item %d: neither result nor error", s, i, j)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	senders.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Quiesce and verify the fleet converged back to full health.
+	h.reviveShard(t, 1)
+	h.gw.ProbeOnce(ctx)
+	if n := h.gw.healthyCount(); n != 3 {
+		t.Errorf("fleet did not converge: %d healthy of 3", n)
+	}
+	h.assertIdentical(t, http.MethodPost, PathFreqBatch, freqBatchBody(t, 24, 77), false)
+}

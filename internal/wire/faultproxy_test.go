@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -26,7 +29,20 @@ const (
 	act429                         // synthesize a 429 budget denial with a structured body
 	act503Retry                    // synthesize an admission shed: 503 + Retry-After + structured body
 	act401                         // synthesize an auth rejection with a structured body
+	actRefused                     // fail at the transport (connection refused — dead peer)
 )
+
+// refusedErr mirrors what net.Dialer returns against a closed port, so
+// the classifier's errors.Is(err, syscall.ECONNREFUSED) check is
+// exercised through the same wrapping chain as in production.
+func refusedErr() error {
+	return &net.OpError{
+		Op:   "dial",
+		Net:  "tcp",
+		Addr: &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1},
+		Err:  os.NewSyscallError("connect", syscall.ECONNREFUSED),
+	}
+}
 
 // faultTransport is a test-only RoundTripper that injects failures
 // according to a per-call script; calls beyond the script pass through.
@@ -88,6 +104,8 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}, nil
 	case actDrop:
 		return nil, errors.New("faultproxy: connection reset by peer")
+	case actRefused:
+		return nil, refusedErr()
 	case act429:
 		return &http.Response{
 			Status:     "429 Too Many Requests",
@@ -282,6 +300,60 @@ func TestGSPClientPerAttemptTimeoutRetries(t *testing.T) {
 	}
 	if got := reg.Counter(MetricClientRetries).Value(); got != 1 {
 		t.Errorf("retry counter = %d, want 1", got)
+	}
+}
+
+func TestGSPClientConnectionRefusedStopsEarly(t *testing.T) {
+	// A dead shard refuses instantly, so burning the full retry budget
+	// on it only adds backoff latency while the gateway could already be
+	// failing over. Persistent refusal must stop after one retry — not
+	// the configured 3 — and surface the typed eviction hint.
+	reg := obs.NewRegistry()
+	script := []faultAction{actRefused, actRefused, actRefused, actRefused}
+	client, ft, _ := faultyGSPClient(t, script, 0,
+		WithRetries(3), fastBackoff(), WithClientMetrics(reg))
+
+	_, err := client.Stats(context.Background())
+	if err == nil {
+		t.Fatal("persistent connection refusal produced no error")
+	}
+	if !errors.Is(err, ErrPeerUnreachable) {
+		t.Errorf("error does not carry the peer-eviction hint: %v", err)
+	}
+	var pu *PeerUnreachableError
+	if !errors.As(err, &pu) {
+		t.Fatalf("error is not a *PeerUnreachableError: %v", err)
+	}
+	if pu.Path != PathStats {
+		t.Errorf("PeerUnreachableError.Path = %q, want %q", pu.Path, PathStats)
+	}
+	if got := ft.callCount(); got != 2 {
+		t.Errorf("made %d attempts against a refusing peer, want 2 (1 + 1 retry)", got)
+	}
+	if got := reg.Counter(MetricClientFailures).Value(); got != 1 {
+		t.Errorf("failure counter = %d, want 1", got)
+	}
+}
+
+func TestGSPClientRecoversFromSingleRefusal(t *testing.T) {
+	// One refusal (a restarting shard) is still transient: the single
+	// permitted retry must carry the request through.
+	reg := obs.NewRegistry()
+	client, ft, _ := faultyGSPClient(t, []faultAction{actRefused}, 0,
+		WithRetries(3), fastBackoff(), WithClientMetrics(reg))
+
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("client did not recover from a single refusal: %v", err)
+	}
+	if stats.NumPOIs == 0 {
+		t.Errorf("recovered stats empty: %+v", stats)
+	}
+	if got := ft.callCount(); got != 2 {
+		t.Errorf("made %d attempts, want 2", got)
+	}
+	if got := reg.Counter(MetricClientFailures).Value(); got != 0 {
+		t.Errorf("failure counter = %d, want 0", got)
 	}
 }
 

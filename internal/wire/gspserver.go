@@ -218,9 +218,17 @@ func (s *GSPServer) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 // parseLocation extracts and validates the x, y, r query parameters.
-// Coordinates must be finite — strconv accepts "NaN" and "Inf", which
-// would otherwise flow into the spatial index as poison values.
 func (s *GSPServer) parseLocation(w http.ResponseWriter, r *http.Request) (geo.Point, float64, bool) {
+	return parseLocationQuery(w, r, s.maxRadius)
+}
+
+// parseLocationQuery is the shared location validator behind the single
+// query endpoints: the GSP server and the cluster gateway both run it,
+// so a rejected request gets a byte-identical 400 from either — the
+// differential cluster e2e depends on that. Coordinates must be finite —
+// strconv accepts "NaN" and "Inf", which would otherwise flow into the
+// spatial index as poison values.
+func parseLocationQuery(w http.ResponseWriter, r *http.Request, maxRadius float64) (geo.Point, float64, bool) {
 	q := r.URL.Query()
 	x, errX := strconv.ParseFloat(q.Get("x"), 64)
 	y, errY := strconv.ParseFloat(q.Get("y"), 64)
@@ -233,7 +241,7 @@ func (s *GSPServer) parseLocation(w http.ResponseWriter, r *http.Request) (geo.P
 		writeError(w, http.StatusBadRequest, "x, y, r must be finite")
 		return geo.Point{}, 0, false
 	}
-	if radius <= 0 || radius > s.maxRadius {
+	if radius <= 0 || radius > maxRadius {
 		writeError(w, http.StatusBadRequest, "r out of range")
 		return geo.Point{}, 0, false
 	}
