@@ -4,10 +4,10 @@ GO ?= go
 # that host them. bench-core regenerates the file; bench-diff reruns the
 # same set and fails on >20% ns/op regressions against the committed
 # baseline.
-BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay
+BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay|FreqSingleflight|FreqEncodedHit|StoreWarmStart
 BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget
 
-.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke e2e-cluster loadtest loadtest-cluster repro repro-full cover clean
+.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke e2e-cluster loadtest loadtest-cluster loadtest-duphot repro repro-full cover clean
 
 all: check
 
@@ -83,6 +83,26 @@ loadtest-cluster:
 			-targets freq,batch -conc 32 -duration 3s -batch 16 \
 			-name cluster-$$n -out LOADTEST_cluster_$$n.json; \
 	done
+
+# loadtest-duphot measures duplicate-miss collapse: a zipf-skewed hot
+# key set whose radius rotates every epoch, so each rotation stampedes
+# all 32 workers onto the same fresh misses; -compute-cost pads each
+# CountTypes with fixed yielding CPU work so the misses genuinely
+# overlap (the contention profile of a dense production city). Runs the
+# ablation pair — miss coalescer off, then on — and writes
+# LOADTEST_duphot_{off,on}.json; compare the "gsp" stats (computes,
+# sfJoined) and okLatency.p99 between the two (DESIGN.md §11).
+loadtest-duphot:
+	$(GO) run ./cmd/loadgen -inprocess -assert -quiet \
+		-targets freq -profile dup-hot -conc 32 -duration 5s \
+		-compute-cost 3ms -zipf-s 1.6 -dup-epoch 250ms \
+		-no-singleflight -name duphot-singleflight-off \
+		-out LOADTEST_duphot_off.json
+	$(GO) run ./cmd/loadgen -inprocess -assert -quiet \
+		-targets freq -profile dup-hot -conc 32 -duration 5s \
+		-compute-cost 3ms -zipf-s 1.6 -dup-epoch 250ms \
+		-name duphot-singleflight-on \
+		-out LOADTEST_duphot_on.json
 
 # loadtest is the overload-protection smoke: drive the in-process
 # GSP+LBS stack closed-loop at 4x the admission limit with realistic

@@ -17,6 +17,12 @@
 // (X-Auth header) from a provisioned principal; the operational
 // endpoints stay unsigned. Keys are given inline ("alice=<hexkey>,...")
 // or via @file, one principal=hexkey per line.
+//
+// With -store-dir the daemon keeps a disk-backed tier for the freq
+// cache: on boot it warm-starts from <dir>/freqstore.bin (validated
+// against the serving city — a stale or corrupt snapshot is rejected and
+// logged, never trusted), and it snapshots the -store-top hottest
+// entries every -store-interval and again at shutdown.
 package main
 
 import (
@@ -60,6 +66,9 @@ func run(args []string) error {
 	maxBody := fs.Int64("max-body", wire.DefaultMaxBody, "maximum accepted POST body in bytes")
 	authKeys := fs.String("auth-keys", "", "require signed requests; principal=hexkey[,principal=hexkey...] or @file with one pair per line (empty disables auth)")
 	authWindow := fs.Duration("auth-window", wire.DefaultAuthWindow, "signed-request timestamp validity window")
+	storeDir := fs.String("store-dir", "", "directory for the disk-backed freq store; warm-starts the cache on boot and snapshots the hottest entries on a cadence and at shutdown (empty disables)")
+	storeTop := fs.Int("store-top", 4096, "freq store: snapshot at most this many hottest cache entries")
+	storeInterval := fs.Duration("store-interval", 5*time.Minute, "freq store: snapshot cadence (0 snapshots only at shutdown)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +81,21 @@ func run(args []string) error {
 	logger := log.New(os.Stderr, "gspd ", log.LstdFlags)
 	reg := obs.NewRegistry()
 	svc.ExportMetrics(reg)
+
+	var storePath string
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			return fmt.Errorf("create store dir: %w", err)
+		}
+		storePath = gsp.StorePath(*storeDir)
+		// A rejected snapshot (stale city build, corruption) is a cold
+		// start, not a fatal error: log it and keep serving.
+		if n, err := svc.WarmStart(storePath); err != nil {
+			logger.Printf("freq store: rejected %s: %v (cold start)", storePath, err)
+		} else if n > 0 {
+			logger.Printf("freq store: warm start with %d entries from %s", n, storePath)
+		}
+	}
 	opts := []wire.GSPServerOption{
 		wire.WithLogger(logger),
 		wire.WithMaxRadius(*maxRadius),
@@ -100,6 +124,31 @@ func run(args []string) error {
 	obsCtx, obsCancel := context.WithCancel(context.Background())
 	defer obsCancel()
 	obs.StartSummary(obsCtx, logger, reg, *statsInterval)
+
+	saveStore := func(when string) {
+		if storePath == "" {
+			return
+		}
+		if n, err := svc.SaveStore(storePath, *storeTop); err != nil {
+			logger.Printf("freq store: snapshot (%s) failed: %v", when, err)
+		} else {
+			logger.Printf("freq store: snapshot (%s): %d entries to %s", when, n, storePath)
+		}
+	}
+	if storePath != "" && *storeInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*storeInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-obsCtx.Done():
+					return
+				case <-tick.C:
+					saveStore("periodic")
+				}
+			}
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -132,7 +181,11 @@ func run(args []string) error {
 		handler.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return srv.Shutdown(ctx)
+		err := srv.Shutdown(ctx)
+		// Snapshot after Shutdown so the hit counts of the final
+		// in-flight requests make it into the ranking.
+		saveStore("shutdown")
+		return err
 	}
 }
 

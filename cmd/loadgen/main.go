@@ -47,17 +47,21 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand/v2"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"poiagg/internal/citygen"
+	"poiagg/internal/geo"
 	"poiagg/internal/gsp"
+	"poiagg/internal/index"
 	"poiagg/internal/obs"
 	"poiagg/internal/poi"
 	"poiagg/internal/wire"
@@ -87,6 +91,12 @@ type config struct {
 	city      string
 	seed      uint64
 
+	profile        string
+	zipfS          float64
+	dupEpoch       time.Duration
+	computeCost    time.Duration
+	noSingleflight bool
+
 	admitLimit   int
 	admitQueue   int
 	admitTimeout time.Duration
@@ -115,6 +125,24 @@ type Report struct {
 	Latency         obs.LatencySnapshot     `json:"latency"`
 	OKLatency       obs.LatencySnapshot     `json:"okLatency"`
 	PerTarget       map[string]TargetReport `json:"perTarget"`
+	// GSP is the in-process GSP service's server-side view of the run
+	// (absent for remote targets, where the server is a separate process).
+	GSP *GSPStats `json:"gsp,omitempty"`
+}
+
+// GSPStats reports what the client-side throughput cost the server in
+// index computations — the number dup-hot runs exist to compare.
+type GSPStats struct {
+	// Singleflight reports whether the miss coalescer was enabled.
+	Singleflight bool   `json:"singleflight"`
+	CacheHits    uint64 `json:"cacheHits"`
+	CacheMisses  uint64 `json:"cacheMisses"`
+	SFLeader     uint64 `json:"sfLeader"`
+	SFJoined     uint64 `json:"sfJoined"`
+	SFShared     uint64 `json:"sfShared"`
+	// Computes counts CountTypes executions: sfLeader + (sfJoined −
+	// sfShared) with singleflight on, cacheMisses with it off.
+	Computes uint64 `json:"computes"`
 }
 
 // ReportConfig echoes the knobs that shaped the run, so a report file is
@@ -130,7 +158,10 @@ type ReportConfig struct {
 	BatchItems   int     `json:"batchItems"`
 	// ClusterShards is the in-process fleet size behind the gateway
 	// (0 = single node, no gateway).
-	ClusterShards int `json:"clusterShards,omitempty"`
+	ClusterShards int     `json:"clusterShards,omitempty"`
+	Profile       string  `json:"profile,omitempty"`
+	ZipfS         float64 `json:"zipfS,omitempty"`
+	DupEpoch      string  `json:"dupEpoch,omitempty"`
 }
 
 // TargetReport is one endpoint's slice of the run.
@@ -159,6 +190,11 @@ func parseFlags(args []string) (*config, error) {
 	fs.Float64Var(&cfg.radius, "radius", 900, "query radius in meters")
 	fs.StringVar(&cfg.city, "city", "beijing", "city preset (must match the daemons': beijing or nyc)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "city generation seed (must match the daemons')")
+	fs.StringVar(&cfg.profile, "profile", "uniform", "key popularity profile: uniform, or dup-hot (zipf-skewed hot keys whose radius rotates every -dup-epoch, so each rotation is a stampede of concurrent misses on the same keys)")
+	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "dup-hot profile: zipf exponent (higher = more skew)")
+	fs.DurationVar(&cfg.dupEpoch, "dup-epoch", 500*time.Millisecond, "dup-hot profile: radius rotation period")
+	fs.DurationVar(&cfg.computeCost, "compute-cost", 0, "in-process GSP: CPU time burned per CountTypes (like -audit-cost for the LBS: fixed yielding work makes a freq miss span scheduler slices, so dup-hot stampedes genuinely overlap even on few cores)")
+	fs.BoolVar(&cfg.noSingleflight, "no-singleflight", false, "in-process GSP: disable the miss coalescer (ablation baseline for dup-hot runs)")
 	fs.IntVar(&cfg.admitLimit, "admit-limit", 0, "in-process servers' admission concurrency limit (0 = unlimited)")
 	fs.IntVar(&cfg.admitQueue, "admit-queue", 64, "in-process servers' admission queue length")
 	fs.DurationVar(&cfg.admitTimeout, "admit-timeout", 250*time.Millisecond, "in-process servers' admission queue wait cap")
@@ -192,6 +228,17 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if cfg.shards < 0 {
 		return nil, errors.New("-cluster must be >= 0")
+	}
+	switch cfg.profile {
+	case "uniform", "dup-hot":
+	default:
+		return nil, fmt.Errorf("unknown profile %q (want uniform or dup-hot)", cfg.profile)
+	}
+	if cfg.zipfS <= 0 {
+		return nil, errors.New("-zipf-s must be positive")
+	}
+	if cfg.dupEpoch <= 0 {
+		return nil, errors.New("-dup-epoch must be positive")
 	}
 	if cfg.shards > 0 && !cfg.inprocess {
 		return nil, errors.New("-cluster needs -inprocess (point -gsp at a running gspgw to load-test a real fleet)")
@@ -229,6 +276,22 @@ type costedAuditor struct {
 func (a costedAuditor) Audit(f poi.FreqVector, r float64) (bool, int) {
 	busySpin(a.iters)
 	return a.inner.Audit(f, r)
+}
+
+// costedIndex burns fixed CPU work before each CountTypes
+// (-compute-cost), the GSP-side analogue of costedAuditor: busySpin's
+// periodic yields let other handler goroutines run mid-compute, so a
+// dup-hot epoch rotation produces genuinely concurrent misses on the
+// same key — the stampede the singleflight coalescer exists to collapse
+// — even when GOMAXPROCS is small.
+type costedIndex struct {
+	index.Index
+	iters uint64
+}
+
+func (ci costedIndex) CountTypes(out poi.FreqVector, center geo.Point, radius float64) {
+	busySpin(ci.iters)
+	ci.Index.CountTypes(out, center, radius)
 }
 
 // busySink defeats dead-code elimination of busySpin.
@@ -314,8 +377,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	gspURL, lbsURL := cfg.gspURL, cfg.lbsURL
+	var inprocSvc *gsp.Service
 	if cfg.inprocess {
+		if cfg.computeCost > 0 {
+			iters := calibrateBusy(cfg.computeCost)
+			city.City.WrapIndex(func(ix index.Index) index.Index {
+				return costedIndex{Index: ix, iters: iters}
+			})
+		}
 		svc := gsp.NewService(city.City, 1<<14)
+		svc.SetSingleflight(!cfg.noSingleflight)
+		inprocSvc = svc
 		var serverOpts []wire.ServerOption
 		if cfg.admitLimit > 0 {
 			serverOpts = append(serverOpts,
@@ -410,20 +482,45 @@ func run(args []string, stdout io.Writer) error {
 	}
 	var overall, overallOK obs.Histogram
 
+	// dup-hot: zipf-skewed picks over a small hot key set, with the
+	// radius rotating every -dup-epoch. Each rotation invalidates every
+	// hot key at once, so all workers stampede the same fresh misses —
+	// the duplicate-compute storm the singleflight coalescer collapses.
+	var zipf *zipfPicker
+	hotLocs := locs
+	if cfg.profile == "dup-hot" {
+		if len(hotLocs) > 512 {
+			hotLocs = hotLocs[:512]
+		}
+		zipf = newZipfPicker(len(hotLocs), cfg.zipfS)
+	}
+	epochStart := time.Now()
+
 	doOne := func(workerID, seq int, rng *rand.Rand) {
 		tgt := cfg.targets[seq%len(cfg.targets)]
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 		defer cancel()
+		radius := cfg.radius
+		if zipf != nil {
+			radius += float64(time.Since(epochStart) / cfg.dupEpoch)
+		}
 		start := time.Now()
 		var err error
 		switch tgt {
 		case "freq":
-			_, err = gspClient.Freq(ctx, locs[rng.IntN(len(locs))], cfg.radius)
+			l := locs[rng.IntN(len(locs))]
+			if zipf != nil {
+				l = hotLocs[zipf.pick(rng)]
+			}
+			_, err = gspClient.Freq(ctx, l, radius)
 		case "batch":
 			items := make([]wire.BatchItem, cfg.batchN)
 			for i := range items {
 				l := locs[rng.IntN(len(locs))]
-				items[i] = wire.BatchItem{X: l.X, Y: l.Y, R: cfg.radius}
+				if zipf != nil {
+					l = hotLocs[zipf.pick(rng)]
+				}
+				items[i] = wire.BatchItem{X: l.X, Y: l.Y, R: radius}
 			}
 			_, err = gspClient.QueryBatch(ctx, items)
 		case "release":
@@ -466,6 +563,23 @@ func run(args []string, stdout io.Writer) error {
 	wall := time.Since(wallStart)
 
 	report := buildReport(cfg, stats, &overall, &overallOK, wall)
+	if inprocSvc != nil {
+		hits, misses := inprocSvc.CacheStats()
+		sf := inprocSvc.SingleflightMetrics()
+		g := &GSPStats{
+			Singleflight: !cfg.noSingleflight,
+			CacheHits:    hits,
+			CacheMisses:  misses,
+			SFLeader:     sf.Leader,
+			SFJoined:     sf.Hits,
+			SFShared:     sf.Shared,
+			Computes:     misses,
+		}
+		if g.Singleflight {
+			g.Computes = sf.Leader + (sf.Hits - sf.Shared)
+		}
+		report.GSP = g
+	}
 	if err := emit(report, cfg.out, stdout); err != nil {
 		return err
 	}
@@ -555,8 +669,34 @@ func buildCity(cfg *config) (*citygen.City, error) {
 		p.NumPOIs = 2000
 		p.NumTypes = 60
 		p.Width, p.Height = 12_000, 12_000
+		if cfg.profile == "dup-hot" {
+			// dup-hot measures duplicate-compute collapse, so the compute
+			// must cost something: a 10× denser city makes each CountTypes
+			// expensive enough that redundant ones move the needle.
+			p.NumPOIs = 20_000
+			p.Width, p.Height = 20_000, 20_000
+		}
 	}
 	return citygen.Generate(p)
+}
+
+// zipfPicker samples ranks 0..n-1 with P(i) ∝ 1/(i+1)^s by inverse CDF
+// over precomputed cumulative weights (math/rand/v2 ships no Zipf).
+type zipfPicker struct{ cum []float64 }
+
+func newZipfPicker(n int, s float64) *zipfPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	return &zipfPicker{cum: cum}
+}
+
+func (z *zipfPicker) pick(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
 }
 
 func buildReport(cfg *config, stats map[string]*targetStats, overall, overallOK *obs.Histogram, wall time.Duration) Report {
@@ -579,6 +719,11 @@ func buildReport(cfg *config, stats map[string]*targetStats, overall, overallOK 
 		Latency:         obs.SnapshotLatency(overall),
 		OKLatency:       obs.SnapshotLatency(overallOK),
 		PerTarget:       make(map[string]TargetReport, len(stats)),
+	}
+	if cfg.profile != "uniform" {
+		rep.Config.Profile = cfg.profile
+		rep.Config.ZipfS = cfg.zipfS
+		rep.Config.DupEpoch = cfg.dupEpoch.String()
 	}
 	if cfg.admitLimit > 0 {
 		rep.Config.AdmitQueue = cfg.admitQueue

@@ -20,11 +20,36 @@ type BatchQuery struct {
 // — order is preserved and each vector is a fresh copy owned by the
 // caller. The batch endpoints and the batched attack probes funnel
 // through here, so one wire round trip turns into cores-wide index work.
+//
+// Identical (L, R) items are deduplicated before the fan-out: each
+// unique key is resolved once and duplicate indices receive their own
+// clone of that result, so a batch of N copies of one probe costs one
+// compute, not N (and never has the pool racing N workers through the
+// singleflight table for the same key).
 func (s *Service) FreqBatch(reqs []BatchQuery) []poi.FreqVector {
 	out := make([]poi.FreqVector, len(reqs))
-	fanOut(len(reqs), func(i int) {
+	firstOf := make(map[freqKey]int, len(reqs))
+	uniq := make([]int, 0, len(reqs))
+	dupOf := make([]int, len(reqs)) // index of first occurrence, or -1
+	for i, q := range reqs {
+		k := freqKey{x: q.L.X, y: q.L.Y, r: q.R}
+		if j, ok := firstOf[k]; ok {
+			dupOf[i] = j
+			continue
+		}
+		firstOf[k] = i
+		dupOf[i] = -1
+		uniq = append(uniq, i)
+	}
+	fanOut(len(uniq), func(u int) {
+		i := uniq[u]
 		out[i] = s.Freq(reqs[i].L, reqs[i].R)
 	})
+	for i, j := range dupOf {
+		if j >= 0 {
+			out[i] = out[j].Clone()
+		}
+	}
 	return out
 }
 

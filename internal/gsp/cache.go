@@ -3,6 +3,7 @@ package gsp
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"poiagg/internal/obs"
@@ -16,14 +17,30 @@ import (
 // (they clone before handing it to users).
 type freqCache interface {
 	get(k freqKey) (poi.FreqVector, bool)
+	// peek is get for the singleflight leader re-check: a present key
+	// counts as a hit (it serves the request), an absent one counts
+	// nothing — the miss was already recorded by the get that led here.
+	peek(k freqKey) (poi.FreqVector, bool)
 	put(k freqKey, f poi.FreqVector)
 	metrics() CacheMetrics
+	// hottest returns up to n live entries ordered by per-entry hit
+	// count, hottest first — the tiered store snapshots these.
+	hottest(n int) []hotEntry
+}
+
+// hotEntry is one cache entry paired with its lifetime hit count; val is
+// the cache's private vector and must not be mutated.
+type hotEntry struct {
+	key  freqKey
+	val  poi.FreqVector
+	hits uint64
 }
 
 // CacheMetrics is a point-in-time view of the Freq cache's bookkeeping.
 type CacheMetrics struct {
-	// Hits and Misses count lookups; every Freq call with caching
-	// enabled is exactly one of the two.
+	// Hits and Misses count lookups. A Freq call is normally exactly
+	// one of the two; a miss rescued by the singleflight leader
+	// re-check (singleflight.go) counts one miss plus one hit.
 	Hits, Misses uint64
 	// Evictions counts entries dropped by the LRU policy — individual
 	// entries, not whole-cache wipes.
@@ -43,9 +60,11 @@ const (
 	MetricCacheSize      = "gsp.cache.size"
 )
 
-// ExportMetrics publishes the cache's hit/miss/eviction/size counters
-// into reg, sampled lazily at snapshot time so the Freq hot path pays
-// nothing for the export. No-op when caching is disabled.
+// ExportMetrics publishes the cache's hit/miss/eviction/size counters,
+// the singleflight leader/shared/hits counters, and the tiered store's
+// warmed/rejected counters into reg, sampled lazily at snapshot time so
+// the Freq hot path pays nothing for the export. No-op when caching is
+// disabled.
 func (s *Service) ExportMetrics(reg *obs.Registry) {
 	if s.cache == nil || reg == nil {
 		return
@@ -54,6 +73,11 @@ func (s *Service) ExportMetrics(reg *obs.Registry) {
 	reg.CounterFunc(MetricCacheMisses, func() uint64 { return s.cache.metrics().Misses })
 	reg.CounterFunc(MetricCacheEvictions, func() uint64 { return s.cache.metrics().Evictions })
 	reg.CounterFunc(MetricCacheSize, func() uint64 { return uint64(s.cache.metrics().Size) })
+	reg.CounterFunc(MetricSFLeader, func() uint64 { return s.SingleflightMetrics().Leader })
+	reg.CounterFunc(MetricSFShared, func() uint64 { return s.SingleflightMetrics().Shared })
+	reg.CounterFunc(MetricSFHits, func() uint64 { return s.SingleflightMetrics().Hits })
+	reg.CounterFunc(MetricStoreWarmed, func() uint64 { return s.storeWarmed.Load() })
+	reg.CounterFunc(MetricStoreRejected, func() uint64 { return s.storeRejected.Load() })
 }
 
 // hash mixes the key's coordinate bits through the splitmix64 finalizer
@@ -78,6 +102,9 @@ type cacheEntry struct {
 	val     poi.FreqVector
 	next    *cacheEntry
 	touched bool
+	// hits counts lookups that returned this entry; the tiered store
+	// ranks entries by it when snapshotting the hottest.
+	hits uint64
 }
 
 // cacheShard is one lock domain of the sharded cache.
@@ -140,16 +167,27 @@ func (c *shardedCache) shardFor(k freqKey) *cacheShard {
 }
 
 func (c *shardedCache) get(k freqKey) (poi.FreqVector, bool) {
+	return c.lookup(k, true)
+}
+
+func (c *shardedCache) peek(k freqKey) (poi.FreqVector, bool) {
+	return c.lookup(k, false)
+}
+
+func (c *shardedCache) lookup(k freqKey, countMiss bool) (poi.FreqVector, bool) {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	e, ok := s.entries[k]
 	if !ok {
-		s.misses++
+		if countMiss {
+			s.misses++
+		}
 		s.mu.Unlock()
 		return nil, false
 	}
 	s.hits++
 	e.touched = true
+	e.hits++
 	f := e.val
 	s.mu.Unlock()
 	return f, true
@@ -207,6 +245,40 @@ func (s *cacheShard) evictOne() {
 	}
 }
 
+func (c *shardedCache) hottest(n int) []hotEntry {
+	if n <= 0 {
+		return nil
+	}
+	var out []hotEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, e := range s.entries {
+			out = append(out, hotEntry{key: e.key, val: e.val, hits: e.hits})
+		}
+		s.mu.Unlock()
+	}
+	// Hottest first; ties broken by key so the order — and therefore the
+	// snapshot bytes — is deterministic for a given cache state.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.hits != b.hits {
+			return a.hits > b.hits
+		}
+		if a.key.x != b.key.x {
+			return a.key.x < b.key.x
+		}
+		if a.key.y != b.key.y {
+			return a.key.y < b.key.y
+		}
+		return a.key.r < b.key.r
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
 func (c *shardedCache) metrics() CacheMetrics {
 	m := CacheMetrics{Shards: len(c.shards)}
 	for i := range c.shards {
@@ -252,6 +324,16 @@ func (c *singleLockCache) get(k freqKey) (poi.FreqVector, bool) {
 	return f, ok
 }
 
+func (c *singleLockCache) peek(k freqKey) (poi.FreqVector, bool) {
+	c.mu.Lock()
+	f, ok := c.entries[k]
+	if ok {
+		c.hits++
+	}
+	c.mu.Unlock()
+	return f, ok
+}
+
 func (c *singleLockCache) put(k freqKey, f poi.FreqVector) {
 	c.mu.Lock()
 	if len(c.entries) >= c.cap {
@@ -260,6 +342,31 @@ func (c *singleLockCache) put(k freqKey, f poi.FreqVector) {
 	}
 	c.entries[k] = f
 	c.mu.Unlock()
+}
+
+func (c *singleLockCache) hottest(n int) []hotEntry {
+	// The ablation baseline tracks no per-entry hits; return entries in
+	// key order so the result is at least deterministic.
+	c.mu.Lock()
+	out := make([]hotEntry, 0, len(c.entries))
+	for k, v := range c.entries {
+		out = append(out, hotEntry{key: k, val: v})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].key, out[j].key
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.r < b.r
+	})
+	if n >= 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 func (c *singleLockCache) metrics() CacheMetrics {

@@ -13,6 +13,8 @@ package gsp
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"poiagg/internal/geo"
 	"poiagg/internal/index"
@@ -30,6 +32,7 @@ type City struct {
 	cityFreq poi.FreqVector
 	rank     []int // infrequency rank per type (most infrequent = 1)
 	idx      index.Index
+	cellSize float64 // spatial-index grid cell size in meters
 }
 
 // NewCity builds a city from a POI set. The cell size of the spatial index
@@ -50,6 +53,7 @@ func NewCity(name string, bounds geo.Rect, types *poi.TypeTable, pois []poi.POI)
 		cityFreq[p.Type]++
 		byType[p.Type] = append(byType[p.Type], p)
 	}
+	const cellSize = 500
 	return &City{
 		Name:     name,
 		Bounds:   bounds,
@@ -58,12 +62,50 @@ func NewCity(name string, bounds geo.Rect, types *poi.TypeTable, pois []poi.POI)
 		byType:   byType,
 		cityFreq: cityFreq,
 		rank:     poi.RankByFrequency(cityFreq),
-		idx:      index.NewGrid(cp, bounds, 500),
+		idx:      index.NewGrid(cp, bounds, cellSize),
+		cellSize: cellSize,
 	}, nil
 }
 
 // M returns the number of POI types in the city.
 func (c *City) M() int { return c.Types.Len() }
+
+// WrapIndex replaces the city's spatial index with wrap(current). Load
+// generators and tests use it to instrument or pad index lookups — e.g.
+// padding CountTypes with fixed CPU work so a small synthetic city
+// reproduces the contention behavior of a dense production one. Not safe
+// to call concurrently with queries; the wrapped index does not affect
+// Fingerprint.
+func (c *City) WrapIndex(wrap func(index.Index) index.Index) { c.idx = wrap(c.idx) }
+
+// Fingerprint returns a stable hash of the city's identity — name,
+// bounds, type count, and every POI's id/type/position. Two City values
+// built from the same inputs fingerprint identically across processes;
+// any difference in the data yields (with overwhelming probability) a
+// different hash. The tiered freq store keys its snapshots on it so a
+// snapshot taken over one city is never trusted for another.
+func (c *City) Fingerprint() uint64 {
+	h := uint64(0xcbf29ce484222325) // FNV offset basis
+	word := func(v uint64) {
+		h = mix64(h ^ v)
+	}
+	for _, b := range []byte(c.Name) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	word(math.Float64bits(c.Bounds.MinX))
+	word(math.Float64bits(c.Bounds.MinY))
+	word(math.Float64bits(c.Bounds.MaxX))
+	word(math.Float64bits(c.Bounds.MaxY))
+	word(uint64(c.M()))
+	word(uint64(len(c.pois)))
+	for _, p := range c.pois {
+		word(uint64(p.ID))
+		word(uint64(p.Type))
+		word(math.Float64bits(p.Pos.X))
+		word(math.Float64bits(p.Pos.Y))
+	}
+	return mix64(h)
+}
 
 // NumPOIs returns the number of POIs.
 func (c *City) NumPOIs() int { return len(c.pois) }
@@ -105,10 +147,22 @@ func (c *City) InfrequencyRank() []int { return c.rank }
 // BenchmarkFreqCacheSharded prices the difference against the
 // single-lock clear-all baseline.
 //
+// Misses are coalesced through a singleflight table (singleflight.go):
+// when concurrent requests miss the same key, one computes while the
+// rest wait and share the result — under duplicate-heavy traffic a hot
+// key costs one CountTypes per miss instead of one per requester.
+//
 // Service is safe for concurrent use.
 type Service struct {
 	city  *City
 	cache freqCache // nil when caching is disabled
+	sf    *inflight // nil when singleflight (or caching) is disabled
+
+	// storeRejected/storeWarmed count tiered-store snapshot loads
+	// (store.go): entries seeded into the cache, and snapshots refused
+	// for failing validation.
+	storeRejected atomic.Uint64
+	storeWarmed   atomic.Uint64
 }
 
 type freqKey struct {
@@ -121,6 +175,7 @@ func NewService(city *City, maxCache int) *Service {
 	s := &Service{city: city}
 	if maxCache > 0 {
 		s.cache = newShardedCache(maxCache)
+		s.sf = newInflight()
 	}
 	return s
 }
@@ -170,9 +225,7 @@ func (s *Service) FreqInto(out poi.FreqVector, l geo.Point, r float64) {
 		copy(out, f)
 		return
 	}
-	clear(out)
-	s.city.idx.CountTypes(out, l, r)
-	s.cache.put(key, out.Clone())
+	s.freqMiss(out, key, l, r)
 }
 
 // CacheStats returns the number of cache hits and misses so far.

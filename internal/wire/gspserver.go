@@ -42,6 +42,9 @@ type GSPServer struct {
 	authKeys *Keyring
 	authOpts []AuthOption
 	auth     *authenticator // nil when auth is disabled
+
+	encCap int       // encoded-response cache capacity; <= 0 disables
+	enc    *encCache // nil when the encoded cache is disabled
 }
 
 var _ http.Handler = (*GSPServer)(nil)
@@ -115,9 +118,14 @@ func NewGSPServer(svc *gsp.Service, opts ...GSPServerOption) *GSPServer {
 		maxBody:    DefaultMaxBody,
 		reg:        obs.NewRegistry(),
 		instrument: true,
+		encCap:     DefaultEncodedCache,
 	}
 	for _, opt := range opts {
 		opt.applyGSP(s)
+	}
+	if s.encCap > 0 {
+		s.enc = newEncCache(s.encCap)
+		s.enc.export(s.reg)
 	}
 	s.mux.HandleFunc("GET "+PathStats, s.handleStats)
 	s.mux.HandleFunc("GET "+PathQuery, s.handleQuery)
@@ -272,6 +280,18 @@ func (s *GSPServer) handleFreq(w http.ResponseWriter, r *http.Request) {
 	l, radius, ok := s.parseLocation(w, r)
 	if !ok {
 		return
+	}
+	if s.enc != nil {
+		k := encKey{kind: encFreq, x: l.X, y: l.Y, r: radius}
+		if body, ok := s.enc.get(k); ok {
+			writeRaw(w, http.StatusOK, body)
+			return
+		}
+		if body, err := encodeJSON(FreqResponse{Freq: s.svc.Freq(l, radius)}); err == nil {
+			s.enc.put(k, body)
+			writeRaw(w, http.StatusOK, body)
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, FreqResponse{Freq: s.svc.Freq(l, radius)})
 }
