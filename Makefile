@@ -4,10 +4,10 @@ GO ?= go
 # that host them. bench-core regenerates the file; bench-diff reruns the
 # same set and fails on >20% ns/op regressions against the committed
 # baseline.
-BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay|FreqSingleflight|FreqEncodedHit|StoreWarmStart
-BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget
+BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay|FreqSingleflight|FreqEncodedHit|StoreWarmStart|StreamApply|WindowRelease
+BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget ./internal/stream
 
-.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke e2e-cluster loadtest loadtest-cluster loadtest-duphot repro repro-full cover clean
+.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke e2e-cluster e2e-stream loadtest loadtest-cluster loadtest-duphot loadtest-stream repro repro-full cover clean
 
 all: check
 
@@ -71,6 +71,18 @@ e2e-cluster:
 	$(GO) test -race -count=1 -run 'TestCluster|TestGSPClientConnectionRefused|TestGSPClientRecoversFromSingleRefusal' ./internal/wire
 	$(GO) test -race -count=1 ./cmd/gspgw
 
+# e2e-stream runs the streaming-ingestion proof layer under the race
+# detector: the window store / releaser unit suite, the replay-identity
+# e2e (live authenticated NDJSON ingestion vs offline batch replay of
+# the captured event log — bit-identical releases, byte-identical
+# ledger snapshots), the bounded-memory flood, the per-event ingest
+# error surface, backpressure via admission control, and the daemon's
+# drain ordering (final flush charges the ledger before Close).
+e2e-stream:
+	$(GO) test -race -count=1 ./internal/stream
+	$(GO) test -race -count=1 -run 'TestStream|TestIngest|TestLBSClientBodyTooLarge' ./internal/wire
+	$(GO) test -race -count=1 -run 'TestStreamDrain' ./cmd/lbsd
+
 # loadtest-cluster drives the in-process closed loop against a bare
 # gspd (n=0) and 1/2/4-shard fleets behind the gateway, writing
 # LOADTEST_cluster_<n>.json. On one machine every shard shares the same
@@ -103,6 +115,18 @@ loadtest-duphot:
 		-compute-cost 3ms -zipf-s 1.6 -dup-epoch 250ms \
 		-name duphot-singleflight-on \
 		-out LOADTEST_duphot_on.json
+
+# loadtest-stream drives open-loop NDJSON ingestion with rotating user
+# cohorts (a fresh never-seen population every -stream-burst) against
+# the in-process stream subsystem while the windowed DP releaser ticks,
+# writing LOADTEST_stream.json. The -assert flag fails the run if the
+# window store ever exceeds its users × per-user memory cap, so the
+# bounded-memory claim is load-tested, not just unit-tested.
+loadtest-stream:
+	$(GO) run ./cmd/loadgen -inprocess -assert -quiet \
+		-targets ingest -profile stream -rate 400 -conc 32 -duration 5s \
+		-stream-users 256 -stream-batch 8 -stream-burst 1s -stream-tick 500ms \
+		-name stream-ingest -out LOADTEST_stream.json
 
 # loadtest is the overload-protection smoke: drive the in-process
 # GSP+LBS stack closed-loop at 4x the admission limit with realistic

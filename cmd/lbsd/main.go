@@ -22,9 +22,20 @@
 // fallback chain is disabled. Keys are given inline
 // ("alice=<hexkey>,...") or via @file, one principal=hexkey per line.
 //
+// With -stream the daemon also ingests live check-ins (POST /v1/ingest,
+// NDJSON, one event per line) into a sliding window with bounded
+// memory: at most -history-users distinct users (second-chance eviction
+// past it) times -stream-per-user events each. Every -stream-tick the
+// window is aggregated into one differentially private frequency vector
+// (GET /v1/stream/releases); with -budget each release charges
+// (-stream-eps, -stream-delta) to every contributing principal. SIGTERM
+// drains the window through one final release before the ledger closes,
+// so in-flight check-ins are released and charged, not dropped.
+//
 // Endpoints: POST /v1/release, GET /v1/releases?user=, the budget admin
 // pair GET /v1/budget/{principal} and POST /v1/budget/{principal}/reset
-// (with -budget), plus the operational /v1/metrics, /healthz, /readyz.
+// (with -budget), POST /v1/ingest and GET /v1/stream/releases (with
+// -stream), plus the operational /v1/metrics, /healthz, /readyz.
 package main
 
 import (
@@ -41,8 +52,11 @@ import (
 
 	"poiagg/internal/budget"
 	"poiagg/internal/citygen"
+	"poiagg/internal/cloak"
+	"poiagg/internal/defense"
 	"poiagg/internal/gsp"
 	"poiagg/internal/obs"
+	"poiagg/internal/stream"
 	"poiagg/internal/wire"
 )
 
@@ -80,6 +94,16 @@ func run(args []string) error {
 	snapshotEvery := fs.Int("budget-snapshot-every", 1000, "auto-snapshot the persistent ledger every N logged spends")
 	authKeys := fs.String("auth-keys", "", "require signed requests; principal=hexkey[,principal=hexkey...] or @file with one pair per line (empty disables auth)")
 	authWindow := fs.Duration("auth-window", wire.DefaultAuthWindow, "signed-request timestamp validity window")
+	streamOn := fs.Bool("stream", false, "ingest live check-ins (POST /v1/ingest) and publish windowed DP releases")
+	streamWindow := fs.Duration("stream-window", 5*time.Minute, "sliding check-in window per user")
+	streamTick := fs.Duration("stream-tick", stream.DefaultInterval, "period between windowed DP releases")
+	streamRadius := fs.Float64("stream-radius", stream.DefaultRadius, "POI query radius in meters for window aggregates")
+	streamPerUser := fs.Int("stream-per-user", 64, "max events kept per user window (oldest dropped past it)")
+	streamHistory := fs.Int("stream-history", stream.DefaultHistory, "windowed releases kept for GET /v1/stream/releases")
+	streamSeed := fs.Uint64("stream-seed", 1, "root seed for windowed release noise")
+	streamPop := fs.Int("stream-pop", 2000, "synthetic population size behind the windowed DP mechanism")
+	streamEps := fs.Float64("stream-eps", 0.5, "epsilon charged per principal per windowed release (with -budget)")
+	streamDelta := fs.Float64("stream-delta", 1e-6, "delta charged per principal per windowed release (with -budget)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,8 +148,11 @@ func run(args []string) error {
 		opts = append(opts, wire.WithAuth(kr, wire.WithAuthWindow(*authWindow)))
 		logger.Printf("request signing required: %d principals, ±%v window; budget charges verified principals only", kr.Len(), *authWindow)
 	}
+	var svc *gsp.Service
+	if !*noAudit || *streamOn {
+		svc = gsp.NewService(city.City, 1<<18)
+	}
 	if !*noAudit {
-		svc := gsp.NewService(city.City, 1<<18)
 		opts = append(opts, wire.WithAuditor(wire.RegionAuditor{Svc: svc}))
 	}
 
@@ -147,15 +174,49 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer func() {
-			if cerr := led.Close(); cerr != nil {
-				logger.Printf("budget ledger close: %v", cerr)
-			}
-		}()
 		led.ExportMetrics(reg)
 		opts = append(opts, wire.WithBudget(led, *releaseEps, *releaseDelta))
 		logger.Printf("budget enforcement on: (ε=%v, δ=%v) per release, window %v of ε=%v, lifetime ε=%v, persistence %q",
 			*releaseEps, *releaseDelta, policy.Window, policy.WindowEps, policy.LifetimeEps, *budgetDir)
+	}
+
+	// Shutdown tail for the stateful subsystems, in dependency order:
+	// the stream's final flush charges the ledger, so it must run before
+	// the ledger's closing snapshot. Registered before the stream starts
+	// so every return path below drains it.
+	var stopStream func()
+	defer func() { stopStreamAndCloseLedger(logger, stopStream, led) }()
+
+	if *streamOn {
+		st, err := stream.NewStore(stream.Config{
+			Window:     *streamWindow,
+			MaxUsers:   *historyUsers,
+			MaxPerUser: *streamPerUser,
+			Bounds:     city.Bounds,
+		})
+		if err != nil {
+			return err
+		}
+		pop := cloak.UniformPopulation(city.Bounds, *streamPop, *streamSeed)
+		mech, err := defense.NewDPRelease(svc, pop, defense.DefaultDPReleaseConfig())
+		if err != nil {
+			return err
+		}
+		rel, err := stream.NewReleaser(st, svc, mech, led, stream.ReleaserConfig{
+			Interval: *streamTick,
+			Radius:   *streamRadius,
+			Seed:     *streamSeed,
+			History:  *streamHistory,
+			Eps:      *streamEps,
+			Delta:    *streamDelta,
+		})
+		if err != nil {
+			return err
+		}
+		opts = append(opts, wire.WithStream(st, rel))
+		stopStream = rel.Start(func(err error) { logger.Printf("stream release: %v", err) })
+		logger.Printf("streaming ingestion on: %v window over ≤%d users × %d events, release every %v at radius %vm",
+			*streamWindow, *historyUsers, *streamPerUser, rel.Config().Interval, rel.Config().Radius)
 	}
 	handler := wire.NewLBSServer(city.M(), opts...)
 
@@ -197,6 +258,23 @@ func run(args []string) error {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return srv.Shutdown(ctx)
+	}
+}
+
+// stopStreamAndCloseLedger is the daemon's shutdown tail. The stream
+// stop function blocks until the release loop exits and then publishes
+// one final windowed release — charging every window still in flight to
+// the budget ledger — so it must complete before the ledger writes its
+// closing snapshot, or the drain would lose those spends. Either
+// argument may be nil (subsystem not enabled).
+func stopStreamAndCloseLedger(logger *log.Logger, stopStream func(), led *budget.Ledger) {
+	if stopStream != nil {
+		stopStream()
+	}
+	if led != nil {
+		if err := led.Close(); err != nil {
+			logger.Printf("budget ledger close: %v", err)
+		}
 	}
 }
 

@@ -1,6 +1,21 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"testing"
+	"time"
+
+	"poiagg/internal/budget"
+	"poiagg/internal/citygen"
+	"poiagg/internal/cloak"
+	"poiagg/internal/defense"
+	"poiagg/internal/gsp"
+	"poiagg/internal/stream"
+)
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	// Only error paths are testable without binding a listener; the
@@ -21,5 +36,123 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-budget", "-budget-idle-ttl", "1h"}); err == nil {
 		t.Error("idle TTL shorter than the window accepted")
+	}
+	// Budget charging with a free windowed release would be a silent
+	// privacy hole; the releaser refuses it before the listener binds.
+	if err := run([]string{"-budget", "-stream", "-stream-eps", "0"}); err == nil {
+		t.Error("budget-charged stream with zero epsilon accepted")
+	}
+	if err := run([]string{"-stream", "-history-users", "0"}); err == nil {
+		t.Error("stream with no user capacity accepted")
+	}
+}
+
+// TestStreamDrainChargesLedgerBeforeClose proves the shutdown ordering
+// the SIGTERM path relies on: stopStreamAndCloseLedger must let the
+// releaser's final flush charge every in-flight window to the ledger
+// BEFORE the ledger writes its closing snapshot. The wall-clock ticker
+// races the drain the whole time (1ms interval), and the proof is on
+// disk: a reopened ledger must account for every tick that ever fired,
+// including the drain's final flush — if Close ran first, that last
+// spend would be missing from the snapshot.
+func TestStreamDrainChargesLedgerBeforeClose(t *testing.T) {
+	p := citygen.Beijing(31)
+	p.NumPOIs = 1200
+	p.NumTypes = 40
+	p.Width, p.Height = 8_000, 8_000
+	city, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := gsp.NewService(city.City, 1<<14)
+
+	st, err := stream.NewStore(stream.Config{
+		Window:   5 * time.Minute,
+		MaxUsers: 16,
+		Bounds:   city.Bounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	policy := budget.Policy{LifetimeEps: 1e6, LifetimeDelta: 0.5}
+	led, err := budget.Open(policy, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech, err := defense.NewDPRelease(svc, cloak.UniformPopulation(city.Bounds, 500, 7), defense.DefaultDPReleaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tickEps = 0.5
+	rel, err := stream.NewReleaser(st, svc, mech, led, stream.ReleaserConfig{
+		Interval: time.Millisecond,
+		Radius:   800,
+		Seed:     99,
+		Eps:      tickEps,
+		Delta:    1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three users' check-ins, all charged to one principal. They stay in
+	// the 5-minute window for the whole test, so every tick charges it.
+	now := time.Now()
+	for i, l := range city.RandomLocations(3, 123) {
+		ev := stream.Event{UserID: fmt.Sprintf("u%d", i), X: l.X, Y: l.Y, TS: now}
+		if err := st.Apply(ev, "acme"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := rel.Start(func(err error) { t.Errorf("tick error: %v", err) })
+	// Wait for at least one periodic release so the drain genuinely
+	// interrupts a live release loop rather than a never-started one.
+	deadline := time.Now().Add(10 * time.Second)
+	for rel.Ticks() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if rel.Ticks() == 0 {
+		t.Fatal("releaser never ticked")
+	}
+
+	stopStreamAndCloseLedger(log.New(io.Discard, "", 0), stop, led)
+
+	ticks := rel.Ticks()
+	if ticks < 2 {
+		t.Fatalf("want >= 2 ticks (periodic + final flush), got %d", ticks)
+	}
+	hist := rel.History(1)
+	if len(hist) != 1 || hist[0].Users != 3 {
+		t.Fatalf("final flush release missing or wrong: %+v", hist)
+	}
+
+	// Reopen from disk: the snapshot Close wrote must cover every tick's
+	// spend, the final flush included.
+	led2, err := budget.Open(policy, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led2.Close()
+	stat := led2.Status("acme")
+	if stat.Releases != uint64(ticks) {
+		t.Fatalf("persisted releases = %d, want %d (one per tick)", stat.Releases, ticks)
+	}
+	if want := float64(ticks) * tickEps; math.Abs(stat.SpentEps-want) > 1e-9 {
+		t.Fatalf("persisted spent eps = %v, want %v", stat.SpentEps, want)
+	}
+	// And the snapshot is byte-identical to the live ledger's final
+	// in-memory state — nothing was charged after the snapshot.
+	liveDump, err := led.DumpState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskDump, err := led2.DumpState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveDump, diskDump) {
+		t.Fatalf("reopened ledger state differs from live state:\nlive: %s\ndisk: %s", liveDump, diskDump)
 	}
 }

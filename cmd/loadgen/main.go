@@ -16,13 +16,23 @@
 //
 // Targets (-targets, comma-separated): freq (GET /v1/freq), batch
 // (POST /v1/query/batch, -batch items per request), release
-// (POST /v1/release).
+// (POST /v1/release), ingest (POST /v1/ingest, -stream-batch NDJSON
+// events per request from a -stream-users synthetic population).
+//
+// The ingest target pairs with -profile stream: every -stream-burst the
+// event generator rotates to a fresh user cohort, flooding the window
+// store with users it has never seen — the eviction churn the bounded
+// sliding window exists to absorb. With -inprocess the LBS server runs
+// the full stream subsystem (window store sized to one cohort, windowed
+// DP releaser ticking every -stream-tick) and the report gains a
+// "stream" block with the server-side window counters.
 //
 // Usage:
 //
 //	loadgen -inprocess -conc 32 -duration 5s -admit-limit 8
 //	loadgen -gsp http://localhost:8080 -targets freq,batch -rate 200 -duration 30s
 //	loadgen -lbs http://localhost:8081 -targets release -conc 16 -out run.json
+//	loadgen -inprocess -targets ingest -profile stream -rate 500 -duration 10s
 //
 // With -inprocess the generator spins up in-memory GSP and LBS servers
 // (small synthetic city, region-audit enabled) over loopback HTTP, so a
@@ -59,11 +69,14 @@ import (
 	"time"
 
 	"poiagg/internal/citygen"
+	"poiagg/internal/cloak"
+	"poiagg/internal/defense"
 	"poiagg/internal/geo"
 	"poiagg/internal/gsp"
 	"poiagg/internal/index"
 	"poiagg/internal/obs"
 	"poiagg/internal/poi"
+	"poiagg/internal/stream"
 	"poiagg/internal/wire"
 )
 
@@ -97,6 +110,11 @@ type config struct {
 	computeCost    time.Duration
 	noSingleflight bool
 
+	streamUsers int
+	streamBatch int
+	streamBurst time.Duration
+	streamTick  time.Duration
+
 	admitLimit   int
 	admitQueue   int
 	admitTimeout time.Duration
@@ -128,6 +146,26 @@ type Report struct {
 	// GSP is the in-process GSP service's server-side view of the run
 	// (absent for remote targets, where the server is a separate process).
 	GSP *GSPStats `json:"gsp,omitempty"`
+	// Stream is the in-process window store's server-side view of an
+	// ingest run (absent for remote targets and runs without ingest).
+	Stream *StreamStats `json:"stream,omitempty"`
+}
+
+// StreamStats reports what the ingest load did to the in-process
+// streaming subsystem: window occupancy against its hard cap, eviction
+// churn, and how many windowed DP releases the ticking releaser
+// published during the run.
+type StreamStats struct {
+	EventsAccepted uint64 `json:"eventsAccepted"`
+	EventsRejected uint64 `json:"eventsRejected"`
+	EventsDropped  uint64 `json:"eventsDropped"`
+	UsersEvicted   uint64 `json:"usersEvicted"`
+	ActiveUsers    int    `json:"activeUsers"`
+	WindowEvents   int    `json:"windowEvents"`
+	// WindowEventCap is the memory bound the store must never exceed:
+	// max users × max events per user.
+	WindowEventCap int    `json:"windowEventCap"`
+	Releases       uint64 `json:"releases"`
 }
 
 // GSPStats reports what the client-side throughput cost the server in
@@ -162,6 +200,9 @@ type ReportConfig struct {
 	Profile       string  `json:"profile,omitempty"`
 	ZipfS         float64 `json:"zipfS,omitempty"`
 	DupEpoch      string  `json:"dupEpoch,omitempty"`
+	StreamUsers   int     `json:"streamUsers,omitempty"`
+	StreamBatch   int     `json:"streamBatch,omitempty"`
+	StreamBurst   string  `json:"streamBurst,omitempty"`
 }
 
 // TargetReport is one endpoint's slice of the run.
@@ -181,7 +222,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.shards, "cluster", 0, "with -inprocess: put N GSP shards behind an in-memory gspgw gateway and drive that (0 = single node)")
 	fs.StringVar(&cfg.gspURL, "gsp", "", "GSP base URL (required for freq/batch targets unless -inprocess)")
 	fs.StringVar(&cfg.lbsURL, "lbs", "", "LBS base URL (required for the release target unless -inprocess)")
-	targets := fs.String("targets", "freq,batch,release", "comma-separated endpoints to drive: freq, batch, release")
+	targets := fs.String("targets", "freq,batch,release", "comma-separated endpoints to drive: freq, batch, release, ingest")
 	fs.IntVar(&cfg.conc, "conc", 8, "closed-loop worker count (also bounds open-loop dispatch)")
 	fs.Float64Var(&cfg.rate, "rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
 	fs.DurationVar(&cfg.duration, "duration", 5*time.Second, "how long to drive load")
@@ -190,9 +231,13 @@ func parseFlags(args []string) (*config, error) {
 	fs.Float64Var(&cfg.radius, "radius", 900, "query radius in meters")
 	fs.StringVar(&cfg.city, "city", "beijing", "city preset (must match the daemons': beijing or nyc)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "city generation seed (must match the daemons')")
-	fs.StringVar(&cfg.profile, "profile", "uniform", "key popularity profile: uniform, or dup-hot (zipf-skewed hot keys whose radius rotates every -dup-epoch, so each rotation is a stampede of concurrent misses on the same keys)")
+	fs.StringVar(&cfg.profile, "profile", "uniform", "load profile: uniform; dup-hot (zipf-skewed hot keys whose radius rotates every -dup-epoch, so each rotation is a stampede of concurrent misses on the same keys); stream (ingest target only: the user cohort rotates every -stream-burst, flooding the window store with fresh users)")
 	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "dup-hot profile: zipf exponent (higher = more skew)")
 	fs.DurationVar(&cfg.dupEpoch, "dup-epoch", 500*time.Millisecond, "dup-hot profile: radius rotation period")
+	fs.IntVar(&cfg.streamUsers, "stream-users", 256, "ingest target: synthetic users per cohort (also sizes the in-process window store)")
+	fs.IntVar(&cfg.streamBatch, "stream-batch", 8, "ingest target: NDJSON events per request")
+	fs.DurationVar(&cfg.streamBurst, "stream-burst", 2*time.Second, "stream profile: cohort rotation period (each rotation is a flood of never-seen users)")
+	fs.DurationVar(&cfg.streamTick, "stream-tick", 500*time.Millisecond, "in-process stream: windowed DP release period")
 	fs.DurationVar(&cfg.computeCost, "compute-cost", 0, "in-process GSP: CPU time burned per CountTypes (like -audit-cost for the LBS: fixed yielding work makes a freq miss span scheduler slices, so dup-hot stampedes genuinely overlap even on few cores)")
 	fs.BoolVar(&cfg.noSingleflight, "no-singleflight", false, "in-process GSP: disable the miss coalescer (ablation baseline for dup-hot runs)")
 	fs.IntVar(&cfg.admitLimit, "admit-limit", 0, "in-process servers' admission concurrency limit (0 = unlimited)")
@@ -210,7 +255,7 @@ func parseFlags(args []string) (*config, error) {
 	for _, tgt := range strings.Split(*targets, ",") {
 		tgt = strings.TrimSpace(tgt)
 		switch tgt {
-		case "freq", "batch", "release":
+		case "freq", "batch", "release", "ingest":
 			cfg.targets = append(cfg.targets, tgt)
 		case "":
 		default:
@@ -231,14 +276,27 @@ func parseFlags(args []string) (*config, error) {
 	}
 	switch cfg.profile {
 	case "uniform", "dup-hot":
+	case "stream":
+		if !hasTarget(cfg.targets, "ingest") {
+			return nil, errors.New("-profile stream drives the ingest target (add it to -targets)")
+		}
 	default:
-		return nil, fmt.Errorf("unknown profile %q (want uniform or dup-hot)", cfg.profile)
+		return nil, fmt.Errorf("unknown profile %q (want uniform, dup-hot, or stream)", cfg.profile)
 	}
 	if cfg.zipfS <= 0 {
 		return nil, errors.New("-zipf-s must be positive")
 	}
 	if cfg.dupEpoch <= 0 {
 		return nil, errors.New("-dup-epoch must be positive")
+	}
+	if cfg.streamUsers < 1 {
+		return nil, errors.New("-stream-users must be >= 1")
+	}
+	if cfg.streamBatch < 1 {
+		return nil, errors.New("-stream-batch must be >= 1")
+	}
+	if cfg.streamBurst <= 0 || cfg.streamTick <= 0 {
+		return nil, errors.New("-stream-burst and -stream-tick must be positive")
 	}
 	if cfg.shards > 0 && !cfg.inprocess {
 		return nil, errors.New("-cluster needs -inprocess (point -gsp at a running gspgw to load-test a real fleet)")
@@ -250,7 +308,7 @@ func parseFlags(args []string) (*config, error) {
 			switch tgt {
 			case "freq", "batch":
 				needsGSP = true
-			case "release":
+			case "release", "ingest":
 				needsLBS = true
 			}
 		}
@@ -258,7 +316,7 @@ func parseFlags(args []string) (*config, error) {
 			return nil, errors.New("freq/batch targets need -gsp (or -inprocess)")
 		}
 		if needsLBS && cfg.lbsURL == "" {
-			return nil, errors.New("release target needs -lbs (or -inprocess)")
+			return nil, errors.New("release/ingest targets need -lbs (or -inprocess)")
 		}
 	}
 	return cfg, nil
@@ -378,6 +436,8 @@ func run(args []string, stdout io.Writer) error {
 
 	gspURL, lbsURL := cfg.gspURL, cfg.lbsURL
 	var inprocSvc *gsp.Service
+	var streamStore *stream.Store
+	var streamRel *stream.Releaser
 	if cfg.inprocess {
 		if cfg.computeCost > 0 {
 			iters := calibrateBusy(cfg.computeCost)
@@ -418,6 +478,32 @@ func run(args []string, stdout io.Writer) error {
 		for _, o := range serverOpts {
 			gspOpts = append(gspOpts, o)
 			lbsOpts = append(lbsOpts, o)
+		}
+		if hasTarget(cfg.targets, "ingest") {
+			// Window store sized to exactly one cohort: the stream
+			// profile's rotations then force real eviction churn while the
+			// event count stays hard-bounded at users × per-user cap.
+			streamStore, err = stream.NewStore(stream.Config{
+				MaxUsers: cfg.streamUsers,
+				Bounds:   city.Bounds,
+			})
+			if err != nil {
+				return err
+			}
+			mech, err := defense.NewDPRelease(svc,
+				cloak.UniformPopulation(city.Bounds, 2000, cfg.seed+13), defense.DefaultDPReleaseConfig())
+			if err != nil {
+				return err
+			}
+			streamRel, err = stream.NewReleaser(streamStore, svc, mech, nil, stream.ReleaserConfig{
+				Interval: cfg.streamTick,
+				Radius:   cfg.radius,
+				Seed:     cfg.seed,
+			})
+			if err != nil {
+				return err
+			}
+			lbsOpts = append(lbsOpts, wire.WithStream(streamStore, streamRel))
 		}
 		if cfg.shards > 0 {
 			// Cluster mode: N shards behind an in-memory gateway, each
@@ -529,6 +615,24 @@ func run(args []string, stdout io.Writer) error {
 				Freq:   relFreq,
 				R:      cfg.radius,
 			})
+		case "ingest":
+			// Under the stream profile the cohort index advances every
+			// -stream-burst, so each epoch's user IDs have never been seen
+			// before — a sustained flood of evict-and-admit work.
+			cohort := 0
+			if cfg.profile == "stream" {
+				cohort = int(time.Since(epochStart) / cfg.streamBurst)
+			}
+			now := time.Now()
+			evs := make([]stream.Event, cfg.streamBatch)
+			for i := range evs {
+				l := locs[rng.IntN(len(locs))]
+				evs[i] = stream.Event{
+					UserID: fmt.Sprintf("s%d-%d", cohort, rng.IntN(cfg.streamUsers)),
+					X:      l.X, Y: l.Y, TS: now,
+				}
+			}
+			_, err = lbsClient.Ingest(ctx, evs)
 		}
 		d := time.Since(start)
 		stats[tgt].record(d, err)
@@ -554,6 +658,10 @@ func run(args []string, stdout io.Writer) error {
 			strings.Join(cfg.targets, "+"), cfg.duration, mode, cfg.conc, cfg.admitLimit)
 	}
 
+	stopStream := func() {}
+	if streamRel != nil {
+		stopStream = streamRel.Start(nil)
+	}
 	wallStart := time.Now()
 	if cfg.rate > 0 {
 		runOpenLoop(cfg, doOne)
@@ -561,6 +669,7 @@ func run(args []string, stdout io.Writer) error {
 		runClosedLoop(cfg, doOne)
 	}
 	wall := time.Since(wallStart)
+	stopStream() // final flush, so Releases counts the drained window too
 
 	report := buildReport(cfg, stats, &overall, &overallOK, wall)
 	if inprocSvc != nil {
@@ -580,6 +689,20 @@ func run(args []string, stdout io.Writer) error {
 		}
 		report.GSP = g
 	}
+	if streamStore != nil {
+		sc := streamStore.Config()
+		ss := streamStore.Stats()
+		report.Stream = &StreamStats{
+			EventsAccepted: ss.Accepted,
+			EventsRejected: ss.Rejected,
+			EventsDropped:  ss.Dropped,
+			UsersEvicted:   ss.UsersEvicted,
+			ActiveUsers:    ss.ActiveUsers,
+			WindowEvents:   ss.WindowEvents,
+			WindowEventCap: sc.MaxUsers * sc.MaxPerUser,
+			Releases:       streamRel.Ticks(),
+		}
+	}
 	if err := emit(report, cfg.out, stdout); err != nil {
 		return err
 	}
@@ -591,8 +714,22 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("assert: unexpected errors (badRequest=%d transport=%d)",
 				report.BadRequest, report.TransportErrors)
 		}
+		if s := report.Stream; s != nil && s.WindowEvents > s.WindowEventCap {
+			return fmt.Errorf("assert: window store exceeded its memory bound (%d events > cap %d)",
+				s.WindowEvents, s.WindowEventCap)
+		}
 	}
 	return nil
+}
+
+// hasTarget reports whether tgt is among the selected targets.
+func hasTarget(targets []string, tgt string) bool {
+	for _, t := range targets {
+		if t == tgt {
+			return true
+		}
+	}
+	return false
 }
 
 // runClosedLoop keeps cfg.conc workers saturated until the deadline.
@@ -722,8 +859,17 @@ func buildReport(cfg *config, stats map[string]*targetStats, overall, overallOK 
 	}
 	if cfg.profile != "uniform" {
 		rep.Config.Profile = cfg.profile
-		rep.Config.ZipfS = cfg.zipfS
-		rep.Config.DupEpoch = cfg.dupEpoch.String()
+		if cfg.profile == "dup-hot" {
+			rep.Config.ZipfS = cfg.zipfS
+			rep.Config.DupEpoch = cfg.dupEpoch.String()
+		}
+	}
+	if hasTarget(cfg.targets, "ingest") {
+		rep.Config.StreamUsers = cfg.streamUsers
+		rep.Config.StreamBatch = cfg.streamBatch
+		if cfg.profile == "stream" {
+			rep.Config.StreamBurst = cfg.streamBurst.String()
+		}
 	}
 	if cfg.admitLimit > 0 {
 		rep.Config.AdmitQueue = cfg.admitQueue

@@ -130,6 +130,49 @@ func TestLoadgenClusterMode(t *testing.T) {
 	}
 }
 
+// TestLoadgenStreamProfile drives the open-loop ingest target with
+// rotating user cohorts against the in-process stream subsystem: the
+// report must carry a stream block showing accepted events, eviction
+// churn from the cohort floods, window occupancy at or under the hard
+// memory cap, and published windowed releases.
+func TestLoadgenStreamProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{
+		"-inprocess", "-quiet", "-assert",
+		"-duration", "600ms", "-rate", "200", "-conc", "8",
+		"-targets", "ingest", "-profile", "stream",
+		"-stream-users", "32", "-stream-batch", "4",
+		"-stream-burst", "150ms", "-stream-tick", "100ms",
+		"-out", out,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, out)
+	if rep.Config.Profile != "stream" || rep.Config.StreamUsers != 32 || rep.Config.StreamBatch != 4 {
+		t.Errorf("config echo wrong: %+v", rep.Config)
+	}
+	if pt := rep.PerTarget["ingest"]; pt.Total == 0 || pt.OK == 0 {
+		t.Errorf("ingest target made no progress: %+v", pt)
+	}
+	s := rep.Stream
+	if s == nil {
+		t.Fatal("report has no stream block for an in-process ingest run")
+	}
+	if s.EventsAccepted == 0 {
+		t.Error("no events entered the window")
+	}
+	if s.WindowEventCap == 0 || s.WindowEvents > s.WindowEventCap {
+		t.Errorf("window occupancy %d over cap %d", s.WindowEvents, s.WindowEventCap)
+	}
+	if s.UsersEvicted == 0 {
+		t.Error("cohort rotation produced no eviction churn")
+	}
+	if s.Releases < 2 {
+		t.Errorf("releases = %d, want periodic ticks plus the final flush", s.Releases)
+	}
+}
+
 func TestLoadgenFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{"-targets", "bogus"},
@@ -138,8 +181,13 @@ func TestLoadgenFlagValidation(t *testing.T) {
 		{"-duration", "0s"},
 		{"-targets", "freq"}, // remote mode without -gsp
 		{"-targets", "release"},
-		{"-cluster", "2"},  // cluster needs -inprocess
-		{"-cluster", "-1"}, // negative fleet
+		{"-targets", "ingest"}, // remote mode without -lbs
+		{"-cluster", "2"},      // cluster needs -inprocess
+		{"-cluster", "-1"},     // negative fleet
+		{"-inprocess", "-profile", "stream", "-targets", "freq"}, // stream profile needs ingest
+		{"-inprocess", "-targets", "ingest", "-stream-users", "0"},
+		{"-inprocess", "-targets", "ingest", "-stream-batch", "0"},
+		{"-inprocess", "-targets", "ingest", "-stream-burst", "0s"},
 	}
 	for _, args := range cases {
 		if _, err := parseFlags(args); err == nil {

@@ -127,7 +127,16 @@ func (d *DPRelease) Release(src *rng.Source, l geo.Point, r float64) (poi.FreqVe
 			}
 		}
 	}
-	k := float64(len(dummies))
+	return d.noiseAndSolve(src, sums, senss, float64(len(dummies)))
+}
+
+// noiseAndSolve is the mechanism core shared by Release and
+// ReleaseVectors: given per-dimension sums over k member vectors and the
+// per-dimension max sensitivities, it draws the configured noise, forms
+// the rounded non-negative noisy mean, and runs the Eq. (9)
+// post-processing optimization.
+func (d *DPRelease) noiseAndSolve(src *rng.Source, sums, senss []int, k float64) (poi.FreqVector, error) {
+	m := len(sums)
 	noisyMean := poi.NewFreqVector(m)
 	for i := 0; i < m; i++ {
 		sum := sums[i]
@@ -157,6 +166,35 @@ func (d *DPRelease) Release(src *rng.Source, l geo.Point, r float64) (poi.FreqVe
 		return nil, fmt.Errorf("defense: DPRelease: %w", err)
 	}
 	return out, nil
+}
+
+// ReleaseVectors applies the identical mechanism to caller-supplied
+// member frequency vectors instead of cloaked dummy locations: the
+// members' per-dimension sums feed the noisy mean and the per-dimension
+// max over members is the sensitivity, exactly as Release treats its k
+// dummies. The streaming releaser uses this with one window-aggregate
+// vector per contributing user, so each tick is an (ε,δ)-DP release
+// under the same neighbouring relation. Every vector must have the
+// city's dimensionality M.
+func (d *DPRelease) ReleaseVectors(src *rng.Source, vecs []poi.FreqVector) (poi.FreqVector, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("defense: ReleaseVectors: no member vectors")
+	}
+	m := d.svc.City().M()
+	sums := make([]int, m)
+	senss := make([]int, m)
+	for j, vec := range vecs {
+		if len(vec) != m {
+			return nil, fmt.Errorf("defense: ReleaseVectors: vector %d has %d dims, city has %d", j, len(vec), m)
+		}
+		for i, v := range vec {
+			sums[i] += v
+			if v > senss[i] {
+				senss[i] = v
+			}
+		}
+	}
+	return d.noiseAndSolve(src, sums, senss, float64(len(vecs)))
 }
 
 // Config returns the mechanism parameters.

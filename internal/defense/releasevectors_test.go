@@ -1,0 +1,186 @@
+package defense
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"poiagg/internal/dp"
+	"poiagg/internal/poi"
+	"poiagg/internal/rng"
+)
+
+// memberVectors builds a small set of realistic per-member frequency
+// vectors from the fixture city, as the streaming releaser would hand in
+// (one window aggregate per contributing user).
+func memberVectors(t testing.TB, n int) []poi.FreqVector {
+	t.Helper()
+	city, svc, _ := fixture(t)
+	locs := city.RandomLocations(n, 417)
+	vecs := make([]poi.FreqVector, n)
+	for i, l := range locs {
+		vecs[i] = svc.Freq(l, 1200)
+	}
+	return vecs
+}
+
+// referenceReleaseVectors re-implements the mechanism from its public
+// building blocks (dp.GaussianSigma / rng / OptRelease) so the test does
+// not share code with the implementation under test.
+func referenceReleaseVectors(t *testing.T, cfg DPReleaseConfig, src *rng.Source, vecs []poi.FreqVector) poi.FreqVector {
+	t.Helper()
+	city, _, _ := fixture(t)
+	m := city.M()
+	sums := make([]int, m)
+	senss := make([]int, m)
+	for _, vec := range vecs {
+		for i, v := range vec {
+			sums[i] += v
+			if v > senss[i] {
+				senss[i] = v
+			}
+		}
+	}
+	k := float64(len(vecs))
+	noisy := poi.NewFreqVector(m)
+	for i := 0; i < m; i++ {
+		var noise float64
+		switch cfg.Mech {
+		case MechLaplace:
+			if senss[i] > 0 {
+				noise = src.Laplace(0, float64(senss[i])/cfg.Eps)
+			}
+		default:
+			sigma, err := dp.GaussianSigma(float64(senss[i]), cfg.Eps, cfg.Delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			noise = src.Normal(0, sigma)
+		}
+		n := int(math.Round((float64(sums[i]) + noise) / k))
+		if n < 0 {
+			n = 0
+		}
+		noisy[i] = n
+	}
+	opt, err := NewOptRelease(city.City)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := opt.Solve(noisy, cfg.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestReleaseVectorsMatchesReference(t *testing.T) {
+	_, svc, pop := fixture(t)
+	vecs := memberVectors(t, 7)
+	for _, tc := range []struct {
+		name string
+		mech NoiseMechanism
+	}{
+		{"gaussian", MechGaussian},
+		{"laplace", MechLaplace},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultDPReleaseConfig()
+			cfg.Mech = tc.mech
+			cfg.Eps = 0.8
+			mech, err := NewDPRelease(svc, pop, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mech.ReleaseVectors(rng.New(511), vecs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := referenceReleaseVectors(t, cfg, rng.New(511), vecs)
+			if len(got) != len(want) {
+				t.Fatalf("len(got) = %d, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("dim %d: got %d, want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestReleaseVectorsDeterministic(t *testing.T) {
+	_, svc, pop := fixture(t)
+	mech, err := NewDPRelease(svc, pop, DefaultDPReleaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := memberVectors(t, 5)
+	a, err := mech.ReleaseVectors(rng.New(600), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mech.ReleaseVectors(rng.New(600), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dim %d: %d vs %d with identical seed", i, a[i], b[i])
+		}
+	}
+	c, err := mech.ReleaseVectors(rng.New(601), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical releases")
+	}
+}
+
+func TestReleaseVectorsSingleMember(t *testing.T) {
+	_, svc, pop := fixture(t)
+	mech, err := NewDPRelease(svc, pop, DefaultDPReleaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := memberVectors(t, 1)
+	out, err := mech.ReleaseVectors(rng.New(602), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(vecs[0]) {
+		t.Fatalf("len(out) = %d, want %d", len(out), len(vecs[0]))
+	}
+	for i, v := range out {
+		if v < 0 {
+			t.Fatalf("dim %d negative: %d", i, v)
+		}
+	}
+}
+
+func TestReleaseVectorsErrors(t *testing.T) {
+	city, svc, pop := fixture(t)
+	mech, err := NewDPRelease(svc, pop, DefaultDPReleaseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mech.ReleaseVectors(rng.New(1), nil); err == nil {
+		t.Error("empty vector set accepted")
+	}
+	bad := []poi.FreqVector{poi.NewFreqVector(city.M() + 3)}
+	_, err = mech.ReleaseVectors(rng.New(1), bad)
+	if err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "dims") {
+		t.Errorf("mismatch error %q does not name dims", err)
+	}
+}

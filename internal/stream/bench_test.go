@@ -1,0 +1,51 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkStreamApply measures the ingest hot path: one validated
+// event through the window store at steady state (user population at
+// the cap, per-user windows full, so every apply prunes and drops).
+func BenchmarkStreamApply(b *testing.B) {
+	const users = 1024
+	st, clock := testStore(b, users, 32, 10*time.Minute)
+	now := clock.Now()
+	evs := make([]Event, users)
+	for i := range evs {
+		evs[i] = eventAt(b, fmt.Sprintf("user-%04d", i), i, now)
+	}
+	// Warm to steady state: every user at the per-user cap.
+	for j := 0; j < 32; j++ {
+		for i := range evs {
+			if err := st.Apply(evs[i], "bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Apply(evs[i%users], "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWindowRelease measures one full releaser tick: window scan,
+// per-user freq aggregation, DP noise, and post-processing over a
+// populated store.
+func BenchmarkWindowRelease(b *testing.B) {
+	rg := newRig(b, 99, nil)
+	rg.feed(b, 48)
+	tick := baseTime.Add(time.Minute)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rg.rel.Tick(tick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

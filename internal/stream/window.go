@@ -1,0 +1,254 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"poiagg/internal/geo"
+	"poiagg/internal/obs"
+)
+
+// Store defaults.
+const (
+	// DefaultWindow is the sliding-window length.
+	DefaultWindow = 5 * time.Minute
+	// DefaultMaxPerUser caps how many window events one user may hold;
+	// beyond it the oldest event is dropped (shed, not buffered).
+	DefaultMaxPerUser = 64
+)
+
+// Config parameterizes a window Store.
+type Config struct {
+	// Window is the sliding-window length; events older than now-Window
+	// are pruned (and rejected on arrival).
+	Window time.Duration
+	// MaxUsers caps the distinct users held; when full, admitting a new
+	// user evicts an idle one via the same second-chance policy as the
+	// LBS release history (-history-users).
+	MaxUsers int
+	// MaxPerUser caps one user's window events; the oldest is dropped
+	// when exceeded.
+	MaxPerUser int
+	// Clock supplies "now" for validation and pruning; defaults to
+	// time.Now. Tests and replay inject a ManualClock.
+	Clock func() time.Time
+	// Bounds rejects events outside the city when it has positive area.
+	Bounds geo.Rect
+}
+
+// winEvent is one stored check-in (the user id lives in the map key).
+type winEvent struct {
+	loc geo.Point
+	ts  time.Time
+}
+
+// userWindow is one user's live window state.
+type userWindow struct {
+	principal string
+	events    []winEvent
+	touched   bool // second-chance bit
+}
+
+// Store holds bounded per-user sliding-window state. Memory is bounded
+// by MaxUsers × MaxPerUser events regardless of how many distinct users
+// stream or how fast: excess users evict via second chance, excess
+// per-user events drop oldest, and stale events are rejected at the
+// door.
+type Store struct {
+	cfg Config
+
+	mu     sync.Mutex
+	users  map[string]*userWindow
+	userQ  []string // second-chance queue; 1:1 with users keys
+	events int      // total events across all windows
+
+	accepted     obs.Counter
+	rejected     obs.Counter
+	dropped      obs.Counter // per-user cap drops
+	usersEvicted obs.Counter
+}
+
+// NewStore builds a Store, applying defaults for zero fields.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxUsers <= 0 {
+		return nil, fmt.Errorf("stream: NewStore: MaxUsers must be positive, got %d", cfg.MaxUsers)
+	}
+	if cfg.MaxPerUser <= 0 {
+		cfg.MaxPerUser = DefaultMaxPerUser
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Store{cfg: cfg, users: make(map[string]*userWindow)}, nil
+}
+
+// Config returns the store's effective configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Apply validates and admits one event under the given principal. The
+// principal is recorded with the user's window so the releaser can
+// charge the right budget account; a user's principal follows their
+// most recent event.
+func (s *Store) Apply(ev Event, principal string) error {
+	now := s.cfg.Clock()
+	if err := ev.Validate(now, s.cfg.Window, s.cfg.Bounds); err != nil {
+		s.rejected.Inc()
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	u := s.users[ev.UserID]
+	if u == nil {
+		s.shedLocked()
+		u = &userWindow{}
+		s.users[ev.UserID] = u
+		s.userQ = append(s.userQ, ev.UserID)
+	}
+	u.principal = principal
+	u.touched = true
+	s.pruneUserLocked(u, now)
+	if len(u.events) >= s.cfg.MaxPerUser {
+		// Drop-oldest: the window sheds rather than buffers a chatty
+		// user.
+		drop := len(u.events) - s.cfg.MaxPerUser + 1
+		u.events = append(u.events[:0], u.events[drop:]...)
+		s.events -= drop
+		for i := 0; i < drop; i++ {
+			s.dropped.Inc()
+		}
+	}
+	u.events = append(u.events, winEvent{loc: ev.Loc(), ts: ev.TS})
+	s.events++
+	s.accepted.Inc()
+	return nil
+}
+
+// shedLocked makes room for one new user when the store is at MaxUsers,
+// mirroring the LBS release history's second-chance queue: recently
+// touched users get one reprieve, the first un-touched user is evicted
+// with all their window events.
+func (s *Store) shedLocked() {
+	for len(s.users) >= s.cfg.MaxUsers && len(s.userQ) > 0 {
+		oldest := s.userQ[0]
+		s.userQ = s.userQ[1:]
+		u := s.users[oldest]
+		if u == nil {
+			continue
+		}
+		if u.touched {
+			u.touched = false
+			s.userQ = append(s.userQ, oldest)
+			continue
+		}
+		s.events -= len(u.events)
+		delete(s.users, oldest)
+		s.usersEvicted.Inc()
+	}
+}
+
+// pruneUserLocked removes the user's events that have fallen out of the
+// window ending at now, preserving arrival order.
+func (s *Store) pruneUserLocked(u *userWindow, now time.Time) {
+	cutoff := now.Add(-s.cfg.Window)
+	kept := u.events[:0]
+	for _, e := range u.events {
+		if e.ts.After(cutoff) {
+			kept = append(kept, e)
+		} else {
+			s.events--
+		}
+	}
+	u.events = kept
+}
+
+// UserWindow is one user's live contribution to the current window, as
+// seen by the releaser.
+type UserWindow struct {
+	UserID    string
+	Principal string
+	Locations []geo.Point
+}
+
+// ActiveAt prunes every window to (now-Window, now] and returns the
+// users with at least one surviving event, sorted by user id so
+// downstream aggregation is deterministic. Users whose windows pruned
+// empty stay registered (their map/queue entries are 1:1; only the
+// second-chance shed removes users).
+func (s *Store) ActiveAt(now time.Time) []UserWindow {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]UserWindow, 0, len(s.users))
+	for id, u := range s.users {
+		s.pruneUserLocked(u, now)
+		if len(u.events) == 0 {
+			continue
+		}
+		locs := make([]geo.Point, len(u.events))
+		for i, e := range u.events {
+			locs[i] = e.loc
+		}
+		out = append(out, UserWindow{UserID: id, Principal: u.principal, Locations: locs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
+	return out
+}
+
+// Stats is a point-in-time snapshot of the store.
+type Stats struct {
+	ActiveUsers  int
+	WindowEvents int
+	Accepted     uint64
+	Rejected     uint64
+	Dropped      uint64
+	UsersEvicted uint64
+}
+
+// Stats snapshots the store's gauges and counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	users, events := len(s.users), s.events
+	s.mu.Unlock()
+	return Stats{
+		ActiveUsers:  users,
+		WindowEvents: events,
+		Accepted:     s.accepted.Value(),
+		Rejected:     s.rejected.Value(),
+		Dropped:      s.dropped.Value(),
+		UsersEvicted: s.usersEvicted.Value(),
+	}
+}
+
+// Metric names exported by the store.
+const (
+	MetricActiveUsers    = "stream.active_users"
+	MetricWindowEvents   = "stream.window_events"
+	MetricEventsAccepted = "stream.events_accepted"
+	MetricEventsRejected = "stream.events_rejected"
+	MetricEventsDropped  = "stream.events_dropped"
+	MetricUsersEvicted   = "stream.users_evicted"
+)
+
+// ExportMetrics publishes the store's gauges and counters on reg.
+func (s *Store) ExportMetrics(reg *obs.Registry) {
+	reg.CounterFunc(MetricActiveUsers, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(len(s.users))
+	})
+	reg.CounterFunc(MetricWindowEvents, func() uint64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return uint64(s.events)
+	})
+	reg.CounterFunc(MetricEventsAccepted, s.accepted.Value)
+	reg.CounterFunc(MetricEventsRejected, s.rejected.Value)
+	reg.CounterFunc(MetricEventsDropped, s.dropped.Value)
+	reg.CounterFunc(MetricUsersEvicted, s.usersEvicted.Value)
+}

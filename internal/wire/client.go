@@ -18,6 +18,7 @@ import (
 	"poiagg/internal/geo"
 	"poiagg/internal/obs"
 	"poiagg/internal/poi"
+	"poiagg/internal/stream"
 )
 
 // ErrBadRequest marks 4xx replies from a server; match with errors.Is.
@@ -98,6 +99,27 @@ func (e *PeerUnreachableError) Unwrap() error { return e.Err }
 
 // Is makes errors.Is(err, ErrPeerUnreachable) match.
 func (e *PeerUnreachableError) Is(target error) bool { return target == ErrPeerUnreachable }
+
+// ErrBodyTooLarge matches 413 body-size rejections with errors.Is.
+// The server's cap does not move between attempts, so resending the
+// same payload can only be rejected again: these are terminal, never
+// retried. The caller's remedy is to shrink the payload (smaller ingest
+// batches, fewer items), not to wait.
+var ErrBodyTooLarge = errors.New("wire: request body too large")
+
+// BodyTooLargeError is the typed error for a 413 rejection; errors.As
+// exposes the server's explanation (which names its byte cap).
+type BodyTooLargeError struct {
+	Path    string
+	Message string
+}
+
+func (e *BodyTooLargeError) Error() string {
+	return fmt.Sprintf("wire: %s: body too large: %s", e.Path, e.Message)
+}
+
+// Is makes errors.Is(err, ErrBodyTooLarge) match.
+func (e *BodyTooLargeError) Is(target error) bool { return target == ErrBodyTooLarge }
 
 // ErrOverloaded matches 503 admission sheds with errors.Is. Unlike a
 // budget denial, an overload clears as soon as the present wave drains,
@@ -243,6 +265,12 @@ func (c *clientCore) count(name string) {
 // (user, release) history-append semantics, and at-least-once delivery
 // is the price of resilience.
 func (c *clientCore) do(ctx context.Context, method, path string, params url.Values, body []byte, out any) error {
+	return c.doCT(ctx, method, path, params, body, "application/json", out)
+}
+
+// doCT is do with an explicit request content type (the NDJSON ingest
+// stream is the one non-JSON body on the wire).
+func (c *clientCore) doCT(ctx context.Context, method, path string, params url.Values, body []byte, contentType string, out any) error {
 	u := c.base + path
 	if len(params) > 0 {
 		u += "?" + params.Encode()
@@ -251,7 +279,7 @@ func (c *clientCore) do(ctx context.Context, method, path string, params url.Val
 	refused := 0
 	for attempt := 0; ; attempt++ {
 		c.count(MetricClientAttempts)
-		retryable, err := c.attempt(ctx, method, u, path, body, out)
+		retryable, err := c.attempt(ctx, method, u, path, body, contentType, out)
 		if err == nil {
 			return nil
 		}
@@ -290,7 +318,7 @@ func (c *clientCore) do(ctx context.Context, method, path string, params url.Val
 
 // attempt performs one HTTP exchange. The returned bool reports whether
 // the failure is transient (worth retrying).
-func (c *clientCore) attempt(ctx context.Context, method, u, path string, body []byte, out any) (bool, error) {
+func (c *clientCore) attempt(ctx context.Context, method, u, path string, body []byte, contentType string, out any) (bool, error) {
 	actx := ctx
 	if c.timeout > 0 {
 		var cancel context.CancelFunc
@@ -306,7 +334,7 @@ func (c *clientCore) attempt(ctx context.Context, method, u, path string, body [
 		return false, fmt.Errorf("wire: build request: %w", err)
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	if c.principal != "" {
 		req.Header.Set(HeaderPrincipal, c.principal)
@@ -476,6 +504,42 @@ func (c *LBSClient) BudgetReset(ctx context.Context, principal string) (*BudgetS
 	return &out, nil
 }
 
+// Ingest streams a batch of check-in events to a streaming-enabled LBS
+// server as NDJSON (one JSON event per line) and returns the server's
+// per-event accounting. Delivery is at-least-once under retries: the
+// whole batch is replayed on a transient failure, and the window store
+// treats re-applied events as fresh arrivals. A 413 reply maps to
+// BodyTooLargeError — split the batch rather than resend it.
+func (c *LBSClient) Ingest(ctx context.Context, events []stream.Event) (*IngestResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return nil, fmt.Errorf("wire: marshal ingest event %d: %w", i, err)
+		}
+	}
+	var out IngestResponse
+	if err := c.core.doCT(ctx, http.MethodPost, PathIngest, nil, buf.Bytes(), "application/x-ndjson", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamReleases fetches the most recent n windowed DP releases (all
+// retained history when n <= 0), oldest first.
+func (c *LBSClient) StreamReleases(ctx context.Context, n int) (*StreamReleasesResponse, error) {
+	var v url.Values
+	if n > 0 {
+		v = url.Values{}
+		v.Set("n", strconv.Itoa(n))
+	}
+	var out StreamReleasesResponse
+	if err := c.core.do(ctx, http.MethodGet, PathStreamReleases, v, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Releases fetches a user's stored release history.
 func (c *LBSClient) Releases(ctx context.Context, userID string) (*ReleasesResponse, error) {
 	v := url.Values{}
@@ -563,6 +627,9 @@ func decodeReply(resp *http.Response, path string, out any) error {
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			return &OverloadedError{Path: path, Message: msg, RetryAfter: retryAfterOf(resp)}
+		}
+		if resp.StatusCode == http.StatusRequestEntityTooLarge {
+			return &BodyTooLargeError{Path: path, Message: msg}
 		}
 		if resp.StatusCode/100 == 4 {
 			return fmt.Errorf("%w: %s: %s", ErrBadRequest, path, msg)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
@@ -16,6 +17,7 @@ import (
 
 	"poiagg/internal/geo"
 	"poiagg/internal/obs"
+	"poiagg/internal/stream"
 )
 
 // faultAction is one scripted behavior of the fault-injection transport.
@@ -30,6 +32,7 @@ const (
 	act503Retry                    // synthesize an admission shed: 503 + Retry-After + structured body
 	act401                         // synthesize an auth rejection with a structured body
 	actRefused                     // fail at the transport (connection refused — dead peer)
+	act413                         // synthesize a body-too-large rejection with a structured body
 )
 
 // refusedErr mirrors what net.Dialer returns against a closed port, so
@@ -100,6 +103,19 @@ func (ft *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 			Header: h,
 			Body: io.NopCloser(strings.NewReader(
 				`{"error":"unauthorized: signature does not match request","reason":"bad_signature"}`)),
+			Request: req,
+		}, nil
+	case act413:
+		h := make(http.Header)
+		h.Set("Content-Type", "application/json")
+		return &http.Response{
+			Status:     "413 Request Entity Too Large",
+			StatusCode: http.StatusRequestEntityTooLarge,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1, ProtoMinor: 1,
+			Header: h,
+			Body: io.NopCloser(strings.NewReader(
+				`{"error":"request body exceeds 1048576 bytes"}`)),
 			Request: req,
 		}, nil
 	case actDrop:
@@ -188,6 +204,71 @@ func faultyGSPClient(t *testing.T, script []faultAction, delay time.Duration, op
 }
 
 func fastBackoff() ClientOption { return WithBackoff(time.Millisecond, 4*time.Millisecond) }
+
+// faultyLBSClient builds a streaming-enabled LBS client whose transport
+// runs through the fault script and body tracker.
+func faultyLBSClient(t *testing.T, script []faultAction, opts ...ClientOption) (*LBSClient, *faultTransport, *trackingTransport) {
+	t.Helper()
+	city, _ := wireFixture(t)
+	st, err := stream.NewStore(stream.Config{MaxUsers: 16, Bounds: city.Bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewLBSServer(city.M(), WithStream(st, nil)))
+	t.Cleanup(ts.Close)
+	ft := &faultTransport{base: http.DefaultTransport, script: script}
+	tt := &trackingTransport{base: ft}
+	hc := &http.Client{Transport: tt}
+	client := NewLBSClient(ts.URL, hc, opts...)
+	t.Cleanup(func() {
+		if n := tt.open.Load(); n != 0 {
+			t.Errorf("%d of %d response bodies leaked", n, tt.opened.Load())
+		}
+		hc.CloseIdleConnections()
+	})
+	return client, ft, tt
+}
+
+// TestLBSClientBodyTooLargeIsTerminal proves a 413 maps to the typed
+// BodyTooLargeError and is never retried: the cap will reject the same
+// payload every time, so retries only burn attempts.
+func TestLBSClientBodyTooLargeIsTerminal(t *testing.T) {
+	reg := obs.NewRegistry()
+	client, ft, _ := faultyLBSClient(t, []faultAction{act413},
+		WithRetries(3), fastBackoff(), WithClientMetrics(reg))
+
+	_, err := client.Ingest(context.Background(), []stream.Event{
+		{UserID: "u1", X: 1, Y: 1, TS: time.Now()},
+	})
+	if err == nil {
+		t.Fatal("413 produced no error")
+	}
+	if !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("want ErrBodyTooLarge, got %v", err)
+	}
+	var btl *BodyTooLargeError
+	if !errors.As(err, &btl) {
+		t.Fatalf("error is not a *BodyTooLargeError: %v", err)
+	}
+	if btl.Path != PathIngest {
+		t.Errorf("BodyTooLargeError.Path = %q, want %q", btl.Path, PathIngest)
+	}
+	if !strings.Contains(btl.Message, "1048576") {
+		t.Errorf("typed error lost the server's cap message: %q", btl.Message)
+	}
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrBudgetDenied) {
+		t.Errorf("413 cross-matches another sentinel: %v", err)
+	}
+	if got := ft.callCount(); got != 1 {
+		t.Errorf("413 retried: %d attempts, want 1", got)
+	}
+	if got := reg.Counter(MetricClientRetries).Value(); got != 0 {
+		t.Errorf("retry counter = %d, want 0", got)
+	}
+	if got := reg.Counter(MetricClientFailures).Value(); got != 1 {
+		t.Errorf("failure counter = %d, want 1", got)
+	}
+}
 
 func TestGSPClientRetriesThroughFaultBurst(t *testing.T) {
 	reg := obs.NewRegistry()

@@ -16,6 +16,7 @@ import (
 	"poiagg/internal/gsp"
 	"poiagg/internal/obs"
 	"poiagg/internal/poi"
+	"poiagg/internal/stream"
 )
 
 // Auditor examines an incoming release. The LBS application is exactly
@@ -70,6 +71,11 @@ type LBSServer struct {
 	ledger       *budget.Ledger
 	releaseEps   float64
 	releaseDelta float64
+
+	// streamStore/streamRel, when set, serve the live-ingestion surface:
+	// POST /v1/ingest and GET /v1/stream/releases.
+	streamStore *stream.Store
+	streamRel   *stream.Releaser
 
 	mu       sync.Mutex
 	history  map[string]*userHistory
@@ -209,6 +215,14 @@ func NewLBSServer(m int, opts ...LBSServerOption) *LBSServer {
 	if s.ledger != nil {
 		s.mux.HandleFunc("GET "+PathBudget+"/{principal}", s.handleBudgetStatus)
 		s.mux.HandleFunc("POST "+PathBudget+"/{principal}/reset", s.handleBudgetReset)
+	}
+	if s.streamStore != nil {
+		s.mux.HandleFunc("POST "+PathIngest, s.handleIngest)
+		s.streamStore.ExportMetrics(s.reg)
+	}
+	if s.streamRel != nil {
+		s.mux.HandleFunc("GET "+PathStreamReleases, s.handleStreamReleases)
+		s.streamRel.ExportMetrics(s.reg)
 	}
 	if s.pprof {
 		registerPprof(s.mux)

@@ -33,6 +33,12 @@ const (
 	// LBS server: GET /v1/budget/{principal} reports a principal's
 	// accounting, POST /v1/budget/{principal}/reset zeroes it.
 	PathBudget = "/v1/budget"
+	// PathIngest accepts an NDJSON stream of check-in events on a
+	// streaming-enabled LBS server (see WithStream).
+	PathIngest = "/v1/ingest"
+	// PathStreamReleases lists the windowed DP releases published by the
+	// streaming releaser.
+	PathStreamReleases = "/v1/stream/releases"
 )
 
 // HeaderPrincipal names the request header carrying the privacy-budget
