@@ -158,10 +158,13 @@ type Report struct {
 type StreamStats struct {
 	EventsAccepted uint64 `json:"eventsAccepted"`
 	EventsRejected uint64 `json:"eventsRejected"`
-	EventsDropped  uint64 `json:"eventsDropped"`
-	UsersEvicted   uint64 `json:"usersEvicted"`
-	ActiveUsers    int    `json:"activeUsers"`
-	WindowEvents   int    `json:"windowEvents"`
+	// EventsDeduped counts at-least-once replays the window store
+	// applied once (client-stamped event ids).
+	EventsDeduped uint64 `json:"eventsDeduped"`
+	EventsDropped uint64 `json:"eventsDropped"`
+	UsersEvicted  uint64 `json:"usersEvicted"`
+	ActiveUsers   int    `json:"activeUsers"`
+	WindowEvents  int    `json:"windowEvents"`
 	// WindowEventCap is the memory bound the store must never exceed:
 	// max users × max events per user.
 	WindowEventCap int    `json:"windowEventCap"`
@@ -695,6 +698,7 @@ func run(args []string, stdout io.Writer) error {
 		report.Stream = &StreamStats{
 			EventsAccepted: ss.Accepted,
 			EventsRejected: ss.Rejected,
+			EventsDeduped:  ss.Deduped,
 			EventsDropped:  ss.Dropped,
 			UsersEvicted:   ss.UsersEvicted,
 			ActiveUsers:    ss.ActiveUsers,

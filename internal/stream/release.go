@@ -42,22 +42,56 @@ type ReleaserConfig struct {
 	Eps, Delta float64
 }
 
-// WindowRelease is one published windowed DP aggregate.
+// WindowRelease is one windowed DP aggregate as the server sees it.
+// Only the Public projection crosses the wire: Users and Events are
+// exact, un-noised functions of real participation (not covered by the
+// DP guarantee, which protects Freq alone), and Denied names tenants —
+// all three are operator-side observability, never published.
 type WindowRelease struct {
 	// Tick is the release's sequence number, starting at 0.
 	Tick uint64 `json:"tick"`
 	// Time is the window end (the tick time).
 	Time time.Time `json:"time"`
-	// Users is how many users contributed to the aggregate.
+	// Users is how many users contributed to the aggregate. Exact, so
+	// server-side only (metrics / replay comparison).
 	Users int `json:"users"`
-	// Events is how many window events those users contributed.
+	// Events is how many window events those users contributed. Exact,
+	// so server-side only.
 	Events int `json:"events"`
 	// Denied lists principals whose budget was exhausted this window;
-	// their users are excluded from the aggregate.
+	// their users are excluded from the aggregate. Tenant identities —
+	// server-side only; the Public view carries an anonymous count.
 	Denied []string `json:"denied,omitempty"`
 	// Freq is the DP-protected frequency vector; empty when no user
 	// contributed.
 	Freq poi.FreqVector `json:"freq,omitempty"`
+}
+
+// PublicRelease is the externally publishable projection of a
+// WindowRelease: the DP-protected frequency vector plus tick/time
+// metadata. Exact contributor counts stay server-side (publishing them
+// would let an observer detect a single user joining or leaving a
+// window, breaking the (ε, δ) claim), and denied tenants are reported
+// only as a count — naming them would hand any caller the cross-tenant
+// budget inspection that the budget admin endpoints 403.
+type PublicRelease struct {
+	Tick uint64    `json:"tick"`
+	Time time.Time `json:"time"`
+	// DeniedPrincipals counts tenants excluded from this window for
+	// budget exhaustion, without identifying them. Per-tenant detail is
+	// on the tenant-scoped GET /v1/budget/{principal}.
+	DeniedPrincipals int            `json:"deniedPrincipals,omitempty"`
+	Freq             poi.FreqVector `json:"freq,omitempty"`
+}
+
+// Public returns the release's publishable view.
+func (wr WindowRelease) Public() PublicRelease {
+	return PublicRelease{
+		Tick:             wr.Tick,
+		Time:             wr.Time,
+		DeniedPrincipals: len(wr.Denied),
+		Freq:             wr.Freq,
+	}
 }
 
 // Releaser periodically turns the window store's state into a DP
@@ -70,18 +104,28 @@ type Releaser struct {
 	store *Store
 	svc   *gsp.Service
 	mech  *defense.DPRelease
-	led   *budget.Ledger // optional; nil disables budget charging
+	spend spendFunc // the ledger's Spend; nil disables budget charging
 	cfg   ReleaserConfig
 	src   *rng.Source
 
 	mu      sync.Mutex
 	ticks   uint64
 	history []WindowRelease
+	// chargeTick/charged memoize the durable spend decisions already
+	// made for the in-progress tick, so a Tick retried after a mid-loop
+	// Spend failure skips the principals it already charged instead of
+	// double-spending them for one window.
+	chargeTick uint64
+	charged    map[string]bool // principal → allowed
 
 	released  obs.Counter
 	denials   obs.Counter
 	lastUsers obs.Gauge
 }
+
+// spendFunc is the budget-charging hook: budget.(*Ledger).Spend in
+// production, swappable in tests to inject mid-loop failures.
+type spendFunc func(principal string, eps, delta float64) (budget.Decision, error)
 
 // NewReleaser wires a releaser over a store, the GSP service, the DP
 // mechanism, and an optional budget ledger.
@@ -101,14 +145,17 @@ func NewReleaser(store *Store, svc *gsp.Service, mech *defense.DPRelease, led *b
 	if led != nil && cfg.Eps <= 0 {
 		return nil, fmt.Errorf("stream: NewReleaser: budget charging enabled but Eps = %v", cfg.Eps)
 	}
-	return &Releaser{
+	r := &Releaser{
 		store: store,
 		svc:   svc,
 		mech:  mech,
-		led:   led,
 		cfg:   cfg,
 		src:   rng.New(cfg.Seed),
-	}, nil
+	}
+	if led != nil {
+		r.spend = led.Spend
+	}
+	return r, nil
 }
 
 // Config returns the releaser's effective configuration.
@@ -128,9 +175,16 @@ func (r *Releaser) Tick(now time.Time) (WindowRelease, error) {
 
 	// Charge each contributing principal once per window, in sorted
 	// order so ledger state (and its persisted log) is replayable.
-	// Denied principals' users are excluded from this window.
+	// Denied principals' users are excluded from this window. Decisions
+	// land in the per-tick memo as they are made: if a Spend fails
+	// partway, the principals charged before the failure were charged
+	// durably, and the retried Tick must not charge them again.
 	deniedSet := map[string]bool{}
-	if r.led != nil && len(active) > 0 {
+	if r.spend != nil && len(active) > 0 {
+		if r.charged == nil || r.chargeTick != r.ticks {
+			r.chargeTick = r.ticks
+			r.charged = make(map[string]bool)
+		}
 		principals := make([]string, 0, len(active))
 		seen := map[string]bool{}
 		for _, u := range active {
@@ -141,14 +195,21 @@ func (r *Releaser) Tick(now time.Time) (WindowRelease, error) {
 		}
 		sort.Strings(principals)
 		for _, p := range principals {
-			dec, err := r.led.Spend(p, r.cfg.Eps, r.cfg.Delta)
-			if err != nil {
-				return WindowRelease{}, fmt.Errorf("stream: Tick %d: charge %q: %w", r.ticks, p, err)
+			allowed, done := r.charged[p]
+			if !done {
+				dec, err := r.spend(p, r.cfg.Eps, r.cfg.Delta)
+				if err != nil {
+					return WindowRelease{}, fmt.Errorf("stream: Tick %d: charge %q: %w", r.ticks, p, err)
+				}
+				allowed = dec.Allowed
+				r.charged[p] = allowed
+				if !allowed {
+					r.denials.Inc()
+				}
 			}
-			if !dec.Allowed {
+			if !allowed {
 				deniedSet[p] = true
 				rel.Denied = append(rel.Denied, p)
-				r.denials.Inc()
 			}
 		}
 	}
@@ -184,6 +245,7 @@ func (r *Releaser) Tick(now time.Time) (WindowRelease, error) {
 	}
 
 	r.ticks++
+	r.charged = nil // the tick published; its charge memo is spent
 	r.history = append(r.history, rel)
 	if len(r.history) > r.cfg.History {
 		r.history = append(r.history[:0], r.history[len(r.history)-r.cfg.History:]...)

@@ -37,11 +37,22 @@ var (
 	// ErrFutureEvent marks an event timestamped beyond the accepted
 	// clock skew.
 	ErrFutureEvent = errors.New("stream: event timestamp in the future")
+	// ErrEventIDTooLong marks an oversized event id.
+	ErrEventIDTooLong = errors.New("stream: event id too long")
+	// ErrDuplicateEvent marks an event whose id already sits in the
+	// user's window: an at-least-once retry replayed it, and the store
+	// applied the original. It is a dedup outcome, not a validation
+	// failure.
+	ErrDuplicateEvent = errors.New("stream: duplicate event id in window")
 )
 
 // MaxUserIDLen bounds the user id so a single event cannot bloat the
 // per-user map key space.
 const MaxUserIDLen = 128
+
+// MaxEventIDLen bounds the optional event id, which lives in the
+// window store's per-user dedup set for as long as the event does.
+const MaxEventIDLen = 128
 
 // FutureSkew is how far ahead of the server clock an event timestamp
 // may run before it is rejected as ErrFutureEvent.
@@ -53,6 +64,11 @@ type Event struct {
 	X      float64   `json:"x"`
 	Y      float64   `json:"y"`
 	TS     time.Time `json:"ts"`
+	// ID optionally identifies the event so at-least-once retries
+	// deduplicate: re-applying an id that is still in the user's window
+	// returns ErrDuplicateEvent instead of inflating the aggregate.
+	// LBSClient.Ingest assigns ids automatically when absent.
+	ID string `json:"id,omitempty"`
 }
 
 // Loc returns the event's location as a geo.Point.
@@ -66,6 +82,9 @@ func (e Event) Validate(now time.Time, window time.Duration, bounds geo.Rect) er
 	}
 	if len(e.UserID) > MaxUserIDLen {
 		return fmt.Errorf("%w: %d bytes (max %d)", ErrUserTooLong, len(e.UserID), MaxUserIDLen)
+	}
+	if len(e.ID) > MaxEventIDLen {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrEventIDTooLong, len(e.ID), MaxEventIDLen)
 	}
 	if math.IsNaN(e.X) || math.IsInf(e.X, 0) || math.IsNaN(e.Y) || math.IsInf(e.Y, 0) {
 		return fmt.Errorf("%w: non-finite coordinates", ErrBadLocation)

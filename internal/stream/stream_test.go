@@ -239,6 +239,91 @@ func TestEvictedUserFreshWindow(t *testing.T) {
 	t.Fatal("re-appeared victim missing from the window")
 }
 
+// TestCrossPrincipalUserWindowsIsolated pins the window keying: a
+// tenant streaming a userId another tenant already uses gets its own
+// window — it cannot re-attribute the other tenant's buffered events to
+// its principal (and thus its budget), and neither tenant's events leak
+// into the other's aggregate contribution.
+func TestCrossPrincipalUserWindowsIsolated(t *testing.T) {
+	st, clock := testStore(t, 10, 8, 10*time.Minute)
+	now := clock.Now()
+	for j := 0; j < 2; j++ {
+		if err := st.Apply(eventAt(t, "ada", j, now.Add(time.Duration(j)*time.Second)), "acme"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The hijack attempt from the review: one event under the same
+	// userId from a different principal.
+	if err := st.Apply(eventAt(t, "ada", 9, now.Add(3*time.Second)), "globex"); err != nil {
+		t.Fatal(err)
+	}
+	aw := st.ActiveAt(now.Add(time.Minute))
+	if len(aw) != 2 {
+		t.Fatalf("windows = %d, want 2 separate (principal, user) windows: %+v", len(aw), aw)
+	}
+	// Sorted by (user, principal): acme first.
+	if aw[0].Principal != "acme" || len(aw[0].Locations) != 2 {
+		t.Errorf("acme window: %+v", aw[0])
+	}
+	if aw[1].Principal != "globex" || len(aw[1].Locations) != 1 {
+		t.Errorf("globex window: %+v", aw[1])
+	}
+	for _, u := range aw {
+		if u.UserID != "ada" {
+			t.Errorf("window user = %q, want ada", u.UserID)
+		}
+	}
+}
+
+// TestStoreDedupByID pins at-least-once dedup: a replayed event id
+// still live in the window is applied once; ids die with their events
+// (window expiry and drop-oldest both free them).
+func TestStoreDedupByID(t *testing.T) {
+	st, clock := testStore(t, 10, 2, 2*time.Minute)
+	now := clock.Now()
+	ev := eventAt(t, "u1", 1, now)
+	ev.ID = "batch-1/0"
+	if err := st.Apply(ev, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Apply(ev, "acme"); !errors.Is(err, ErrDuplicateEvent) {
+		t.Fatalf("replayed id = %v, want ErrDuplicateEvent", err)
+	}
+	s := st.Stats()
+	if s.Accepted != 1 || s.Deduped != 1 || s.WindowEvents != 1 {
+		t.Fatalf("stats after replay: %+v", s)
+	}
+	// The same id under a different principal is a different window: no
+	// cross-tenant dedup oracle.
+	if err := st.Apply(ev, "globex"); err != nil {
+		t.Fatalf("same id, other principal: %v", err)
+	}
+	// Drop-oldest frees the dropped event's id for re-admission.
+	for j := 0; j < 2; j++ {
+		e := eventAt(t, "u1", 10+j, now.Add(time.Duration(j+1)*time.Second))
+		e.ID = fmt.Sprintf("batch-2/%d", j)
+		if err := st.Apply(e, "acme"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Apply(ev, "acme"); err != nil {
+		t.Fatalf("id of dropped event should be admissible again: %v", err)
+	}
+	// Window expiry frees ids too.
+	clock.Set(now.Add(3 * time.Minute))
+	late := eventAt(t, "u2", 30, now.Add(3*time.Minute))
+	late.ID = "late"
+	if err := st.Apply(late, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Set(now.Add(6 * time.Minute))
+	late2 := eventAt(t, "u2", 31, now.Add(6*time.Minute))
+	late2.ID = "late"
+	if err := st.Apply(late2, "acme"); err != nil {
+		t.Fatalf("id of expired event should be admissible again: %v", err)
+	}
+}
+
 func TestStorePrunesExpiredWindows(t *testing.T) {
 	st, clock := testStore(t, 10, 8, 2*time.Minute)
 	now := clock.Now()
@@ -404,6 +489,99 @@ func TestTickChargesBudgetAndDenies(t *testing.T) {
 		if d := rg.led.Status(p); d.SpentEps != 0.5 {
 			t.Errorf("principal %s spent %v after denial, want 0.5", p, d.SpentEps)
 		}
+	}
+}
+
+// TestTickRetrySkipsChargedPrincipals pins the partial-failure path: a
+// Spend failure mid-loop aborts the tick after durably charging earlier
+// principals, and the retried tick must skip them — one window, one
+// charge per principal, even across the retry.
+func TestTickRetrySkipsChargedPrincipals(t *testing.T) {
+	pol := &budget.Policy{LifetimeEps: 10, LifetimeDelta: 0.5}
+	rg := newRig(t, 31, pol)
+	rg.feed(t, 6) // 3 users under acme, 3 under globex
+	realSpend := rg.rel.spend
+	failing := true
+	rg.rel.spend = func(p string, eps, delta float64) (budget.Decision, error) {
+		if failing && p == "globex" {
+			return budget.Decision{}, errors.New("injected ledger failure")
+		}
+		return realSpend(p, eps, delta)
+	}
+	tick := baseTime.Add(time.Minute)
+	if _, err := rg.rel.Tick(tick); err == nil {
+		t.Fatal("Tick survived the injected Spend failure")
+	}
+	// acme (sorted first) was charged durably before the failure.
+	if d := rg.led.Status("acme"); d.SpentEps != 0.5 {
+		t.Fatalf("acme spent %v after failed tick, want 0.5", d.SpentEps)
+	}
+	if got := rg.rel.Ticks(); got != 0 {
+		t.Fatalf("failed tick advanced the counter to %d", got)
+	}
+	failing = false
+	wr, err := rg.rel.Tick(tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Users != 6 || len(wr.Denied) != 0 {
+		t.Fatalf("retried tick release: %+v", wr)
+	}
+	for _, p := range []string{"acme", "globex"} {
+		d := rg.led.Status(p)
+		if d.SpentEps != 0.5 || d.Releases != 1 {
+			t.Errorf("principal %s: spent %v over %d releases, want 0.5 over 1 (double-charged on retry)", p, d.SpentEps, d.Releases)
+		}
+	}
+	// The memo is per tick: the next window charges normally again.
+	rg.clock.Set(tick.Add(time.Minute))
+	rg.feed(t, 6)
+	if _, err := rg.rel.Tick(tick.Add(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if d := rg.led.Status("acme"); d.SpentEps != 1.0 {
+		t.Errorf("acme spent %v after second window, want 1.0", d.SpentEps)
+	}
+}
+
+// TestDeniedPrincipalCannotSuppressOthers pins the other half of the
+// window-keying fix: a budget-exhausted tenant submitting events under
+// a userId that a healthy tenant is streaming must not suppress the
+// healthy tenant's window from the release.
+func TestDeniedPrincipalCannotSuppressOthers(t *testing.T) {
+	// One (0.5, 0.05) charge per principal, ever.
+	pol := &budget.Policy{LifetimeEps: 0.6, LifetimeDelta: 0.06}
+	rg := newRig(t, 17, pol)
+	// Window 1: only globex is active; the tick exhausts its budget.
+	if err := rg.st.Apply(eventAt(t, "gx-user", 1, baseTime), "globex"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rg.rel.Tick(baseTime.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	// Window 2: acme streams "ada"; exhausted globex sends one event
+	// under the same userId.
+	rg.clock.Set(baseTime.Add(6 * time.Minute)) // window 1 events age out (4m window)
+	now := rg.clock.Now()
+	for j := 0; j < 2; j++ {
+		if err := rg.st.Apply(eventAt(t, "ada", 10+j, now), "acme"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rg.st.Apply(eventAt(t, "ada", 20, now), "globex"); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := rg.rel.Tick(now.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wr.Denied, []string{"globex"}) {
+		t.Fatalf("Denied = %v, want [globex]", wr.Denied)
+	}
+	// acme's ada window survives: 1 user, 2 events — globex's denial
+	// only excluded globex's own single-event window.
+	if wr.Users != 1 || wr.Events != 2 {
+		t.Fatalf("release = %d users / %d events, want acme's 1/2 (denied tenant suppressed another tenant's window): %+v", wr.Users, wr.Events, wr)
 	}
 }
 

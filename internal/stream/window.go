@@ -24,9 +24,9 @@ type Config struct {
 	// Window is the sliding-window length; events older than now-Window
 	// are pruned (and rejected on arrival).
 	Window time.Duration
-	// MaxUsers caps the distinct users held; when full, admitting a new
-	// user evicts an idle one via the same second-chance policy as the
-	// LBS release history (-history-users).
+	// MaxUsers caps the distinct (principal, user) windows held; when
+	// full, admitting a new window evicts an idle one via the same
+	// second-chance policy as the LBS release history (-history-users).
 	MaxUsers int
 	// MaxPerUser caps one user's window events; the oldest is dropped
 	// when exceeded.
@@ -38,34 +38,46 @@ type Config struct {
 	Bounds geo.Rect
 }
 
+// windowKey addresses one user's window. Keying by (principal, userId)
+// — not the client-supplied userId alone — means a tenant streaming a
+// userId another tenant already uses gets its own separate window: it
+// cannot re-attribute the other tenant's buffered events to its budget,
+// and a budget denial against it cannot suppress them.
+type windowKey struct {
+	principal string
+	userID    string
+}
+
 // winEvent is one stored check-in (the user id lives in the map key).
 type winEvent struct {
 	loc geo.Point
 	ts  time.Time
+	id  string // dedup id; "" when the client sent none
 }
 
 // userWindow is one user's live window state.
 type userWindow struct {
-	principal string
-	events    []winEvent
-	touched   bool // second-chance bit
+	events  []winEvent
+	seen    map[string]bool // ids of live events; nil until an id arrives
+	touched bool            // second-chance bit
 }
 
 // Store holds bounded per-user sliding-window state. Memory is bounded
 // by MaxUsers × MaxPerUser events regardless of how many distinct users
 // stream or how fast: excess users evict via second chance, excess
 // per-user events drop oldest, and stale events are rejected at the
-// door.
+// door. The dedup set adds at most one id per live event.
 type Store struct {
 	cfg Config
 
 	mu     sync.Mutex
-	users  map[string]*userWindow
-	userQ  []string // second-chance queue; 1:1 with users keys
-	events int      // total events across all windows
+	users  map[windowKey]*userWindow
+	userQ  []windowKey // second-chance queue; 1:1 with users keys
+	events int         // total events across all windows
 
 	accepted     obs.Counter
 	rejected     obs.Counter
+	deduped      obs.Counter // at-least-once replays applied once
 	dropped      obs.Counter // per-user cap drops
 	usersEvicted obs.Counter
 }
@@ -84,16 +96,17 @@ func NewStore(cfg Config) (*Store, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Store{cfg: cfg, users: make(map[string]*userWindow)}, nil
+	return &Store{cfg: cfg, users: make(map[windowKey]*userWindow)}, nil
 }
 
 // Config returns the store's effective configuration.
 func (s *Store) Config() Config { return s.cfg }
 
 // Apply validates and admits one event under the given principal. The
-// principal is recorded with the user's window so the releaser can
-// charge the right budget account; a user's principal follows their
-// most recent event.
+// window is keyed by (principal, userId), so the event only ever joins
+// (and is only ever charged to) the submitting principal's own window.
+// An event id already live in that window returns ErrDuplicateEvent and
+// is not re-applied.
 func (s *Store) Apply(ev Event, principal string) error {
 	now := s.cfg.Clock()
 	if err := ev.Validate(now, s.cfg.Window, s.cfg.Bounds); err != nil {
@@ -104,27 +117,42 @@ func (s *Store) Apply(ev Event, principal string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	u := s.users[ev.UserID]
+	key := windowKey{principal: principal, userID: ev.UserID}
+	u := s.users[key]
 	if u == nil {
 		s.shedLocked()
 		u = &userWindow{}
-		s.users[ev.UserID] = u
-		s.userQ = append(s.userQ, ev.UserID)
+		s.users[key] = u
+		s.userQ = append(s.userQ, key)
 	}
-	u.principal = principal
 	u.touched = true
 	s.pruneUserLocked(u, now)
+	if ev.ID != "" {
+		if u.seen[ev.ID] {
+			s.deduped.Inc()
+			return ErrDuplicateEvent
+		}
+		if u.seen == nil {
+			u.seen = make(map[string]bool)
+		}
+		u.seen[ev.ID] = true
+	}
 	if len(u.events) >= s.cfg.MaxPerUser {
 		// Drop-oldest: the window sheds rather than buffers a chatty
 		// user.
 		drop := len(u.events) - s.cfg.MaxPerUser + 1
+		for _, e := range u.events[:drop] {
+			if e.id != "" {
+				delete(u.seen, e.id)
+			}
+		}
 		u.events = append(u.events[:0], u.events[drop:]...)
 		s.events -= drop
 		for i := 0; i < drop; i++ {
 			s.dropped.Inc()
 		}
 	}
-	u.events = append(u.events, winEvent{loc: ev.Loc(), ts: ev.TS})
+	u.events = append(u.events, winEvent{loc: ev.Loc(), ts: ev.TS, id: ev.ID})
 	s.events++
 	s.accepted.Inc()
 	return nil
@@ -154,7 +182,8 @@ func (s *Store) shedLocked() {
 }
 
 // pruneUserLocked removes the user's events that have fallen out of the
-// window ending at now, preserving arrival order.
+// window ending at now, preserving arrival order. Pruned events release
+// their dedup ids with them.
 func (s *Store) pruneUserLocked(u *userWindow, now time.Time) {
 	cutoff := now.Add(-s.cfg.Window)
 	kept := u.events[:0]
@@ -162,6 +191,9 @@ func (s *Store) pruneUserLocked(u *userWindow, now time.Time) {
 		if e.ts.After(cutoff) {
 			kept = append(kept, e)
 		} else {
+			if e.id != "" {
+				delete(u.seen, e.id)
+			}
 			s.events--
 		}
 	}
@@ -177,15 +209,15 @@ type UserWindow struct {
 }
 
 // ActiveAt prunes every window to (now-Window, now] and returns the
-// users with at least one surviving event, sorted by user id so
-// downstream aggregation is deterministic. Users whose windows pruned
-// empty stay registered (their map/queue entries are 1:1; only the
-// second-chance shed removes users).
+// users with at least one surviving event, sorted by (user id,
+// principal) so downstream aggregation is deterministic. Users whose
+// windows pruned empty stay registered (their map/queue entries are
+// 1:1; only the second-chance shed removes users).
 func (s *Store) ActiveAt(now time.Time) []UserWindow {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]UserWindow, 0, len(s.users))
-	for id, u := range s.users {
+	for k, u := range s.users {
 		s.pruneUserLocked(u, now)
 		if len(u.events) == 0 {
 			continue
@@ -194,9 +226,14 @@ func (s *Store) ActiveAt(now time.Time) []UserWindow {
 		for i, e := range u.events {
 			locs[i] = e.loc
 		}
-		out = append(out, UserWindow{UserID: id, Principal: u.principal, Locations: locs})
+		out = append(out, UserWindow{UserID: k.userID, Principal: k.principal, Locations: locs})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UserID < out[j].UserID })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UserID != out[j].UserID {
+			return out[i].UserID < out[j].UserID
+		}
+		return out[i].Principal < out[j].Principal
+	})
 	return out
 }
 
@@ -206,6 +243,7 @@ type Stats struct {
 	WindowEvents int
 	Accepted     uint64
 	Rejected     uint64
+	Deduped      uint64
 	Dropped      uint64
 	UsersEvicted uint64
 }
@@ -220,6 +258,7 @@ func (s *Store) Stats() Stats {
 		WindowEvents: events,
 		Accepted:     s.accepted.Value(),
 		Rejected:     s.rejected.Value(),
+		Deduped:      s.deduped.Value(),
 		Dropped:      s.dropped.Value(),
 		UsersEvicted: s.usersEvicted.Value(),
 	}
@@ -231,6 +270,7 @@ const (
 	MetricWindowEvents   = "stream.window_events"
 	MetricEventsAccepted = "stream.events_accepted"
 	MetricEventsRejected = "stream.events_rejected"
+	MetricEventsDeduped  = "stream.events_deduped"
 	MetricEventsDropped  = "stream.events_dropped"
 	MetricUsersEvicted   = "stream.users_evicted"
 )
@@ -249,6 +289,7 @@ func (s *Store) ExportMetrics(reg *obs.Registry) {
 	})
 	reg.CounterFunc(MetricEventsAccepted, s.accepted.Value)
 	reg.CounterFunc(MetricEventsRejected, s.rejected.Value)
+	reg.CounterFunc(MetricEventsDeduped, s.deduped.Value)
 	reg.CounterFunc(MetricEventsDropped, s.dropped.Value)
 	reg.CounterFunc(MetricUsersEvicted, s.usersEvicted.Value)
 }

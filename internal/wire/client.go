@@ -506,14 +506,22 @@ func (c *LBSClient) BudgetReset(ctx context.Context, principal string) (*BudgetS
 
 // Ingest streams a batch of check-in events to a streaming-enabled LBS
 // server as NDJSON (one JSON event per line) and returns the server's
-// per-event accounting. Delivery is at-least-once under retries: the
-// whole batch is replayed on a transient failure, and the window store
-// treats re-applied events as fresh arrivals. A 413 reply maps to
-// BodyTooLargeError — split the batch rather than resend it.
+// per-event accounting. Delivery is at-least-once under retries — the
+// whole batch is replayed on a transient failure — but application is
+// effectively-once within the window: events without an ID get one
+// stamped from a per-call batch id before the body is built, the
+// retried body resends those ids verbatim, and the window store applies
+// each id once (replays come back in the response's Deduped count). A
+// 413 reply maps to BodyTooLargeError — split the batch rather than
+// resend it.
 func (c *LBSClient) Ingest(ctx context.Context, events []stream.Event) (*IngestResponse, error) {
+	batch := strconv.FormatUint(rand.Uint64(), 16) + strconv.FormatUint(rand.Uint64(), 16)
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for i, ev := range events {
+		if ev.ID == "" {
+			ev.ID = batch + "/" + strconv.Itoa(i)
+		}
 		if err := enc.Encode(ev); err != nil {
 			return nil, fmt.Errorf("wire: marshal ingest event %d: %w", i, err)
 		}

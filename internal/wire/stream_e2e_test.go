@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -172,13 +173,18 @@ func TestStreamReplayIdentityE2E(t *testing.T) {
 	tick(ticks[2]) // no new events; everything still inside the 4m window
 	tick(ticks[3]) // the first wave has aged out by now
 
-	// The release history must round-trip the HTTP surface too.
+	// The release history must round-trip the HTTP surface too — as the
+	// public projection, which is all the endpoint serves.
 	hist, err := acme.StreamReleases(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(hist.Releases, live.rel.History(0)) {
-		t.Fatalf("HTTP release history diverged from in-process history")
+	wantPub := make([]stream.PublicRelease, 0, len(live.rel.History(0)))
+	for _, wr := range live.rel.History(0) {
+		wantPub = append(wantPub, wr.Public())
+	}
+	if !reflect.DeepEqual(hist.Releases, wantPub) {
+		t.Fatalf("HTTP release history diverged from in-process history:\n got  %+v\n want %+v", hist.Releases, wantPub)
 	}
 
 	liveState, err := live.led.DumpState()
@@ -240,6 +246,186 @@ func TestStreamReplayIdentityE2E(t *testing.T) {
 	}
 	if !bytes.Equal(liveSnap, replaySnap) {
 		t.Fatalf("persisted ledger snapshots differ:\n live   %s\n replay %s", liveSnap, replaySnap)
+	}
+}
+
+// TestStreamReleasesScrubTenantData pins the public-projection fix
+// from review: GET /v1/stream/releases is readable by any caller, so
+// the raw JSON it serves must carry neither denied tenant names (the
+// tenant-isolation invariant the budget admin endpoints 403) nor the
+// exact users/events counts (exact functions of real participation,
+// outside the DP guarantee). Denials surface only as an anonymous
+// count.
+func TestStreamReleasesScrubTenantData(t *testing.T) {
+	stk := newStreamStack(t, streamStackConfig{ledgerDir: t.TempDir(), seed: 11})
+	const victim = "secret-tenant"
+	if err := stk.st.Apply(streamEvent(t, "ada", 1, streamBase), victim); err != nil {
+		t.Fatal(err)
+	}
+	// The stack's policy allows 10 eps lifetime at 0.5 per window: 20
+	// ticks drain it, the 21st is denied. All ticks stay inside the 4m
+	// window so the event keeps contributing.
+	var last stream.WindowRelease
+	for i := 1; i <= 21; i++ {
+		var err error
+		last, err = stk.rel.Tick(streamBase.Add(time.Duration(i) * time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(last.Denied) != 1 || last.Denied[0] != victim {
+		t.Fatalf("test premise broken: final tick Denied = %v", last.Denied)
+	}
+
+	resp, err := stk.ts.Client().Get(stk.ts.URL + PathStreamReleases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, leak := range []string{victim, `"users"`, `"events"`, `"denied"`} {
+		if strings.Contains(body, leak) {
+			t.Errorf("public release body leaks %s:\n%s", leak, body)
+		}
+	}
+	if !strings.Contains(body, `"deniedPrincipals":1`) {
+		t.Errorf("public release body missing the anonymous denial count:\n%s", body)
+	}
+	var srr StreamReleasesResponse
+	if err := json.Unmarshal(raw, &srr); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(srr.Releases); n != 21 {
+		t.Fatalf("releases = %d, want 21", n)
+	}
+	if got := srr.Releases[20]; got.DeniedPrincipals != 1 || len(got.Freq) != 0 {
+		t.Errorf("denied-window public release: %+v", got)
+	}
+	if got := srr.Releases[0]; got.DeniedPrincipals != 0 || len(got.Freq) == 0 {
+		t.Errorf("healthy-window public release: %+v", got)
+	}
+}
+
+// lossyTransport forwards each request to the real server but discards
+// the first n responses, synthesizing a 503 instead — the "reply lost
+// in transit" failure that makes an at-least-once client resend a batch
+// the server already applied.
+type lossyTransport struct {
+	base http.RoundTripper
+	lose int32
+}
+
+func (lt *lossyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := lt.base.RoundTrip(req)
+	if err != nil || atomic.AddInt32(&lt.lose, -1) < 0 {
+		return resp, err
+	}
+	resp.Body.Close()
+	return &http.Response{
+		Status:     "503 Service Unavailable",
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1, ProtoMinor: 1,
+		Header:  make(http.Header),
+		Body:    io.NopCloser(strings.NewReader(`{"error":"injected lost reply"}`)),
+		Request: req,
+	}, nil
+}
+
+// TestIngestRetryDeduplicates pins the review's duplicate-inflation
+// fix end to end: the server applies a batch, the reply is lost, the
+// retrying client resends the identical NDJSON body — and the window
+// store deduplicates by the client-stamped event ids, so the retried
+// batch reports Deduped (not Accepted) and the window holds each event
+// exactly once.
+func TestIngestRetryDeduplicates(t *testing.T) {
+	stk := newStreamStack(t, streamStackConfig{seed: 5})
+	hc := &http.Client{Transport: &lossyTransport{base: stk.ts.Client().Transport, lose: 1}}
+	client := NewLBSClient(stk.ts.URL, hc,
+		WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+
+	evs := []stream.Event{
+		streamEvent(t, "ada", 1, streamBase),
+		streamEvent(t, "ada", 2, streamBase.Add(time.Second)),
+		streamEvent(t, "bob", 3, streamBase.Add(2*time.Second)),
+	}
+	resp, err := client.Ingest(context.Background(), evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The surviving (second) attempt saw every event already applied.
+	if resp.Accepted != 0 || resp.Deduped != 3 || resp.Rejected != 0 {
+		t.Fatalf("retried batch accounting: %+v", resp)
+	}
+	s := stk.st.Stats()
+	if s.WindowEvents != 3 || s.Accepted != 3 || s.Deduped != 3 {
+		t.Fatalf("window after retry: %+v (duplicates inflated the window)", s)
+	}
+	// A genuinely fresh batch (new call → new batch id) is not deduped.
+	resp2, err := client.Ingest(context.Background(), []stream.Event{
+		streamEvent(t, "ada", 4, streamBase.Add(3*time.Second)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Accepted != 1 || resp2.Deduped != 0 {
+		t.Fatalf("fresh batch accounting: %+v", resp2)
+	}
+}
+
+// TestIngestCrossTenantWindowIsolationE2E drives the review's hijack
+// scenario over signed HTTP: tenant globex streams one event under a
+// userId acme has been streaming. The event must land in globex's own
+// window — acme's buffered events stay acme's (charged to acme, not
+// globex, and not suppressible by globex's budget state).
+func TestIngestCrossTenantWindowIsolationE2E(t *testing.T) {
+	kr := mustKeyring(t, "acme", "globex")
+	stk := newStreamStack(t, streamStackConfig{
+		ledgerDir: t.TempDir(),
+		seed:      13,
+		srvOpts:   []LBSServerOption{WithAuth(kr)},
+	})
+	acme := NewLBSClient(stk.ts.URL, stk.ts.Client(), WithSigningKey("acme", testKey('A')))
+	globex := NewLBSClient(stk.ts.URL, stk.ts.Client(), WithSigningKey("globex", testKey('B')))
+	ctx := context.Background()
+
+	if _, err := acme.Ingest(ctx, []stream.Event{
+		streamEvent(t, "ada", 1, streamBase),
+		streamEvent(t, "ada", 2, streamBase.Add(time.Second)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := globex.Ingest(ctx, []stream.Event{
+		streamEvent(t, "ada", 3, streamBase.Add(2*time.Second)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	aw := stk.st.ActiveAt(streamBase.Add(3 * time.Second))
+	if len(aw) != 2 {
+		t.Fatalf("windows = %+v, want separate acme/ada and globex/ada windows", aw)
+	}
+	if aw[0].Principal != "acme" || len(aw[0].Locations) != 2 ||
+		aw[1].Principal != "globex" || len(aw[1].Locations) != 1 {
+		t.Fatalf("window ownership: %+v", aw)
+	}
+
+	// The tick charges each tenant for its own window.
+	wr, err := stk.rel.Tick(streamBase.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Users != 2 || wr.Events != 3 {
+		t.Fatalf("release: %+v", wr)
+	}
+	for _, p := range []string{"acme", "globex"} {
+		if d := stk.led.Status(p); d.Releases != 1 {
+			t.Errorf("principal %s charged %d windows, want 1", p, d.Releases)
+		}
 	}
 }
 

@@ -33,6 +33,10 @@ type IngestEventError struct {
 type IngestResponse struct {
 	Accepted int `json:"accepted"`
 	Rejected int `json:"rejected"`
+	// Deduped counts events whose id was already live in the window:
+	// at-least-once retries replayed them, and the original application
+	// stands. They are neither accepted nor rejected.
+	Deduped int `json:"deduped,omitempty"`
 	// Errors details rejected events; truncated past maxIngestErrors.
 	Errors []IngestEventError `json:"errors,omitempty"`
 	// ErrorsTruncated is true when more events were rejected than
@@ -40,9 +44,12 @@ type IngestResponse struct {
 	ErrorsTruncated bool `json:"errorsTruncated,omitempty"`
 }
 
-// StreamReleasesResponse lists windowed DP releases, oldest first.
+// StreamReleasesResponse lists windowed DP releases, oldest first. It
+// carries the public projection only: exact contributor counts and
+// denied tenant names never cross this (any-caller) endpoint — see
+// stream.WindowRelease.Public.
 type StreamReleasesResponse struct {
-	Releases []stream.WindowRelease `json:"releases"`
+	Releases []stream.PublicRelease `json:"releases"`
 }
 
 // WithStream serves the live-ingestion surface on the LBS server:
@@ -109,6 +116,10 @@ func (s *LBSServer) handleIngest(w http.ResponseWriter, r *http.Request) {
 			p = ev.UserID
 		}
 		if err := s.streamStore.Apply(ev, p); err != nil {
+			if errors.Is(err, stream.ErrDuplicateEvent) {
+				resp.Deduped++
+				continue
+			}
 			reject(line, err)
 			continue
 		}
@@ -144,5 +155,10 @@ func (s *LBSServer) handleStreamReleases(w http.ResponseWriter, r *http.Request)
 		}
 		n = v
 	}
-	writeJSON(w, http.StatusOK, StreamReleasesResponse{Releases: s.streamRel.History(n)})
+	hist := s.streamRel.History(n)
+	pub := make([]stream.PublicRelease, len(hist))
+	for i, wr := range hist {
+		pub[i] = wr.Public()
+	}
+	writeJSON(w, http.StatusOK, StreamReleasesResponse{Releases: pub})
 }
