@@ -7,7 +7,7 @@ GO ?= go
 BENCH_CORE_PATTERN = FreqCacheSharded|WireBatchVsSequential|SweepParallelVsSerial|IndexHistVsScan|RegionPruneParallel|GramParallel|LedgerSpendParallel|LedgerSnapshotReplay|FreqSingleflight|FreqEncodedHit|StoreWarmStart|StreamApply|WindowRelease
 BENCH_CORE_PKGS = ./internal/gsp ./internal/wire ./internal/eval ./internal/index ./internal/attack ./internal/ml ./internal/budget ./internal/stream
 
-.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke e2e-cluster e2e-stream loadtest loadtest-cluster loadtest-duphot loadtest-stream repro repro-full cover clean
+.PHONY: all check fmt-check build vet test race bench bench-core bench-diff fuzz-smoke e2e-cluster e2e-stream loadtest loadtest-cluster loadtest-churn loadtest-duphot loadtest-stream repro repro-full cover clean
 
 all: check
 
@@ -127,6 +127,20 @@ loadtest-stream:
 		-targets ingest -profile stream -rate 400 -conc 32 -duration 5s \
 		-stream-users 256 -stream-batch 8 -stream-burst 1s -stream-tick 500ms \
 		-name stream-ingest -out LOADTEST_stream.json
+
+# loadtest-churn rehearses a live fleet transition: 3 per-shard-cache
+# GSP shards behind the gateway, with one retired through the
+# membership admin API at a third of the run and a brand-new cold shard
+# admitted — pre-warmed by the gateway over the moved cells — at two
+# thirds, writing LOADTEST_churn.json. The churn block's per-phase
+# latency quantiles and effective hit rates are the measurement: the
+# departed→rejoined dip is the cost of rebalancing, and -assert fails
+# the run if any phase stalls or the joiner was admitted cold.
+loadtest-churn:
+	$(GO) run ./cmd/loadgen -inprocess -assert -quiet \
+		-targets freq -profile membership-churn -cluster 3 \
+		-conc 24 -duration 6s -timeout 5s \
+		-name membership-churn -out LOADTEST_churn.json
 
 # loadtest is the overload-protection smoke: drive the in-process
 # GSP+LBS stack closed-loop at 4x the admission limit with realistic

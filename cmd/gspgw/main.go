@@ -12,7 +12,13 @@
 // evicted from the ring and recovered ones re-added, and the gateway's
 // own /readyz fails only when no shard is healthy. /v1/metrics exports
 // the cluster.* gauges (per-shard inflight/errors/health, fanout
-// latency, evictions/restores).
+// latency, evictions/restores, replica and membership counters).
+//
+// With -replicas N > 1 each single GET races up to N ring successors
+// first-wins, hedged after -hedge-delay. Membership is dynamic: the
+// /v1/cluster/peers admin surface joins shards (readiness probe plus a
+// -warm-radius/-warm-max-cells cache pre-warm first) and retires them
+// without a restart; under -auth-keys only -admin-principal may mutate.
 //
 // Usage:
 //
@@ -59,6 +65,11 @@ type config struct {
 	cityLabel     string
 	probeInterval time.Duration
 	probeTimeout  time.Duration
+	replicas      int
+	hedgeDelay    time.Duration
+	adminPr       string
+	warmRadius    float64
+	warmMaxCells  int
 	peerRetries   int
 	peerTimeout   time.Duration
 	peerAuthKey   string
@@ -84,6 +95,11 @@ func parseConfig(args []string) (*config, error) {
 	fs.StringVar(&cfg.cityLabel, "city-label", "", "city label mixed into the routing keyspace (isolates co-hosted cities)")
 	fs.DurationVar(&cfg.probeInterval, "probe-interval", wire.DefaultProbeInterval, "shard /readyz probe cadence")
 	fs.DurationVar(&cfg.probeTimeout, "probe-timeout", wire.DefaultProbeTimeout, "per-probe timeout")
+	fs.IntVar(&cfg.replicas, "replicas", 1, "replicas raced per single GET, first answer wins (1 = primary only)")
+	fs.DurationVar(&cfg.hedgeDelay, "hedge-delay", wire.DefaultHedgeDelay, "wait before hedging a replicated GET to the next replica")
+	fs.StringVar(&cfg.adminPr, "admin-principal", "", "principal allowed to mutate /v1/cluster/peers when -auth-keys is set (unset = mutations refused)")
+	fs.Float64Var(&cfg.warmRadius, "warm-radius", 0, "query radius for pre-warming a joining shard's cells (0 = the cell size)")
+	fs.IntVar(&cfg.warmMaxCells, "warm-max-cells", wire.DefaultWarmMaxCells, "max cells one join pre-warms (0 disables pre-warming)")
 	fs.IntVar(&cfg.peerRetries, "peer-retries", 2, "retry budget per shard call")
 	fs.DurationVar(&cfg.peerTimeout, "peer-timeout", 5*time.Second, "per-attempt timeout for shard calls")
 	fs.StringVar(&cfg.peerAuthKey, "peer-auth-key", "", "principal=hexkey the gateway signs shard calls with (for auth-enabled shards)")
@@ -122,6 +138,11 @@ func buildGateway(cfg *config, logger *log.Logger) (*wire.ClusterGateway, *obs.R
 		wire.WithCityLabel(cfg.cityLabel),
 		wire.WithProbeInterval(cfg.probeInterval),
 		wire.WithProbeTimeout(cfg.probeTimeout),
+		wire.WithReplicas(cfg.replicas),
+		wire.WithHedgeDelay(cfg.hedgeDelay),
+		wire.WithClusterAdmin(cfg.adminPr),
+		wire.WithWarmRadius(cfg.warmRadius),
+		wire.WithWarmMaxCells(cfg.warmMaxCells),
 		wire.WithClusterMaxRadius(cfg.maxRadius),
 		wire.WithClusterMaxBatch(cfg.maxBatch),
 		wire.WithClusterPprof(cfg.pprofOn),

@@ -35,6 +35,29 @@ func TestParseConfig(t *testing.T) {
 	if cfg.probeInterval != 500*time.Millisecond {
 		t.Errorf("probeInterval = %v", cfg.probeInterval)
 	}
+	if cfg.replicas != 1 || cfg.hedgeDelay != wire.DefaultHedgeDelay || cfg.warmMaxCells != wire.DefaultWarmMaxCells {
+		t.Errorf("replica defaults: %+v", cfg)
+	}
+}
+
+func TestParseConfigReplicaFlags(t *testing.T) {
+	cfg, err := parseConfig([]string{
+		"-peers", "http://a:8080",
+		"-replicas", "3",
+		"-hedge-delay", "25ms",
+		"-admin-principal", "ops",
+		"-warm-radius", "750",
+		"-warm-max-cells", "128",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.replicas != 3 || cfg.hedgeDelay != 25*time.Millisecond || cfg.adminPr != "ops" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.warmRadius != 750 || cfg.warmMaxCells != 128 {
+		t.Errorf("warm cfg = %+v", cfg)
+	}
 }
 
 func TestParseConfigRequiresPeers(t *testing.T) {
@@ -72,7 +95,12 @@ func TestGatewayEndToEnd(t *testing.T) {
 	s1 := httptest.NewServer(wire.NewGSPServer(svc, quiet))
 	defer s1.Close()
 
-	cfg, err := parseConfig([]string{"-peers", s0.URL + "," + s1.URL, "-probe-timeout", "200ms"})
+	cfg, err := parseConfig([]string{
+		"-peers", s0.URL + "," + s1.URL,
+		"-probe-timeout", "200ms",
+		"-replicas", "2",
+		"-hedge-delay", "1ms",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,12 +27,24 @@
 // DP releaser ticking every -stream-tick) and the report gains a
 // "stream" block with the server-side window counters.
 //
+// -profile membership-churn (requires -inprocess -cluster >= 2 and the
+// freq target) rehearses a fleet transition live: each shard gets its
+// own GSP service (so caches are per-shard, as in a real fleet), the
+// run retires one shard through the gateway's membership admin API at
+// one third of the duration and admits a brand-new cold shard — cache
+// pre-warmed by the gateway — at two thirds. Traffic queries routing
+// cell centers at the gateway's warm radius, so the pre-warm replays
+// exactly the keys live traffic asks for, and the report gains a
+// "churn" block with per-phase latency quantiles and cache hit rates:
+// the dip and recovery across the transitions is the measurement.
+//
 // Usage:
 //
 //	loadgen -inprocess -conc 32 -duration 5s -admit-limit 8
 //	loadgen -gsp http://localhost:8080 -targets freq,batch -rate 200 -duration 30s
 //	loadgen -lbs http://localhost:8081 -targets release -conc 16 -out run.json
 //	loadgen -inprocess -targets ingest -profile stream -rate 500 -duration 10s
+//	loadgen -inprocess -cluster 3 -targets freq -profile membership-churn -duration 6s
 //
 // With -inprocess the generator spins up in-memory GSP and LBS servers
 // (small synthetic city, region-audit enabled) over loopback HTTP, so a
@@ -70,6 +82,7 @@ import (
 
 	"poiagg/internal/citygen"
 	"poiagg/internal/cloak"
+	"poiagg/internal/cluster"
 	"poiagg/internal/defense"
 	"poiagg/internal/geo"
 	"poiagg/internal/gsp"
@@ -149,6 +162,41 @@ type Report struct {
 	// Stream is the in-process window store's server-side view of an
 	// ingest run (absent for remote targets and runs without ingest).
 	Stream *StreamStats `json:"stream,omitempty"`
+	// Churn is the membership-churn profile's per-phase breakdown: the
+	// hit-rate dip and tail-latency cost of a shard leaving and a cold
+	// one joining mid-run.
+	Churn *ChurnStats `json:"churn,omitempty"`
+}
+
+// ChurnStats is the membership-churn profile's report block.
+type ChurnStats struct {
+	// Victim is the shard retired at one third of the run.
+	Victim string `json:"victim"`
+	// Joiner is the cold shard admitted at two thirds.
+	Joiner string `json:"joiner"`
+	// PrewarmedCells counts the cells the gateway replayed into the
+	// joiner before routing to it (cluster.warm.cells).
+	PrewarmedCells uint64 `json:"prewarmedCells"`
+	Joins          uint64 `json:"joins"`
+	Leaves         uint64 `json:"leaves"`
+	// Phases reports the freq target per transition window: steady
+	// (full fleet), departed (victim gone), rejoined (cold shard in).
+	Phases []ChurnPhase `json:"phases"`
+}
+
+// ChurnPhase is one transition window's slice of the churn run.
+type ChurnPhase struct {
+	Name            string              `json:"name"`
+	Total           uint64              `json:"total"`
+	OK              uint64              `json:"ok"`
+	TransportErrors uint64              `json:"transportErrors"`
+	Latency         obs.LatencySnapshot `json:"latency"`
+	// HitRate is the fleet-wide effective cache hit fraction during
+	// this phase: requests answered by a shard's encoded-response cache
+	// or its freq cache, over all freq requests (0 when the phase saw
+	// no cache traffic). The departed→rejoined dip is the cost of
+	// rebalancing; pre-warm is what keeps the rejoined rate up.
+	HitRate float64 `json:"hitRate"`
 }
 
 // StreamStats reports what the ingest load did to the in-process
@@ -234,7 +282,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.Float64Var(&cfg.radius, "radius", 900, "query radius in meters")
 	fs.StringVar(&cfg.city, "city", "beijing", "city preset (must match the daemons': beijing or nyc)")
 	fs.Uint64Var(&cfg.seed, "seed", 1, "city generation seed (must match the daemons')")
-	fs.StringVar(&cfg.profile, "profile", "uniform", "load profile: uniform; dup-hot (zipf-skewed hot keys whose radius rotates every -dup-epoch, so each rotation is a stampede of concurrent misses on the same keys); stream (ingest target only: the user cohort rotates every -stream-burst, flooding the window store with fresh users)")
+	fs.StringVar(&cfg.profile, "profile", "uniform", "load profile: uniform; dup-hot (zipf-skewed hot keys whose radius rotates every -dup-epoch, so each rotation is a stampede of concurrent misses on the same keys); stream (ingest target only: the user cohort rotates every -stream-burst, flooding the window store with fresh users); membership-churn (-cluster >= 2 with the freq target: retire a shard at T/3 and admit a pre-warmed cold one at 2T/3, reporting per-phase latency and hit rate)")
 	fs.Float64Var(&cfg.zipfS, "zipf-s", 1.1, "dup-hot profile: zipf exponent (higher = more skew)")
 	fs.DurationVar(&cfg.dupEpoch, "dup-epoch", 500*time.Millisecond, "dup-hot profile: radius rotation period")
 	fs.IntVar(&cfg.streamUsers, "stream-users", 256, "ingest target: synthetic users per cohort (also sizes the in-process window store)")
@@ -283,8 +331,15 @@ func parseFlags(args []string) (*config, error) {
 		if !hasTarget(cfg.targets, "ingest") {
 			return nil, errors.New("-profile stream drives the ingest target (add it to -targets)")
 		}
+	case "membership-churn":
+		if cfg.shards < 2 {
+			return nil, errors.New("-profile membership-churn needs -inprocess -cluster >= 2 (a fleet a shard can leave)")
+		}
+		if !hasTarget(cfg.targets, "freq") {
+			return nil, errors.New("-profile membership-churn drives the freq target (add it to -targets)")
+		}
 	default:
-		return nil, fmt.Errorf("unknown profile %q (want uniform, dup-hot, or stream)", cfg.profile)
+		return nil, fmt.Errorf("unknown profile %q (want uniform, dup-hot, stream, or membership-churn)", cfg.profile)
 	}
 	if cfg.zipfS <= 0 {
 		return nil, errors.New("-zipf-s must be positive")
@@ -390,6 +445,113 @@ func calibrateBusy(d time.Duration) uint64 {
 	return uint64(float64(probe) * float64(d) / float64(per))
 }
 
+// churnPhaseNames label the membership-churn schedule: full fleet,
+// after the victim shard is retired, after the cold joiner is admitted.
+var churnPhaseNames = [3]string{"steady", "departed", "rejoined"}
+
+// cacheMark is an aggregate cache-counter snapshot across every shard
+// service at a phase boundary; phase hit rates are deltas between marks.
+type cacheMark struct{ hits, misses uint64 }
+
+// churnShard pairs a shard's HTTP server with its service: a freq
+// request is a "hit" when either tier answers it — the encoded-response
+// cache in front, or the service's freq cache behind it. Both are what
+// a cold joiner lacks and what the gateway's pre-warm fills.
+type churnShard struct {
+	srv *wire.GSPServer
+	svc *gsp.Service
+}
+
+// churnRun carries the membership-churn profile's moving parts: which
+// phase the run is in (workers attribute freq outcomes to it), the
+// per-shard cache tiers to sum counters over, and the handles the
+// controller needs to kill the victim and stop the joiner afterwards.
+type churnRun struct {
+	victim     string
+	joiner     string
+	killVictim func()
+	stopJoiner func()
+	phase      atomic.Int32
+	phases     [3]*targetStats
+	marks      [4]cacheMark
+
+	mu     sync.Mutex
+	shards []churnShard
+	err    error
+}
+
+func newChurnRun(victim string, killVictim func(), shards []churnShard) *churnRun {
+	c := &churnRun{victim: victim, killVictim: killVictim, shards: shards, stopJoiner: func() {}}
+	for i := range c.phases {
+		c.phases[i] = &targetStats{}
+	}
+	return c
+}
+
+// record attributes one freq outcome to the current phase.
+func (c *churnRun) record(d time.Duration, err error) {
+	c.phases[c.phase.Load()].record(d, err)
+}
+
+func (c *churnRun) addShard(s churnShard) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards = append(c.shards, s)
+}
+
+// sumCache sums effective hit/miss counters across every shard,
+// retired ones included (their counters freeze, so deltas stay
+// correct). Hits are encoded-cache hits plus service freq-cache hits;
+// misses are the requests that fell through both tiers to a real
+// CountTypes computation.
+func (c *churnRun) sumCache() cacheMark {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m cacheMark
+	for _, s := range c.shards {
+		em := s.srv.EncodedCacheMetrics()
+		h, mi := s.svc.CacheStats()
+		m.hits += em.Hits + h
+		m.misses += mi
+	}
+	return m
+}
+
+func (c *churnRun) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *churnRun) failure() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// churnCells returns the distinct routing-cell centers covering the
+// sampled locations. The churn profile queries exactly these points at
+// the gateway's warm radius: the freq cache keys exact coordinates, so
+// this makes the gateway's pre-warm replay the very keys live traffic
+// asks for — the whole point of warming a joiner.
+func churnCells(locs []geo.Point) []geo.Point {
+	const cs = cluster.DefaultCellSize
+	seen := make(map[[2]int]bool, len(locs))
+	out := make([]geo.Point, 0, len(locs))
+	for _, l := range locs {
+		cx, cy := cluster.CellOf(l.X, l.Y, cs)
+		k := [2]int{cx, cy}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, geo.Point{X: (float64(cx) + 0.5) * cs, Y: (float64(cy) + 0.5) * cs})
+	}
+	return out
+}
+
 // targetStats accumulates one endpoint's outcomes; all fields are safe
 // for concurrent use.
 type targetStats struct {
@@ -441,6 +603,9 @@ func run(args []string, stdout io.Writer) error {
 	var inprocSvc *gsp.Service
 	var streamStore *stream.Store
 	var streamRel *stream.Releaser
+	var churn *churnRun
+	var churnNewShard func() (string, churnShard)
+	var clusterReg *obs.Registry
 	if cfg.inprocess {
 		if cfg.computeCost > 0 {
 			iters := calibrateBusy(cfg.computeCost)
@@ -513,12 +678,29 @@ func run(args []string, stdout io.Writer) error {
 			// shard configured exactly like the single node would be. The
 			// gateway inherits the same admission/auth ServerOptions and
 			// re-signs shard calls with the load key, so signed runs keep
-			// verification on both hops.
+			// verification on both hops. The membership-churn profile
+			// gives each shard its own service — shared caches would hide
+			// the very hit-rate dip the profile exists to measure.
+			churnMode := cfg.profile == "membership-churn"
+			newShardSvc := func() *gsp.Service {
+				s := gsp.NewService(city.City, 1<<14)
+				s.SetSingleflight(!cfg.noSingleflight)
+				return s
+			}
 			peers := make([]string, cfg.shards)
+			shards := make([]churnShard, cfg.shards)
+			closers := make([]func(), cfg.shards)
 			for i := range peers {
-				shardTS := httptest.NewServer(wire.NewGSPServer(svc, gspOpts...))
+				shardSvc := svc
+				if churnMode {
+					shardSvc = newShardSvc()
+				}
+				shardSrv := wire.NewGSPServer(shardSvc, gspOpts...)
+				shards[i] = churnShard{srv: shardSrv, svc: shardSvc}
+				shardTS := httptest.NewServer(shardSrv)
 				defer shardTS.Close()
 				peers[i] = shardTS.URL
+				closers[i] = shardTS.Close
 			}
 			gwOpts := []wire.ClusterOption{wire.WithClusterLogger(quiet)}
 			for _, o := range serverOpts {
@@ -529,6 +711,29 @@ func run(args []string, stdout io.Writer) error {
 				peerOpts = append(peerOpts, wire.WithSigningKey(signPrincipal, signKey))
 			}
 			gwOpts = append(gwOpts, wire.WithPeerClientOptions(peerOpts...))
+			if churnMode {
+				// Warm radius = the traffic radius, so the joiner's
+				// pre-warmed cache entries are exactly the keys live load
+				// queries (churnCells aims traffic at cell centers).
+				clusterReg = obs.NewRegistry()
+				gwOpts = append(gwOpts,
+					wire.WithClusterMetrics(clusterReg),
+					wire.WithWarmRadius(cfg.radius))
+				if signKey != nil {
+					gwOpts = append(gwOpts, wire.WithClusterAdmin(signPrincipal))
+				}
+				churn = newChurnRun(peers[0], closers[0], append([]churnShard(nil), shards...))
+				churnNewShard = func() (string, churnShard) {
+					s := newShardSvc()
+					srv := wire.NewGSPServer(s, gspOpts...)
+					ts := httptest.NewServer(srv)
+					churn.stopJoiner = ts.Close
+					return ts.URL, churnShard{srv: srv, svc: s}
+				}
+				// Per-shard services own the cache counters now; the churn
+				// block reports them per phase instead of a GSP block.
+				inprocSvc = nil
+			}
 			gw, err := wire.NewClusterGateway(peers, gwOpts...)
 			if err != nil {
 				return err
@@ -583,6 +788,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		zipf = newZipfPicker(len(hotLocs), cfg.zipfS)
 	}
+	// membership-churn: traffic queries routing-cell centers so the
+	// joiner's pre-warm replays the exact keys under load.
+	var churnLocs []geo.Point
+	if churn != nil {
+		churnLocs = churnCells(locs)
+	}
 	epochStart := time.Now()
 
 	doOne := func(workerID, seq int, rng *rand.Rand) {
@@ -600,6 +811,9 @@ func run(args []string, stdout io.Writer) error {
 			l := locs[rng.IntN(len(locs))]
 			if zipf != nil {
 				l = hotLocs[zipf.pick(rng)]
+			}
+			if churnLocs != nil {
+				l = churnLocs[rng.IntN(len(churnLocs))]
 			}
 			_, err = gspClient.Freq(ctx, l, radius)
 		case "batch":
@@ -639,6 +853,9 @@ func run(args []string, stdout io.Writer) error {
 		}
 		d := time.Since(start)
 		stats[tgt].record(d, err)
+		if churn != nil && tgt == "freq" {
+			churn.record(d, err)
+		}
 		overall.Observe(d)
 		if err == nil {
 			overallOK.Observe(d)
@@ -665,6 +882,46 @@ func run(args []string, stdout io.Writer) error {
 	if streamRel != nil {
 		stopStream = streamRel.Start(nil)
 	}
+	// The churn controller walks the run through its three phases on
+	// wall-clock thirds: retire the victim through the admin API (then
+	// kill its server), and later admit a brand-new cold shard, which
+	// the gateway pre-warms before routing to it.
+	churnDone := make(chan struct{})
+	if churn == nil {
+		close(churnDone)
+	} else {
+		churn.marks[0] = churn.sumCache()
+		go func() {
+			defer close(churnDone)
+			third := cfg.duration / 3
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+			defer cancel()
+			time.Sleep(third)
+			churn.marks[1] = churn.sumCache()
+			if _, err := gspClient.ClusterLeave(ctx, churn.victim); err != nil {
+				churn.fail(fmt.Errorf("churn: retire %s: %w", churn.victim, err))
+				return
+			}
+			churn.killVictim()
+			churn.phase.Store(1)
+			if !cfg.quiet {
+				fmt.Fprintf(os.Stderr, "loadgen: churn: retired shard %s\n", churn.victim)
+			}
+			time.Sleep(third)
+			churn.marks[2] = churn.sumCache()
+			joinURL, joinShard := churnNewShard()
+			if _, err := gspClient.ClusterJoin(ctx, joinURL); err != nil {
+				churn.fail(fmt.Errorf("churn: admit %s: %w", joinURL, err))
+				return
+			}
+			churn.joiner = joinURL
+			churn.addShard(joinShard)
+			churn.phase.Store(2)
+			if !cfg.quiet {
+				fmt.Fprintf(os.Stderr, "loadgen: churn: admitted cold shard %s\n", joinURL)
+			}
+		}()
+	}
 	wallStart := time.Now()
 	if cfg.rate > 0 {
 		runOpenLoop(cfg, doOne)
@@ -673,6 +930,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	wall := time.Since(wallStart)
 	stopStream() // final flush, so Releases counts the drained window too
+	<-churnDone
+	if churn != nil {
+		churn.marks[3] = churn.sumCache()
+		churn.stopJoiner()
+		if err := churn.failure(); err != nil {
+			return err
+		}
+	}
 
 	report := buildReport(cfg, stats, &overall, &overallOK, wall)
 	if inprocSvc != nil {
@@ -691,6 +956,34 @@ func run(args []string, stdout io.Writer) error {
 			g.Computes = sf.Leader + (sf.Hits - sf.Shared)
 		}
 		report.GSP = g
+	}
+	if churn != nil {
+		snap := clusterReg.Snapshot()
+		cs := &ChurnStats{
+			Victim:         churn.victim,
+			Joiner:         churn.joiner,
+			PrewarmedCells: snap.Counters[wire.MetricClusterWarmCells],
+			Joins:          snap.Counters[wire.MetricClusterJoins],
+			Leaves:         snap.Counters[wire.MetricClusterLeaves],
+		}
+		for i, name := range churnPhaseNames {
+			ps := churn.phases[i]
+			dh := churn.marks[i+1].hits - churn.marks[i].hits
+			dm := churn.marks[i+1].misses - churn.marks[i].misses
+			hr := 0.0
+			if dh+dm > 0 {
+				hr = float64(dh) / float64(dh+dm)
+			}
+			cs.Phases = append(cs.Phases, ChurnPhase{
+				Name:            name,
+				Total:           ps.total.Load(),
+				OK:              ps.ok.Load(),
+				TransportErrors: ps.transport.Load(),
+				Latency:         obs.SnapshotLatency(&ps.hist),
+				HitRate:         hr,
+			})
+		}
+		report.Churn = cs
 	}
 	if streamStore != nil {
 		sc := streamStore.Config()
@@ -721,6 +1014,19 @@ func run(args []string, stdout io.Writer) error {
 		if s := report.Stream; s != nil && s.WindowEvents > s.WindowEventCap {
 			return fmt.Errorf("assert: window store exceeded its memory bound (%d events > cap %d)",
 				s.WindowEvents, s.WindowEventCap)
+		}
+		if c := report.Churn; c != nil {
+			if c.Leaves == 0 || c.Joins == 0 {
+				return fmt.Errorf("assert: churn transitions did not run (joins=%d leaves=%d)", c.Joins, c.Leaves)
+			}
+			if c.PrewarmedCells == 0 {
+				return errors.New("assert: the joiner was admitted without pre-warming any cells")
+			}
+			for _, p := range c.Phases {
+				if p.OK == 0 {
+					return fmt.Errorf("assert: churn phase %q made no progress", p.Name)
+				}
+			}
 		}
 	}
 	return nil

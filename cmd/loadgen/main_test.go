@@ -173,6 +173,60 @@ func TestLoadgenStreamProfile(t *testing.T) {
 	}
 }
 
+// TestLoadgenMembershipChurnProfile runs the three-phase fleet
+// transition: the report must show the victim retired, a pre-warmed
+// cold joiner admitted, and progress in every phase with no transport
+// errors across either transition.
+func TestLoadgenMembershipChurnProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.json")
+	err := run([]string{
+		"-inprocess", "-quiet", "-assert", "-cluster", "3",
+		"-duration", "1500ms", "-conc", "4", "-timeout", "5s",
+		"-targets", "freq", "-profile", "membership-churn",
+		"-out", out,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := readReport(t, out)
+	if rep.Config.Profile != "membership-churn" || rep.Config.ClusterShards != 3 {
+		t.Errorf("config echo wrong: %+v", rep.Config)
+	}
+	c := rep.Churn
+	if c == nil {
+		t.Fatal("report has no churn block for a membership-churn run")
+	}
+	if c.Joins != 1 || c.Leaves != 1 {
+		t.Errorf("joins=%d leaves=%d, want exactly one of each", c.Joins, c.Leaves)
+	}
+	if c.PrewarmedCells == 0 {
+		t.Error("the joiner was admitted without pre-warmed cells")
+	}
+	if c.Victim == "" || c.Joiner == "" || c.Victim == c.Joiner {
+		t.Errorf("victim=%q joiner=%q", c.Victim, c.Joiner)
+	}
+	if len(c.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(c.Phases))
+	}
+	for i, p := range c.Phases {
+		if p.Name != churnPhaseNames[i] {
+			t.Errorf("phase %d named %q, want %q", i, p.Name, churnPhaseNames[i])
+		}
+		if p.OK == 0 {
+			t.Errorf("phase %q made no progress", p.Name)
+		}
+		if p.TransportErrors != 0 {
+			t.Errorf("phase %q saw %d transport errors across the transition", p.Name, p.TransportErrors)
+		}
+		if p.HitRate <= 0 || p.HitRate > 1 {
+			t.Errorf("phase %q hit rate %v out of range", p.Name, p.HitRate)
+		}
+	}
+	if rep.GSP != nil {
+		t.Error("churn runs report per-shard caches in the churn block, not a GSP block")
+	}
+}
+
 func TestLoadgenFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{"-targets", "bogus"},
@@ -184,7 +238,10 @@ func TestLoadgenFlagValidation(t *testing.T) {
 		{"-targets", "ingest"}, // remote mode without -lbs
 		{"-cluster", "2"},      // cluster needs -inprocess
 		{"-cluster", "-1"},     // negative fleet
-		{"-inprocess", "-profile", "stream", "-targets", "freq"}, // stream profile needs ingest
+		{"-inprocess", "-profile", "stream", "-targets", "freq"},                             // stream profile needs ingest
+		{"-inprocess", "-cluster", "1", "-targets", "freq", "-profile", "membership-churn"},  // churn needs a fleet
+		{"-inprocess", "-cluster", "2", "-targets", "batch", "-profile", "membership-churn"}, // churn drives freq
+		{"-profile", "membership-churn", "-targets", "freq"},                                 // churn needs -inprocess -cluster
 		{"-inprocess", "-targets", "ingest", "-stream-users", "0"},
 		{"-inprocess", "-targets", "ingest", "-stream-batch", "0"},
 		{"-inprocess", "-targets", "ingest", "-stream-burst", "0s"},

@@ -124,6 +124,35 @@ func (r *Ring) Owner(key uint64) (peer string, ok bool) {
 	return r.points[i].peer, true
 }
 
+// Owners returns up to n distinct peers for key in replica-rank order:
+// rank 0 is Owner(key), rank k the k-th distinct peer encountered
+// walking clockwise from the key's position. Walking peers (not just
+// points) keeps each rank a consistent-hash function of the member set,
+// so per-rank disruption under membership change stays ~1/N — the same
+// minimal-movement property Owner has, once per rank. n is capped at
+// the number of peers on the ring; an empty ring returns nil.
+func (r *Ring) Owners(key uint64, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for off := 0; off < len(r.points) && len(out) < n; off++ {
+		p := r.points[(i+off)%len(r.points)].peer
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Contains reports whether peer is currently on the ring.
 func (r *Ring) Contains(peer string) bool {
 	r.mu.RLock()

@@ -244,6 +244,127 @@ func TestRingEdgeCases(t *testing.T) {
 	}
 }
 
+// TestRingOwnersProperties pins the basic Owners contract: rank 0 is
+// Owner, every rank is a distinct peer, shorter calls are prefixes of
+// longer ones, and the count caps at the fleet size.
+func TestRingOwnersProperties(t *testing.T) {
+	r := New(16)
+	if got := r.Owners(42, 3); got != nil {
+		t.Errorf("empty ring Owners = %v, want nil", got)
+	}
+	const n = 5
+	for _, p := range testPeers(n) {
+		r.Add(p)
+	}
+	for _, k := range testKeys(2000) {
+		if got := r.Owners(k, 0); got != nil {
+			t.Fatalf("Owners(k, 0) = %v, want nil", got)
+		}
+		full := r.Owners(k, n+3)
+		if len(full) != n {
+			t.Fatalf("Owners over-asked returned %d peers, want %d", len(full), n)
+		}
+		seen := map[string]bool{}
+		for _, p := range full {
+			if seen[p] {
+				t.Fatalf("Owners returned duplicate peer %s in %v", p, full)
+			}
+			seen[p] = true
+		}
+		owner, _ := r.Owner(k)
+		if full[0] != owner {
+			t.Fatalf("Owners rank 0 = %s, Owner = %s", full[0], owner)
+		}
+		for rr := 1; rr <= n; rr++ {
+			pre := r.Owners(k, rr)
+			if len(pre) != rr {
+				t.Fatalf("Owners(k, %d) returned %d peers", rr, len(pre))
+			}
+			for i := range pre {
+				if pre[i] != full[i] {
+					t.Fatalf("Owners(k, %d) = %v is not a prefix of %v", rr, pre, full)
+				}
+			}
+		}
+	}
+}
+
+// TestRingOwnersStableUnderChurn asserts the replica-rank analogue of
+// minimal disruption, in its exact form: adding a peer inserts it at
+// one position in each key's clockwise owner ordering without
+// reordering the rest (so deleting the newcomer from the new ordering
+// recovers the old one, and removal is the exact inverse), and the
+// measured per-rank disruption stays in the ~(rank+1)/(N+1) band.
+func TestRingOwnersStableUnderChurn(t *testing.T) {
+	const numKeys = 5000
+	keys := testKeys(numKeys)
+	for _, n := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("peers=%d", n), func(t *testing.T) {
+			r := New(128)
+			peers := testPeers(n + 1)
+			for _, p := range peers[:n] {
+				r.Add(p)
+			}
+			before := make([][]string, len(keys))
+			for i, k := range keys {
+				before[i] = r.Owners(k, n)
+			}
+			newcomer := peers[n]
+			r.Add(newcomer)
+
+			movedAtRank := make([]int, 3)
+			for i, k := range keys {
+				after := r.Owners(k, n+1)
+				if len(after) != n+1 {
+					t.Fatalf("key %d: %d owners after add, want %d", k, len(after), n+1)
+				}
+				// Deleting the newcomer must recover the old ordering
+				// exactly: unrelated ranks are stable under the add.
+				stripped := make([]string, 0, n)
+				for _, p := range after {
+					if p != newcomer {
+						stripped = append(stripped, p)
+					}
+				}
+				for j := range before[i] {
+					if stripped[j] != before[i][j] {
+						t.Fatalf("key %d: add reordered survivors: %v -> %v", k, before[i], after)
+					}
+				}
+				for rank := range movedAtRank {
+					if rank < len(before[i]) && after[rank] != before[i][rank] {
+						movedAtRank[rank]++
+					}
+				}
+			}
+			for rank, moved := range movedAtRank {
+				// The newcomer lands at rank <= k for ~(k+1)/(N+1) of
+				// keys, shifting that rank; 2.5x headroom over ideal.
+				bound := 2.5 * float64(rank+1) / float64(n+1) * numKeys
+				t.Logf("rank %d: %d of %d keys changed owner (bound %.0f)", rank, moved, numKeys, bound)
+				if float64(moved) > bound {
+					t.Errorf("rank %d disruption %d exceeds bound %.0f", rank, moved, bound)
+				}
+			}
+			if movedAtRank[0] == 0 {
+				t.Error("newcomer took no rank-0 keys")
+			}
+
+			// Removing the newcomer restores every key's full ordering:
+			// the exact move-set of the churn is the newcomer's cells.
+			r.Remove(newcomer)
+			for i, k := range keys {
+				restored := r.Owners(k, n)
+				for j := range before[i] {
+					if restored[j] != before[i][j] {
+						t.Fatalf("key %d: ordering not restored after remove: %v -> %v", k, before[i], restored)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestRingConcurrentMutation hammers Owner against concurrent Add and
 // Remove of floating peers; under -race this proves the locking, and
 // the assertions prove a reader always sees a coherent member.

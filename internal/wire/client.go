@@ -448,6 +448,44 @@ func (c *GSPClient) Freq(ctx context.Context, l geo.Point, r float64) (poi.FreqV
 	return out.Freq, nil
 }
 
+// ClusterPeers lists a cluster gateway's membership (admin surface; a
+// no-op against a plain gspd, which 404s).
+func (c *GSPClient) ClusterPeers(ctx context.Context) (*ClusterPeersResponse, error) {
+	var out ClusterPeersResponse
+	if err := c.core.do(ctx, http.MethodGet, PathClusterPeers, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterJoin asks a cluster gateway to admit the shard at peerURL and
+// returns the post-join membership. The gateway probes the shard's
+// readiness and pre-warms its incoming cells before it takes
+// ownership; under auth the caller must sign as the gateway's admin
+// principal.
+func (c *GSPClient) ClusterJoin(ctx context.Context, peerURL string) (*ClusterPeersResponse, error) {
+	body, err := json.Marshal(ClusterJoinRequest{URL: peerURL})
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal cluster join: %w", err)
+	}
+	var out ClusterPeersResponse
+	if err := c.core.do(ctx, http.MethodPost, PathClusterPeers, nil, body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterLeave retires the shard at peerURL from a cluster gateway and
+// returns the post-leave membership. Tenant rules as ClusterJoin.
+func (c *GSPClient) ClusterLeave(ctx context.Context, peerURL string) (*ClusterPeersResponse, error) {
+	var out ClusterPeersResponse
+	path := PathClusterPeers + "/" + url.PathEscape(peerURL)
+	if err := c.core.do(ctx, http.MethodDelete, path, nil, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 func locationParams(l geo.Point, r float64) url.Values {
 	v := url.Values{}
 	v.Set("x", strconv.FormatFloat(l.X, 'f', -1, 64))

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -13,16 +14,19 @@ import (
 	"time"
 
 	"poiagg/internal/cluster"
+	"poiagg/internal/geo"
 	"poiagg/internal/obs"
 	"poiagg/internal/poi"
 )
 
 // Cluster metric names exported on the gateway's registry. Per-shard
-// gauges are suffixed with the shard's index in the configured peer
-// list ("cluster.shard.0.inflight", ...); the gateway logs the
-// index → URL mapping at startup.
+// gauges are suffixed with the shard's index ("cluster.shard.0.inflight",
+// ...); the gateway logs the index → URL mapping at startup and on
+// every join. Indices are never reused — a rejoining peer gets a fresh
+// one — so a departed index's gauges freeze at healthy=0 rather than
+// silently renaming another shard's series.
 const (
-	// MetricClusterPeers is the configured fleet size.
+	// MetricClusterPeers is the current fleet size.
 	MetricClusterPeers = "cluster.peers"
 	// MetricClusterHealthy / Unhealthy split the fleet by probe state.
 	MetricClusterHealthy   = "cluster.healthy"
@@ -37,6 +41,22 @@ const (
 	// MetricClusterFanout is the latency histogram of batch fan-outs
 	// (split → concurrent shard calls → merge).
 	MetricClusterFanout = "cluster.fanout"
+	// MetricClusterReplicaHedges counts hedge launches: a second replica
+	// asked because the first outlived the hedging delay.
+	MetricClusterReplicaHedges = "cluster.replica.hedges"
+	// MetricClusterReplicaFailovers counts replica launches triggered by
+	// an earlier replica's error (as opposed to its slowness).
+	MetricClusterReplicaFailovers = "cluster.replica.failovers"
+	// MetricClusterReplicaSecondaryWins counts replicated GETs answered
+	// by a non-primary replica.
+	MetricClusterReplicaSecondaryWins = "cluster.replica.wins.secondary"
+	// MetricClusterJoins / Leaves count admin membership changes.
+	MetricClusterJoins  = "cluster.membership.joins"
+	MetricClusterLeaves = "cluster.membership.leaves"
+	// MetricClusterWarmCells counts cells replayed into joining shards;
+	// MetricClusterWarmErrors counts aborted pre-warm passes.
+	MetricClusterWarmCells  = "cluster.warm.cells"
+	MetricClusterWarmErrors = "cluster.warm.errors"
 )
 
 // DefaultProbeInterval is the health-probe cadence unless
@@ -45,6 +65,16 @@ const DefaultProbeInterval = 2 * time.Second
 
 // DefaultProbeTimeout bounds one /readyz probe.
 const DefaultProbeTimeout = time.Second
+
+// DefaultHedgeDelay is how long a replicated GET waits on the primary
+// replica before hedging to the next one. Well above a healthy
+// in-datacenter RTT, so the common case stays one RPC.
+const DefaultHedgeDelay = 50 * time.Millisecond
+
+// DefaultWarmMaxCells caps the cells replayed into a joining shard by
+// one pre-warm pass; cells beyond the cap are logged and skipped, and
+// simply warm up from live traffic instead.
+const DefaultWarmMaxCells = 4096
 
 // clusterPeer is one gspd shard behind the gateway.
 type clusterPeer struct {
@@ -59,24 +89,104 @@ type clusterPeer struct {
 	healthy  atomic.Bool
 	inflight atomic.Int64
 	errs     atomic.Uint64
+
+	// removed marks an admin-departed peer so an in-flight probe that
+	// snapshotted the table before the removal cannot restore it onto
+	// the ring afterwards.
+	removed atomic.Bool
+}
+
+// peerTable is the mutable, lock-guarded membership shared by the
+// prober, the fan-out paths, and the metrics exporters. Shard indices
+// grow monotonically and are never reused.
+type peerTable struct {
+	mu    sync.RWMutex
+	list  []*clusterPeer
+	byURL map[string]*clusterPeer
+	next  int
+}
+
+func newPeerTable() *peerTable {
+	return &peerTable{byURL: make(map[string]*clusterPeer)}
+}
+
+// snapshot returns the current members; the slice is private to the
+// caller but the peers are shared.
+func (t *peerTable) snapshot() []*clusterPeer {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*clusterPeer, len(t.list))
+	copy(out, t.list)
+	return out
+}
+
+func (t *peerTable) get(url string) (*clusterPeer, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p, ok := t.byURL[url]
+	return p, ok
+}
+
+func (t *peerTable) len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.list)
+}
+
+// add assigns the next shard index and inserts the peer; it reports
+// false (without assigning) on a duplicate URL.
+func (t *peerTable) add(p *clusterPeer) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.byURL[p.url]; dup {
+		return false
+	}
+	p.index = t.next
+	t.next++
+	t.list = append(t.list, p)
+	t.byURL[p.url] = p
+	return true
+}
+
+// remove deletes the peer by URL, returning it for bookkeeping.
+func (t *peerTable) remove(url string) (*clusterPeer, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.byURL[url]
+	if !ok {
+		return nil, false
+	}
+	delete(t.byURL, url)
+	for i, q := range t.list {
+		if q == p {
+			t.list = append(t.list[:i], t.list[i+1:]...)
+			break
+		}
+	}
+	return p, true
 }
 
 // ClusterGateway routes the GSP endpoint surface across a fleet of gspd
 // shards: single queries go to the consistent-hash owner of the
-// query's (city × grid cell), batch requests are split per shard,
-// fanned out concurrently through the hardened wire client, and merged
-// preserving input order with per-item errors. A fleet behind the
-// gateway is bit-identical to one gspd over the same city — proven by
-// the differential cluster e2e — because every shard holds the full
-// city and the gateway reuses the server's own validators and response
+// query's (city × grid cell) — optionally raced against R replicas,
+// first answer wins — batch requests are split per shard, fanned out
+// concurrently through the hardened wire client, and merged preserving
+// input order with per-item errors. A fleet behind the gateway is
+// bit-identical to one gspd over the same city — proven by the
+// differential cluster e2e — because every shard holds the full city
+// and the gateway reuses the server's own validators and response
 // types. Sharding buys capacity: each shard's freq cache holds only its
 // ~1/N slice of the cell keyspace.
 //
 // Shard death is handled twice over: a refused connection evicts the
-// peer from the ring mid-request (single queries fail over to the new
-// owner; batch items report structured per-item errors), and the
-// /readyz-driven health prober (StartProber/ProbeOnce) removes dead
-// peers and re-adds recovered ones.
+// peer from the ring mid-request (single queries fail over to the next
+// replica or the new owner; batch items report structured per-item
+// errors), and the /readyz-driven health prober (StartProber/ProbeOnce)
+// removes dead peers and re-adds recovered ones.
+//
+// Membership is dynamic: POST /v1/cluster/peers joins a shard (after a
+// readiness probe and a cache pre-warm of its incoming cells) and
+// DELETE /v1/cluster/peers/{url} retires one, both without a restart.
 //
 // ClusterGateway is an http.Handler; callers own the http.Server.
 type ClusterGateway struct {
@@ -94,12 +204,22 @@ type ClusterGateway struct {
 	probeInterval time.Duration
 	probeTimeout  time.Duration
 
+	replicas   int
+	hedgeDelay time.Duration
+
+	adminPrincipal string
+	warmRadius     float64
+	warmMaxCells   int
+
 	peerTransport http.RoundTripper
 	peerOpts      []ClientOption
 
-	ring     *cluster.Ring
-	peers    []*clusterPeer
-	byURL    map[string]*clusterPeer
+	ring *cluster.Ring
+	// table is the live membership; memberMu serializes admin joins and
+	// leaves (probes and fan-outs only read).
+	table    *peerTable
+	memberMu sync.Mutex
+
 	reg      *obs.Registry
 	fanout   obs.Histogram
 	pprof    bool
@@ -206,6 +326,61 @@ func WithProbeTimeout(d time.Duration) ClusterOption {
 	})
 }
 
+// WithReplicas makes every single-query GET race up to r distinct ring
+// successors of the key, first answer wins (default 1 — primary only).
+// Every shard holds the full city, so any replica's answer is the
+// answer; replication buys tail latency and availability, not
+// correctness. The hedging delay (WithHedgeDelay) keeps the common
+// case at one RPC.
+func WithReplicas(r int) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if r > 0 {
+			g.replicas = r
+		}
+	})
+}
+
+// WithHedgeDelay sets how long a replicated GET waits on the current
+// replica before launching the next one (default DefaultHedgeDelay).
+// Errors fail over immediately regardless of the delay.
+func WithHedgeDelay(d time.Duration) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if d > 0 {
+			g.hedgeDelay = d
+		}
+	})
+}
+
+// WithClusterAdmin names the one principal allowed to mutate cluster
+// membership when the gateway authenticates requests. Mirroring the
+// budget admin surface's tenant rule: without auth the endpoints are
+// open (the deployment has decided identity doesn't exist), with auth
+// they are tenant-isolated — and if no admin principal is named, all
+// mutations are refused (fail closed).
+func WithClusterAdmin(principal string) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) { g.adminPrincipal = principal })
+}
+
+// WithWarmRadius sets the query radius used when pre-warming a joining
+// shard's cells (default: the routing cell size).
+func WithWarmRadius(m float64) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if m > 0 {
+			g.warmRadius = m
+		}
+	})
+}
+
+// WithWarmMaxCells caps the cells one join pre-warms (default
+// DefaultWarmMaxCells); 0 disables pre-warming entirely.
+func WithWarmMaxCells(n int) ClusterOption {
+	return clusterOption(func(g *ClusterGateway) {
+		if n >= 0 {
+			g.warmMaxCells = n
+		}
+	})
+}
+
 // WithPeerTransport sets the http.RoundTripper under every per-shard
 // client and health probe (default http.DefaultTransport). The cluster
 // e2e injects shard death here.
@@ -234,9 +409,11 @@ func WithClusterPprof(on bool) ClusterOption {
 	return clusterOption(func(g *ClusterGateway) { g.pprof = on })
 }
 
-// NewClusterGateway builds a gateway over a static shard list (base
+// NewClusterGateway builds a gateway over an initial shard list (base
 // URLs). Every peer starts on the ring; the prober corrects membership
-// from /readyz. The peer list must be non-empty and duplicate-free.
+// from /readyz, and the /v1/cluster/peers admin surface grows and
+// shrinks the fleet at runtime. The peer list must be non-empty and
+// duplicate-free.
 func NewClusterGateway(peers []string, opts ...ClusterOption) (*ClusterGateway, error) {
 	g := &ClusterGateway{
 		mux:           http.NewServeMux(),
@@ -248,9 +425,12 @@ func NewClusterGateway(peers []string, opts ...ClusterOption) (*ClusterGateway, 
 		vnodes:        cluster.DefaultVirtualNodes,
 		probeInterval: DefaultProbeInterval,
 		probeTimeout:  DefaultProbeTimeout,
+		replicas:      1,
+		hedgeDelay:    DefaultHedgeDelay,
+		warmMaxCells:  DefaultWarmMaxCells,
 		peerTransport: http.DefaultTransport,
 		reg:           obs.NewRegistry(),
-		byURL:         make(map[string]*clusterPeer),
+		table:         newPeerTable(),
 	}
 	for _, opt := range opts {
 		opt.applyCluster(g)
@@ -264,25 +444,12 @@ func NewClusterGateway(peers []string, opts ...ClusterOption) (*ClusterGateway, 
 		if u == "" {
 			return nil, fmt.Errorf("wire: cluster gateway: empty peer at position %d", i)
 		}
-		if _, dup := g.byURL[u]; dup {
+		p := g.newPeer(u)
+		if !g.table.add(p) {
 			return nil, fmt.Errorf("wire: cluster gateway: duplicate peer %s", u)
-		}
-		hc := &http.Client{Transport: g.peerTransport}
-		clientOpts := append([]ClientOption{
-			WithRetries(2),
-			WithRequestTimeout(g.probeTimeout * 4),
-			WithClientMetrics(g.reg),
-		}, g.peerOpts...)
-		p := &clusterPeer{
-			url:    u,
-			index:  i,
-			client: NewGSPClient(u, hc, clientOpts...),
-			hc:     hc,
 		}
 		p.healthy.Store(true)
 		g.ring.Add(u)
-		g.peers = append(g.peers, p)
-		g.byURL[u] = p
 	}
 	g.exportMetrics()
 
@@ -292,6 +459,9 @@ func NewClusterGateway(peers []string, opts ...ClusterOption) (*ClusterGateway, 
 	g.mux.HandleFunc("GET "+PathFreq, g.handleFreq)
 	g.mux.HandleFunc("POST "+PathFreqBatch, g.handleFreqBatch)
 	g.mux.HandleFunc("POST "+PathQueryBatch, g.handleQueryBatch)
+	g.mux.HandleFunc("GET "+PathClusterPeers, g.handlePeersList)
+	g.mux.HandleFunc("POST "+PathClusterPeers, g.handlePeerJoin)
+	g.mux.HandleFunc("DELETE "+PathClusterPeers+"/{url}", g.handlePeerLeave)
 	if g.pprof {
 		registerPprof(g.mux)
 	}
@@ -316,18 +486,34 @@ func NewClusterGateway(peers []string, opts ...ClusterOption) (*ClusterGateway, 
 		obs.WithRequestHook(g.logRequest),
 		obs.WithReadyCheck(g.readyCheck))
 
-	for _, p := range g.peers {
+	for _, p := range g.table.snapshot() {
 		g.log.Printf("cluster: shard %d = %s", p.index, p.url)
 	}
 	return g, nil
 }
 
+// newPeer builds the shard handle (client + probe transport) for a
+// normalized base URL; the caller owns table and ring insertion.
+func (g *ClusterGateway) newPeer(u string) *clusterPeer {
+	hc := &http.Client{Transport: g.peerTransport}
+	clientOpts := append([]ClientOption{
+		WithRetries(2),
+		WithRequestTimeout(g.probeTimeout * 4),
+		WithClientMetrics(g.reg),
+	}, g.peerOpts...)
+	return &clusterPeer{
+		url:    u,
+		client: NewGSPClient(u, hc, clientOpts...),
+		hc:     hc,
+	}
+}
+
 // exportMetrics publishes the cluster gauges and counters.
 func (g *ClusterGateway) exportMetrics() {
-	g.reg.CounterFunc(MetricClusterPeers, func() uint64 { return uint64(len(g.peers)) })
+	g.reg.CounterFunc(MetricClusterPeers, func() uint64 { return uint64(g.table.len()) })
 	g.reg.CounterFunc(MetricClusterHealthy, func() uint64 { return uint64(g.healthyCount()) })
 	g.reg.CounterFunc(MetricClusterUnhealthy, func() uint64 {
-		return uint64(len(g.peers) - g.healthyCount())
+		return uint64(g.table.len() - g.healthyCount())
 	})
 	g.reg.RegisterLatency(MetricClusterFanout, &g.fanout)
 	// Pre-create the event counters so they appear in snapshots at zero.
@@ -335,18 +521,30 @@ func (g *ClusterGateway) exportMetrics() {
 	g.reg.Counter(MetricClusterRestores)
 	g.reg.Counter(MetricClusterProbesOK)
 	g.reg.Counter(MetricClusterProbesFail)
-	for _, p := range g.peers {
-		p := p
-		prefix := "cluster.shard." + strconv.Itoa(p.index)
-		g.reg.CounterFunc(prefix+".inflight", func() uint64 { return uint64(p.inflight.Load()) })
-		g.reg.CounterFunc(prefix+".errors", p.errs.Load)
-		g.reg.CounterFunc(prefix+".healthy", func() uint64 {
-			if p.healthy.Load() {
-				return 1
-			}
-			return 0
-		})
+	g.reg.Counter(MetricClusterReplicaHedges)
+	g.reg.Counter(MetricClusterReplicaFailovers)
+	g.reg.Counter(MetricClusterReplicaSecondaryWins)
+	g.reg.Counter(MetricClusterJoins)
+	g.reg.Counter(MetricClusterLeaves)
+	g.reg.Counter(MetricClusterWarmCells)
+	g.reg.Counter(MetricClusterWarmErrors)
+	for _, p := range g.table.snapshot() {
+		g.exportPeerMetrics(p)
 	}
+}
+
+// exportPeerMetrics publishes one shard's per-index gauges; called at
+// construction and again for every joining peer.
+func (g *ClusterGateway) exportPeerMetrics(p *clusterPeer) {
+	prefix := "cluster.shard." + strconv.Itoa(p.index)
+	g.reg.CounterFunc(prefix+".inflight", func() uint64 { return uint64(p.inflight.Load()) })
+	g.reg.CounterFunc(prefix+".errors", p.errs.Load)
+	g.reg.CounterFunc(prefix+".healthy", func() uint64 {
+		if p.healthy.Load() {
+			return 1
+		}
+		return 0
+	})
 }
 
 // Metrics returns the gateway's metrics registry.
@@ -380,7 +578,7 @@ func (g *ClusterGateway) readyCheck() error {
 
 func (g *ClusterGateway) healthyCount() int {
 	n := 0
-	for _, p := range g.peers {
+	for _, p := range g.table.snapshot() {
 		if p.healthy.Load() {
 			n++
 		}
@@ -401,17 +599,31 @@ func (g *ClusterGateway) evict(p *clusterPeer, reason string) {
 
 // restore re-adds a recovered peer; its vnode positions depend only on
 // its URL, so it reclaims exactly the cells it owned before eviction.
+// An admin-removed peer is never restored: the removed flag is checked
+// on both sides of the CAS so a probe racing the removal cannot leak
+// the peer back onto the ring.
 func (g *ClusterGateway) restore(p *clusterPeer) {
+	if p.removed.Load() {
+		return
+	}
 	if p.healthy.CompareAndSwap(false, true) {
+		if p.removed.Load() {
+			p.healthy.Store(false)
+			return
+		}
 		g.ring.Add(p.url)
 		g.reg.Counter(MetricClusterRestores).Inc()
 		g.log.Printf("cluster: restored shard %d (%s)", p.index, p.url)
 	}
 }
 
-// StartProber launches the periodic health-probe loop; it stops when
-// ctx is canceled. Tests drive ProbeOnce directly instead.
+// StartProber runs one synchronous reconciliation pass — a shard that
+// is dead at gateway boot must not serve a probeInterval's worth of
+// failover traffic before the first tick — then launches the periodic
+// probe loop, which stops when ctx is canceled. Tests drive ProbeOnce
+// directly instead.
 func (g *ClusterGateway) StartProber(ctx context.Context) {
+	g.ProbeOnce(ctx)
 	go func() {
 		t := time.NewTicker(g.probeInterval)
 		defer t.Stop()
@@ -426,13 +638,16 @@ func (g *ClusterGateway) StartProber(ctx context.Context) {
 	}()
 }
 
-// ProbeOnce probes every configured shard's /readyz concurrently and
+// ProbeOnce probes every member shard's /readyz concurrently and
 // converges the ring: ready shards are (re-)added, unready ones
 // evicted. One pass is a full state reconciliation, so a test (or an
 // operator signal handler) can call it for deterministic convergence.
 func (g *ClusterGateway) ProbeOnce(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, p := range g.peers {
+	for _, p := range g.table.snapshot() {
+		if p.removed.Load() {
+			continue
+		}
 		wg.Add(1)
 		go func(p *clusterPeer) {
 			defer wg.Done()
@@ -476,35 +691,133 @@ func (g *ClusterGateway) ownerPeer(key uint64) (*clusterPeer, bool) {
 	if !ok {
 		return nil, false
 	}
-	p, ok := g.byURL[u]
-	return p, ok
+	return g.table.get(u)
 }
 
-// withShard runs fn against the owner of key, failing over: a refused
-// connection evicts the owner from the ring and re-resolves, so a
-// single query survives shard death in the same request. Other errors
-// surface unchanged. The loop is bounded by the fleet size — each
-// failover removes a peer.
-func (g *ClusterGateway) withShard(key uint64, fn func(p *clusterPeer) error) error {
-	for attempt := 0; attempt <= len(g.peers); attempt++ {
-		p, ok := g.ownerPeer(key)
-		if !ok {
-			return errNoHealthyShards
+// replicaPeers resolves the key's replica set in rank order.
+func (g *ClusterGateway) replicaPeers(key uint64) []*clusterPeer {
+	urls := g.ring.Owners(key, max(1, g.replicas))
+	out := make([]*clusterPeer, 0, len(urls))
+	for _, u := range urls {
+		if p, ok := g.table.get(u); ok {
+			out = append(out, p)
 		}
-		p.inflight.Add(1)
-		err := fn(p)
-		p.inflight.Add(-1)
+	}
+	return out
+}
+
+// shardCall is one endpoint's call against one shard, returning the
+// decoded response value. Each replica gets its own invocation, so
+// implementations must not write shared state — the winner's return
+// value is the only thing committed.
+type shardCall func(ctx context.Context, p *clusterPeer) (any, error)
+
+// callReplicated runs call against the key's replica set first-wins,
+// failing over across rounds: when a whole replica set turns out
+// unreachable (each member refused and was evicted), ownership has
+// moved and the next round resolves the new set — so a single query
+// survives shard death in the same request. The loop is bounded by the
+// fleet size; each retried round has strictly fewer live peers.
+func (g *ClusterGateway) callReplicated(ctx context.Context, key uint64, call shardCall) (any, error) {
+	for attempt := 0; attempt <= g.table.len(); attempt++ {
+		peers := g.replicaPeers(key)
+		if len(peers) == 0 {
+			if g.ring.Len() > 0 {
+				// A membership change slipped between the ring resolve
+				// and the table lookup; re-resolve against the new state.
+				continue
+			}
+			return nil, errNoHealthyShards
+		}
+		v, err, retry := g.raceReplicas(ctx, peers, call)
 		if err == nil {
-			return nil
+			return v, nil
 		}
-		p.errs.Add(1)
-		if errors.Is(err, ErrPeerUnreachable) {
-			g.evict(p, "connection refused")
+		if retry {
 			continue
 		}
-		return err
+		return nil, err
 	}
-	return errNoHealthyShards
+	return nil, errNoHealthyShards
+}
+
+// raceReplicas launches call against peers[0] and hedges down the rank
+// order: the next replica starts when the previous one outlives the
+// hedging delay (a hedge) or errors (a failover). The first success
+// wins and cancels the rest. retry reports the everyone-unreachable
+// case: every raced peer refused and was evicted, so the caller should
+// re-resolve ownership and try again; any other error is returned in
+// arrival order preferring non-transport errors.
+func (g *ClusterGateway) raceReplicas(ctx context.Context, peers []*clusterPeer, call shardCall) (v any, err error, retry bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		p   *clusterPeer
+		v   any
+		err error
+	}
+	results := make(chan outcome, len(peers))
+	launched := 0
+	launch := func() {
+		p := peers[launched]
+		launched++
+		p.inflight.Add(1)
+		go func() {
+			defer p.inflight.Add(-1)
+			v, err := call(ctx, p)
+			results <- outcome{p: p, v: v, err: err}
+		}()
+	}
+	launch()
+
+	var hedgeC <-chan time.Time
+	var hedge *time.Timer
+	if len(peers) > 1 && g.hedgeDelay > 0 {
+		hedge = time.NewTimer(g.hedgeDelay)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
+
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case <-hedgeC:
+			if launched < len(peers) {
+				g.reg.Counter(MetricClusterReplicaHedges).Inc()
+				launch()
+				pending++
+				hedge.Reset(g.hedgeDelay)
+			} else {
+				hedgeC = nil
+			}
+		case out := <-results:
+			pending--
+			if out.err == nil {
+				if out.p != peers[0] {
+					g.reg.Counter(MetricClusterReplicaSecondaryWins).Inc()
+				}
+				return out.v, nil, false
+			}
+			out.p.errs.Add(1)
+			if errors.Is(out.err, ErrPeerUnreachable) {
+				g.evict(out.p, "connection refused")
+			} else if firstErr == nil {
+				firstErr = out.err
+			}
+			if launched < len(peers) {
+				g.reg.Counter(MetricClusterReplicaFailovers).Inc()
+				launch()
+				pending++
+			} else if pending == 0 {
+				if firstErr != nil {
+					return nil, firstErr, false
+				}
+				return nil, ErrPeerUnreachable, true
+			}
+		}
+	}
 }
 
 // writeUpstreamError maps a shard-side failure onto the gateway's own
@@ -519,8 +832,11 @@ func (g *ClusterGateway) writeUpstreamError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", strconv.Itoa(max(1, int(g.probeInterval.Seconds()))))
 		writeError(w, http.StatusServiceUnavailable, "no healthy shards")
 	case errors.As(err, &over):
-		if secs := int(over.RetryAfter.Seconds()); secs > 0 {
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		// Floor sub-second hints to 1s rather than dropping the header:
+		// a missing Retry-After sends well-behaved clients into full
+		// exponential backoff, the opposite of the shard's short hint.
+		if over.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(max(1, int(over.RetryAfter.Seconds()))))
 		}
 		writeError(w, http.StatusServiceUnavailable, "shard overloaded: "+over.Message)
 	default:
@@ -531,35 +847,26 @@ func (g *ClusterGateway) writeUpstreamError(w http.ResponseWriter, err error) {
 func (g *ClusterGateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	// Every shard serves the same city, so stats (like the POI dump)
 	// routes through the ring at a fixed key — deterministic, and it
-	// inherits the same failover as the query endpoints.
-	var out *StatsResponse
-	err := g.withShard(0, func(p *clusterPeer) error {
-		var err error
-		out, err = p.client.Stats(r.Context())
-		return err
+	// inherits the same failover and replication as the query endpoints.
+	v, err := g.callReplicated(r.Context(), 0, func(ctx context.Context, p *clusterPeer) (any, error) {
+		return p.client.Stats(ctx)
 	})
 	if err != nil {
 		g.writeUpstreamError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, *out)
+	writeJSON(w, http.StatusOK, *v.(*StatsResponse))
 }
 
 func (g *ClusterGateway) handlePOIs(w http.ResponseWriter, r *http.Request) {
-	var out []poi.POI
-	err := g.withShard(0, func(p *clusterPeer) error {
-		pois, err := p.client.POIs(r.Context())
-		if err != nil {
-			return err
-		}
-		out = pois
-		return nil
+	v, err := g.callReplicated(r.Context(), 0, func(ctx context.Context, p *clusterPeer) (any, error) {
+		return p.client.POIs(ctx)
 	})
 	if err != nil {
 		g.writeUpstreamError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, POIsResponse{POIs: out})
+	writeJSON(w, http.StatusOK, POIsResponse{POIs: v.([]poi.POI)})
 }
 
 func (g *ClusterGateway) handleFreq(w http.ResponseWriter, r *http.Request) {
@@ -567,20 +874,14 @@ func (g *ClusterGateway) handleFreq(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var out FreqResponse
-	err := g.withShard(g.keyFor(l.X, l.Y), func(p *clusterPeer) error {
-		f, err := p.client.Freq(r.Context(), l, radius)
-		if err != nil {
-			return err
-		}
-		out.Freq = f
-		return nil
+	v, err := g.callReplicated(r.Context(), g.keyFor(l.X, l.Y), func(ctx context.Context, p *clusterPeer) (any, error) {
+		return p.client.Freq(ctx, l, radius)
 	})
 	if err != nil {
 		g.writeUpstreamError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, FreqResponse{Freq: v.(poi.FreqVector)})
 }
 
 func (g *ClusterGateway) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -588,20 +889,266 @@ func (g *ClusterGateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	var out QueryResponse
-	err := g.withShard(g.keyFor(l.X, l.Y), func(p *clusterPeer) error {
-		pois, err := p.client.Query(r.Context(), l, radius)
-		if err != nil {
-			return err
-		}
-		out.POIs = pois
-		return nil
+	v, err := g.callReplicated(r.Context(), g.keyFor(l.X, l.Y), func(ctx context.Context, p *clusterPeer) (any, error) {
+		return p.client.Query(ctx, l, radius)
 	})
 	if err != nil {
 		g.writeUpstreamError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, QueryResponse{POIs: v.([]poi.POI)})
+}
+
+// authorizeClusterAdmin applies the membership surface's tenant rule,
+// mirroring the budget admin endpoints: with auth disabled the caller
+// is trusted; with auth enabled only the configured admin principal may
+// mutate membership, and an unset admin principal refuses everyone.
+func (g *ClusterGateway) authorizeClusterAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if g.auth == nil {
+		return true
+	}
+	verified, _ := VerifiedPrincipal(r.Context())
+	if g.adminPrincipal == "" || verified != g.adminPrincipal {
+		writeAuthForbidden(w, fmt.Sprintf("principal %q may not administer cluster membership", verified))
+		return false
+	}
+	return true
+}
+
+// peersResponse snapshots the membership for the admin surface.
+func (g *ClusterGateway) peersResponse() ClusterPeersResponse {
+	peers := g.table.snapshot()
+	resp := ClusterPeersResponse{Peers: make([]ClusterPeerInfo, 0, len(peers))}
+	for _, p := range peers {
+		resp.Peers = append(resp.Peers, ClusterPeerInfo{
+			URL:     p.url,
+			Index:   p.index,
+			Healthy: p.healthy.Load(),
+		})
+	}
+	return resp
+}
+
+// handlePeersList reports the current membership. Read-only, so any
+// authenticated principal may ask (auth still runs in the middleware).
+func (g *ClusterGateway) handlePeersList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.peersResponse())
+}
+
+// handlePeerJoin admits a new shard: probe its readiness, pre-warm the
+// cells the ring will move onto it, then atomically add it to the
+// table, metrics, and ring. The member mutex serializes joins and
+// leaves so two admins cannot interleave half-applied membership.
+func (g *ClusterGateway) handlePeerJoin(w http.ResponseWriter, r *http.Request) {
+	if !g.authorizeClusterAdmin(w, r) {
+		return
+	}
+	var req ClusterJoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, g.maxBody)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "cluster join: bad request body: "+err.Error())
+		return
+	}
+	u := strings.TrimRight(strings.TrimSpace(req.URL), "/")
+	if u == "" {
+		writeError(w, http.StatusBadRequest, "cluster join: url is required")
+		return
+	}
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	if _, dup := g.table.get(u); dup {
+		writeError(w, http.StatusConflict, "cluster join: already a member: "+u)
+		return
+	}
+	p := g.newPeer(u)
+	if !g.probePeer(r.Context(), p) {
+		writeError(w, http.StatusBadGateway, "cluster join: readiness probe failed: "+u)
+		return
+	}
+	if err := g.prewarm(r.Context(), p); err != nil {
+		g.reg.Counter(MetricClusterWarmErrors).Inc()
+		status := http.StatusBadGateway
+		if errors.Is(err, errWarmMismatch) {
+			// The joiner answers differently than the fleet — wrong city
+			// or wrong dataset. Admitting it would break byte-identity.
+			status = http.StatusConflict
+		}
+		writeError(w, status, "cluster join: pre-warm failed: "+err.Error())
+		return
+	}
+	g.table.add(p)
+	g.exportPeerMetrics(p)
+	p.healthy.Store(true)
+	g.ring.Add(u)
+	g.reg.Counter(MetricClusterJoins).Inc()
+	g.log.Printf("cluster: joined shard %d (%s)", p.index, p.url)
+	writeJSON(w, http.StatusOK, g.peersResponse())
+}
+
+// handlePeerLeave retires a member shard. The removed flag is set
+// before the ring removal so a racing probe cannot restore the peer,
+// and the last shard is refused — an empty fleet serves nothing.
+func (g *ClusterGateway) handlePeerLeave(w http.ResponseWriter, r *http.Request) {
+	if !g.authorizeClusterAdmin(w, r) {
+		return
+	}
+	u := strings.TrimRight(strings.TrimSpace(r.PathValue("url")), "/")
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	p, ok := g.table.get(u)
+	if !ok {
+		writeError(w, http.StatusNotFound, "cluster leave: not a member: "+u)
+		return
+	}
+	if g.table.len() == 1 {
+		writeError(w, http.StatusConflict, "cluster leave: refusing to remove the last shard")
+		return
+	}
+	p.removed.Store(true)
+	p.healthy.Store(false)
+	g.ring.Remove(u)
+	g.table.remove(u)
+	g.reg.Counter(MetricClusterLeaves).Inc()
+	g.log.Printf("cluster: left shard %d (%s)", p.index, p.url)
+	writeJSON(w, http.StatusOK, g.peersResponse())
+}
+
+// errWarmMismatch marks a pre-warm consistency failure: a donor and the
+// joiner disagree on a cell's frequency vector.
+var errWarmMismatch = errors.New("wire: pre-warm vector mismatch")
+
+// prewarm replays the joining shard's incoming cells into its freq
+// cache before the ring moves them: for every cell the post-join ring
+// would assign to the joiner, the current owner (the donor) is asked
+// for the cell's frequency vector and the joiner is driven through the
+// same query — filling its cache so the join doesn't crater the fleet's
+// hit rate — and the two answers are compared, which doubles as a
+// consistency check that the joiner serves the same city. Cells beyond
+// warmMaxCells are skipped (they warm from live traffic); any fetch
+// error or vector mismatch aborts the join.
+func (g *ClusterGateway) prewarm(ctx context.Context, joiner *clusterPeer) error {
+	if g.warmMaxCells <= 0 {
+		return nil
+	}
+	members := g.ring.Peers()
+	if len(members) == 0 {
+		return nil
+	}
+	var stats *StatsResponse
+	var err error
+	for _, u := range members {
+		donor, ok := g.table.get(u)
+		if !ok || !donor.healthy.Load() {
+			continue
+		}
+		if stats, err = donor.client.Stats(ctx); err == nil {
+			break
+		}
+	}
+	if stats == nil {
+		if err != nil {
+			return fmt.Errorf("wire: pre-warm: city bounds: %w", err)
+		}
+		return nil // no healthy donor; nothing to warm from
+	}
+
+	// The moved-cell set is pure ring arithmetic: rebuild the current
+	// membership on scratch rings with and without the joiner and diff
+	// the ownership over the city's cell grid.
+	before := cluster.New(g.vnodes)
+	after := cluster.New(g.vnodes)
+	for _, u := range members {
+		before.Add(u)
+		after.Add(u)
+	}
+	after.Add(joiner.url)
+
+	type cellJob struct {
+		l     geo.Point
+		donor *clusterPeer
+	}
+	var jobs []cellJob
+	dropped := 0
+	cs := g.cellSize
+	x0, y0 := cluster.CellOf(stats.Bounds.MinX, stats.Bounds.MinY, cs)
+	x1, y1 := cluster.CellOf(stats.Bounds.MaxX, stats.Bounds.MaxY, cs)
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			key := cluster.Key(g.cityLabel, cx, cy)
+			if newOwner, _ := after.Owner(key); newOwner != joiner.url {
+				continue
+			}
+			oldOwner, ok := before.Owner(key)
+			if !ok {
+				continue
+			}
+			donor, ok := g.table.get(oldOwner)
+			if !ok || !donor.healthy.Load() {
+				continue
+			}
+			if len(jobs) >= g.warmMaxCells {
+				dropped++
+				continue
+			}
+			jobs = append(jobs, cellJob{
+				l:     geo.Point{X: (float64(cx) + 0.5) * cs, Y: (float64(cy) + 0.5) * cs},
+				donor: donor,
+			})
+		}
+	}
+	if dropped > 0 {
+		g.log.Printf("cluster: pre-warm for %s capped at %d cells (%d skipped, will warm from traffic)",
+			joiner.url, g.warmMaxCells, dropped)
+	}
+	radius := g.warmRadius
+	if radius <= 0 {
+		radius = cs
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, 8)
+	for _, jb := range jobs {
+		mu.Lock()
+		abort := firstErr != nil
+		mu.Unlock()
+		if abort {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(jb cellJob) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			want, err := jb.donor.client.Freq(ctx, jb.l, radius)
+			if err == nil {
+				var got poi.FreqVector
+				if got, err = joiner.client.Freq(ctx, jb.l, radius); err == nil && !want.Equal(got) {
+					err = fmt.Errorf("%w: cell (%.0f, %.0f): joiner disagrees with donor %s",
+						errWarmMismatch, jb.l.X, jb.l.Y, jb.donor.url)
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			g.reg.Counter(MetricClusterWarmCells).Inc()
+		}(jb)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if len(jobs) > 0 {
+		g.log.Printf("cluster: pre-warmed %d cells into %s", len(jobs), joiner.url)
+	}
+	return nil
 }
 
 // admitBatch mirrors GSPServer.admitBatch: item-count weight against

@@ -16,6 +16,10 @@ import (
 	"testing"
 	"time"
 
+	"poiagg/internal/citygen"
+	"poiagg/internal/cluster"
+	"poiagg/internal/geo"
+	"poiagg/internal/gsp"
 	"poiagg/internal/obs"
 )
 
@@ -33,12 +37,18 @@ import (
 type killSwitch struct {
 	base http.RoundTripper
 
-	mu   sync.Mutex
-	dead map[string]bool
+	mu       sync.Mutex
+	dead     map[string]bool
+	slow     map[string]time.Duration
+	observer func(*http.Request)
 }
 
 func newKillSwitch() *killSwitch {
-	return &killSwitch{base: http.DefaultTransport, dead: make(map[string]bool)}
+	return &killSwitch{
+		base: http.DefaultTransport,
+		dead: make(map[string]bool),
+		slow: make(map[string]time.Duration),
+	}
 }
 
 func hostOf(t testing.TB, baseURL string) string {
@@ -56,12 +66,40 @@ func (k *killSwitch) set(host string, dead bool) {
 	k.mu.Unlock()
 }
 
+// lag injects latency ahead of every request to host (0 clears it).
+func (k *killSwitch) lag(host string, d time.Duration) {
+	k.mu.Lock()
+	k.slow[host] = d
+	k.mu.Unlock()
+}
+
+// observe installs a hook seeing every gateway→shard request (nil
+// clears it). Dead-host requests are observed too — the hook sees what
+// the gateway tried, not what succeeded.
+func (k *killSwitch) observe(fn func(*http.Request)) {
+	k.mu.Lock()
+	k.observer = fn
+	k.mu.Unlock()
+}
+
 func (k *killSwitch) RoundTrip(req *http.Request) (*http.Response, error) {
 	k.mu.Lock()
 	dead := k.dead[req.URL.Host]
+	delay := k.slow[req.URL.Host]
+	obsFn := k.observer
 	k.mu.Unlock()
+	if obsFn != nil {
+		obsFn(req)
+	}
 	if dead {
 		return nil, refusedErr()
+	}
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
 	}
 	return k.base.RoundTrip(req)
 }
@@ -69,30 +107,36 @@ func (k *killSwitch) RoundTrip(req *http.Request) (*http.Response, error) {
 // clusterHarness is one differential setup: nShards gspd shards behind
 // a gateway, plus a single-node reference gspd over the same service.
 type clusterHarness struct {
-	single *httptest.Server // the reference
-	gwTS   *httptest.Server
-	gw     *ClusterGateway
-	shards []*httptest.Server
-	kill   *killSwitch
+	single    *httptest.Server // the reference
+	gwTS      *httptest.Server
+	gw        *ClusterGateway
+	shards    []*httptest.Server
+	kill      *killSwitch
+	shardOpts []GSPServerOption
 }
 
 const (
 	clusterPrincipal = "alice"
 	gatewayPrincipal = "gateway"
+	adminPrincipal   = "admin"
 )
 
 // newClusterHarness builds the differential setup. With withAuth, the
-// single node and the gateway both verify the client keyring (alice),
-// the shards verify the gateway's key, and the gateway's peer clients
-// re-sign as the gateway principal — the trust chain of a real
-// deployment.
-func newClusterHarness(t *testing.T, nShards int, withAuth bool) *clusterHarness {
+// single node and the gateway both verify the client keyring (alice
+// plus the membership admin), the shards verify the gateway's key, and
+// the gateway's peer clients re-sign as the gateway principal — the
+// trust chain of a real deployment. extra options are appended to the
+// gateway's, so tests can turn on replicas, membership admin, etc.
+func newClusterHarness(t *testing.T, nShards int, withAuth bool, extra ...ClusterOption) *clusterHarness {
 	t.Helper()
 	_, svc := wireFixture(t)
 	quiet := WithLogger(log.New(io.Discard, "", 0))
 
 	clientKR := NewKeyring()
 	if err := clientKR.Add(clusterPrincipal, testKey('A')); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientKR.Add(adminPrincipal, testKey('D')); err != nil {
 		t.Fatal(err)
 	}
 	gwKey := testKey('G')
@@ -109,14 +153,13 @@ func newClusterHarness(t *testing.T, nShards int, withAuth bool) *clusterHarness
 		singleOpts = append(singleOpts, WithAuth(clientKR))
 	}
 
-	h := &clusterHarness{kill: newKillSwitch()}
+	h := &clusterHarness{kill: newKillSwitch(), shardOpts: shardOpts}
 	h.single = httptest.NewServer(NewGSPServer(svc, singleOpts...))
 	t.Cleanup(h.single.Close)
 
 	peers := make([]string, nShards)
 	for i := range peers {
-		ts := httptest.NewServer(NewGSPServer(svc, shardOpts...))
-		t.Cleanup(ts.Close)
+		ts := h.newShard(t)
 		h.shards = append(h.shards, ts)
 		peers[i] = ts.URL
 	}
@@ -134,6 +177,7 @@ func newClusterHarness(t *testing.T, nShards int, withAuth bool) *clusterHarness
 	if withAuth {
 		gwOpts = append(gwOpts, WithAuth(clientKR))
 	}
+	gwOpts = append(gwOpts, extra...)
 	gw, err := NewClusterGateway(peers, gwOpts...)
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +186,16 @@ func newClusterHarness(t *testing.T, nShards int, withAuth bool) *clusterHarness
 	h.gwTS = httptest.NewServer(gw)
 	t.Cleanup(h.gwTS.Close)
 	return h
+}
+
+// newShard spins up another gspd over the harness's city with the same
+// shard options — a spare ready to be joined through the admin surface.
+func (h *clusterHarness) newShard(t testing.TB) *httptest.Server {
+	t.Helper()
+	_, svc := wireFixture(t)
+	ts := httptest.NewServer(NewGSPServer(svc, h.shardOpts...))
+	t.Cleanup(ts.Close)
+	return ts
 }
 
 // killShard makes one shard refuse connections; reviveShard undoes it.
@@ -348,6 +402,40 @@ func TestClusterDifferentialAuth(t *testing.T) {
 			t.Errorf("wrong-key 401 bodies diverge\n gateway: %q\n single:  %q", got.body, ref.body)
 		}
 	})
+}
+
+// joinBody is the POST /v1/cluster/peers payload for peerURL.
+func joinBody(peerURL string) []byte {
+	return []byte(fmt.Sprintf(`{"url":%q}`, peerURL))
+}
+
+// adminSend fires one membership admin request at the gateway, signed
+// as principal (with its harness keyring key) when signed is true.
+func (h *clusterHarness) adminSend(t *testing.T, method, pathQuery string, body []byte, signed bool, principal string) rawResponse {
+	t.Helper()
+	var key []byte
+	at, nonce := time.Time{}, ""
+	if signed {
+		switch principal {
+		case adminPrincipal:
+			key = testKey('D')
+		case clusterPrincipal:
+			key = testKey('A')
+		default:
+			t.Fatalf("adminSend: no key for principal %q", principal)
+		}
+		at = time.Now()
+		nonceCounter++
+		nonce = fmt.Sprintf("ad0%013d", nonceCounter)
+	} else {
+		principal = ""
+	}
+	return h.send(t, h.gwTS.URL, method, pathQuery, body, principal, key, at, nonce)
+}
+
+// leavePath is the DELETE route for one peer, URL path-escaped.
+func leavePath(peerURL string) string {
+	return PathClusterPeers + "/" + url.PathEscape(peerURL)
 }
 
 // TestClusterShardDeathMidBatch kills one of three shards and proves
@@ -697,4 +785,472 @@ func TestClusterConcurrentFanoutDuringMutation(t *testing.T) {
 		t.Errorf("fleet did not converge: %d healthy of 3", n)
 	}
 	h.assertIdentical(t, http.MethodPost, PathFreqBatch, freqBatchBody(t, 24, 77), false)
+}
+
+// TestClusterProberReconcilesAtBoot is the regression test for the
+// prober blind-spot bug: StartProber must run one synchronous
+// reconciliation pass before its first tick, so a shard that is dead at
+// gateway boot is off the ring before the gateway serves its first
+// request — not after a full probeInterval of ErrPeerUnreachable
+// failovers. The probe interval is an hour here: only the boot pass can
+// evict the dead shard, and with the pre-fix StartProber the spray
+// below routes ~1/3 of its queries into the dead host.
+func TestClusterProberReconcilesAtBoot(t *testing.T) {
+	h := newClusterHarness(t, 3, false, WithProbeInterval(time.Hour))
+	deadHost := hostOf(t, h.shards[0].URL)
+	h.killShard(t, 0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h.gw.StartProber(ctx)
+
+	if h.gw.ring.Contains(h.shards[0].URL) {
+		t.Fatal("dead-at-boot shard still on the ring after StartProber returned")
+	}
+
+	// From the first request on, no traffic may be routed at the dead
+	// shard (the boot probe itself is exempt — it must dial to learn).
+	var mu sync.Mutex
+	dialedDead := 0
+	h.kill.observe(func(req *http.Request) {
+		if req.URL.Host == deadHost && req.URL.Path != obs.PathReadyz {
+			mu.Lock()
+			dialedDead++
+			mu.Unlock()
+		}
+	})
+	defer h.kill.observe(nil)
+	rng := rand.New(rand.NewPCG(41, 0))
+	for i := 0; i < 60; i++ {
+		x, y := rng.Float64()*12_000, rng.Float64()*12_000
+		pathQuery := fmt.Sprintf("%s?x=%.0f&y=%.0f&r=400", PathFreq, x, y)
+		resp := h.send(t, h.gwTS.URL, http.MethodGet, pathQuery, nil, "", nil, time.Time{}, "")
+		if resp.status != http.StatusOK {
+			t.Fatalf("query %d after boot probe = %d: %s", i, resp.status, resp.body)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if dialedDead != 0 {
+		t.Errorf("%d requests routed to the dead-at-boot shard after StartProber", dialedDead)
+	}
+}
+
+// TestClusterRetryAfterSubSecondHint is the regression test for the
+// dropped-header bug: a shard shedding with a sub-second Retry-After
+// hint must surface as a gateway 503 whose Retry-After is floored to 1,
+// not silently dropped (which sends clients into full exponential
+// backoff). Whole-second hints pass through; an absent hint stays
+// absent.
+func TestClusterRetryAfterSubSecondHint(t *testing.T) {
+	gw, err := NewClusterGateway([]string{"http://unused.invalid:1"},
+		WithClusterLogger(log.New(io.Discard, "", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		hint time.Duration
+		want string
+	}{
+		{"sub_second_floored", 500 * time.Millisecond, "1"},
+		{"whole_seconds_pass", 2 * time.Second, "2"},
+		{"no_hint_no_header", 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			gw.writeUpstreamError(rec, &OverloadedError{
+				Path: PathFreq, Message: "shed", RetryAfter: tc.hint,
+			})
+			if rec.Code != http.StatusServiceUnavailable {
+				t.Fatalf("status = %d, want 503", rec.Code)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.want {
+				t.Errorf("Retry-After = %q, want %q (hint %s)", got, tc.want, tc.hint)
+			}
+		})
+	}
+}
+
+// TestClusterReplicaReads covers the replicated single-GET path: the
+// common case stays one RPC under the hedging delay, a dead primary
+// fails over to the next replica inside the same request, and a slow
+// primary is hedged — with the replica.* metrics booking each event.
+func TestClusterReplicaReads(t *testing.T) {
+	const pathQuery = PathFreq + "?x=6000&y=6000&r=900"
+
+	t.Run("common_case_one_rpc", func(t *testing.T) {
+		h := newClusterHarness(t, 3, false, WithReplicas(3), WithHedgeDelay(2*time.Second))
+		var mu sync.Mutex
+		freqCalls := 0
+		h.kill.observe(func(req *http.Request) {
+			if req.URL.Path == PathFreq {
+				mu.Lock()
+				freqCalls++
+				mu.Unlock()
+			}
+		})
+		h.assertIdentical(t, http.MethodGet, pathQuery, nil, false)
+		mu.Lock()
+		defer mu.Unlock()
+		if freqCalls != 1 {
+			t.Errorf("healthy replicated GET made %d shard calls, want 1", freqCalls)
+		}
+	})
+
+	t.Run("dead_primary_fails_over", func(t *testing.T) {
+		h := newClusterHarness(t, 3, false, WithReplicas(2), WithHedgeDelay(2*time.Second))
+		replicas := h.gw.replicaPeers(h.gw.keyFor(6000, 6000))
+		if len(replicas) != 2 {
+			t.Fatalf("replica set size %d, want 2", len(replicas))
+		}
+		for i, ts := range h.shards {
+			if ts.URL == replicas[0].url {
+				h.killShard(t, i)
+			}
+		}
+		h.assertIdentical(t, http.MethodGet, pathQuery, nil, false)
+		if h.gw.ring.Contains(replicas[0].url) {
+			t.Error("dead primary not evicted by the replica failover")
+		}
+		snap := fetchSnapshot(t, h.gwTS.URL)
+		if snap.Counters[MetricClusterReplicaFailovers] < 1 {
+			t.Errorf("replica.failovers = %d, want >= 1", snap.Counters[MetricClusterReplicaFailovers])
+		}
+		if snap.Counters[MetricClusterReplicaSecondaryWins] < 1 {
+			t.Errorf("replica.wins.secondary = %d, want >= 1", snap.Counters[MetricClusterReplicaSecondaryWins])
+		}
+	})
+
+	t.Run("slow_primary_hedged", func(t *testing.T) {
+		h := newClusterHarness(t, 3, false, WithReplicas(2), WithHedgeDelay(5*time.Millisecond))
+		replicas := h.gw.replicaPeers(h.gw.keyFor(6000, 6000))
+		h.kill.lag(hostOf(t, replicas[0].url), 300*time.Millisecond)
+		defer h.kill.lag(hostOf(t, replicas[0].url), 0)
+		h.assertIdentical(t, http.MethodGet, pathQuery, nil, false)
+		snap := fetchSnapshot(t, h.gwTS.URL)
+		if snap.Counters[MetricClusterReplicaHedges] < 1 {
+			t.Errorf("replica.hedges = %d, want >= 1", snap.Counters[MetricClusterReplicaHedges])
+		}
+		if snap.Counters[MetricClusterReplicaSecondaryWins] < 1 {
+			t.Errorf("replica.wins.secondary = %d, want >= 1", snap.Counters[MetricClusterReplicaSecondaryWins])
+		}
+	})
+}
+
+// TestClusterDifferentialReplicas re-runs the full differential surface
+// with replication turned all the way up and an aggressive hedging
+// delay, so most GETs race several shards: whoever wins, the response
+// must stay byte-identical to the single gspd.
+func TestClusterDifferentialReplicas(t *testing.T) {
+	h := newClusterHarness(t, 3, false, WithReplicas(3), WithHedgeDelay(time.Millisecond))
+	for _, tc := range differentialSurface(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			h.assertIdentical(t, tc.method, tc.pathQuery, tc.body, false)
+		})
+	}
+}
+
+// TestClusterMembershipAdminAuth pins the admin surface's tenant rules,
+// mirroring the budget endpoints: unsigned mutations 401 under auth, a
+// non-admin tenant's valid signature 403s, the admin principal passes,
+// reads stay open to any verified principal — and a gateway with auth
+// but no configured admin refuses every mutation (fail closed).
+func TestClusterMembershipAdminAuth(t *testing.T) {
+	h := newClusterHarness(t, 2, true, WithClusterAdmin(adminPrincipal))
+	spare := h.newShard(t)
+
+	if resp := h.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(spare.URL), false, ""); resp.status != http.StatusUnauthorized {
+		t.Errorf("unsigned join = %d, want 401", resp.status)
+	}
+	resp := h.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(spare.URL), true, clusterPrincipal)
+	if resp.status != http.StatusForbidden {
+		t.Errorf("tenant-signed join = %d, want 403 (%s)", resp.status, resp.body)
+	}
+	if !strings.Contains(string(resp.body), "principal_mismatch") {
+		t.Errorf("403 body lacks the structured reason: %s", resp.body)
+	}
+	resp = h.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(spare.URL), true, adminPrincipal)
+	if resp.status != http.StatusOK {
+		t.Fatalf("admin-signed join = %d (%s)", resp.status, resp.body)
+	}
+	var peers ClusterPeersResponse
+	if err := json.Unmarshal(resp.body, &peers); err != nil {
+		t.Fatal(err)
+	}
+	if len(peers.Peers) != 3 {
+		t.Errorf("post-join membership %d, want 3", len(peers.Peers))
+	}
+
+	// Reads are open to any verified principal.
+	if resp := h.adminSend(t, http.MethodGet, PathClusterPeers, nil, true, clusterPrincipal); resp.status != http.StatusOK {
+		t.Errorf("tenant-signed list = %d, want 200", resp.status)
+	}
+
+	if resp := h.adminSend(t, http.MethodDelete, leavePath(spare.URL), nil, true, clusterPrincipal); resp.status != http.StatusForbidden {
+		t.Errorf("tenant-signed leave = %d, want 403", resp.status)
+	}
+	if resp := h.adminSend(t, http.MethodDelete, leavePath(spare.URL), nil, true, adminPrincipal); resp.status != http.StatusOK {
+		t.Errorf("admin-signed leave = %d (%s)", resp.status, resp.body)
+	}
+
+	// No admin configured: even the admin principal's valid signature is
+	// refused — the gateway fails closed rather than guessing a tenant.
+	closed := newClusterHarness(t, 2, true)
+	if resp := closed.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(spare.URL), true, adminPrincipal); resp.status != http.StatusForbidden {
+		t.Errorf("join without a configured admin = %d, want 403", resp.status)
+	}
+}
+
+// TestClusterMembershipChurnDifferential is the acceptance-criteria
+// e2e: a replica-enabled fleet undergoing a join → leave → rejoin churn
+// sequence must stay byte-identical to a single gspd across the full
+// endpoint surface after every transition, with auth both off and on.
+func TestClusterMembershipChurnDifferential(t *testing.T) {
+	for _, withAuth := range []bool{false, true} {
+		t.Run(fmt.Sprintf("auth=%v", withAuth), func(t *testing.T) {
+			h := newClusterHarness(t, 2, withAuth,
+				WithReplicas(2),
+				WithClusterAdmin(adminPrincipal),
+				WithWarmMaxCells(64))
+			spare := h.newShard(t)
+			surface := differentialSurface(t)
+			runSurface := func(stage string) {
+				t.Helper()
+				for _, tc := range surface {
+					h.assertIdentical(t, tc.method, tc.pathQuery, tc.body, withAuth)
+				}
+				if t.Failed() {
+					t.Fatalf("surface diverged after %s", stage)
+				}
+			}
+			join := func(u string) {
+				t.Helper()
+				if resp := h.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(u), withAuth, adminPrincipal); resp.status != http.StatusOK {
+					t.Fatalf("join %s = %d (%s)", u, resp.status, resp.body)
+				}
+			}
+			leave := func(u string) {
+				t.Helper()
+				if resp := h.adminSend(t, http.MethodDelete, leavePath(u), nil, withAuth, adminPrincipal); resp.status != http.StatusOK {
+					t.Fatalf("leave %s = %d (%s)", u, resp.status, resp.body)
+				}
+			}
+
+			runSurface("boot")
+			join(spare.URL)
+			runSurface("join")
+			leave(h.shards[0].URL)
+			runSurface("leave")
+			join(h.shards[0].URL)
+			runSurface("rejoin")
+
+			snap := fetchSnapshot(t, h.gwTS.URL)
+			if got := snap.Counters[MetricClusterJoins]; got != 2 {
+				t.Errorf("membership.joins = %d, want 2", got)
+			}
+			if got := snap.Counters[MetricClusterLeaves]; got != 1 {
+				t.Errorf("membership.leaves = %d, want 1", got)
+			}
+			if got := snap.Counters[MetricClusterWarmCells]; got < 1 {
+				t.Errorf("warm.cells = %d, want >= 1", got)
+			}
+			if got := snap.Counters[MetricClusterPeers]; got != 3 {
+				t.Errorf("cluster.peers = %d, want 3 after churn", got)
+			}
+		})
+	}
+}
+
+// TestClusterPreWarmReplaysMovedCells proves the pre-warm protocol does
+// exactly what DESIGN.md says: for every cell the post-join ring moves
+// onto the joiner, the donor (the cell's current owner) is asked for
+// its frequency vector once and the joiner is driven through the same
+// query once — and nothing else is warmed.
+func TestClusterPreWarmReplaysMovedCells(t *testing.T) {
+	h := newClusterHarness(t, 2, false)
+	spare := h.newShard(t)
+
+	// City bounds from the reference node, then the same scratch-ring
+	// arithmetic the gateway uses to compute the moved-cell set.
+	resp := h.send(t, h.single.URL, http.MethodGet, PathStats, nil, "", nil, time.Time{}, "")
+	var stats StatsResponse
+	if err := json.Unmarshal(resp.body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	before := cluster.New(cluster.DefaultVirtualNodes)
+	after := cluster.New(cluster.DefaultVirtualNodes)
+	for _, ts := range h.shards {
+		before.Add(ts.URL)
+		after.Add(ts.URL)
+	}
+	after.Add(spare.URL)
+	cs := cluster.DefaultCellSize
+	type warmReq struct{ host, query string }
+	expected := make(map[warmReq]int)
+	movedCells := 0
+	x0, y0 := cluster.CellOf(stats.Bounds.MinX, stats.Bounds.MinY, cs)
+	x1, y1 := cluster.CellOf(stats.Bounds.MaxX, stats.Bounds.MaxY, cs)
+	for cx := x0; cx <= x1; cx++ {
+		for cy := y0; cy <= y1; cy++ {
+			key := cluster.Key("", cx, cy)
+			if newOwner, _ := after.Owner(key); newOwner != spare.URL {
+				continue
+			}
+			donor, _ := before.Owner(key)
+			movedCells++
+			l := geo.Point{X: (float64(cx) + 0.5) * cs, Y: (float64(cy) + 0.5) * cs}
+			query := locationParams(l, cs).Encode()
+			expected[warmReq{hostOf(t, donor), query}]++
+			expected[warmReq{hostOf(t, spare.URL), query}]++
+		}
+	}
+	if movedCells == 0 {
+		t.Fatal("ring arithmetic moved no cells to the joiner")
+	}
+
+	var mu sync.Mutex
+	got := make(map[warmReq]int)
+	h.kill.observe(func(req *http.Request) {
+		if req.URL.Path != PathFreq {
+			return
+		}
+		mu.Lock()
+		got[warmReq{req.URL.Host, req.URL.Query().Encode()}]++
+		mu.Unlock()
+	})
+	if resp := h.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(spare.URL), false, ""); resp.status != http.StatusOK {
+		t.Fatalf("join = %d (%s)", resp.status, resp.body)
+	}
+	h.kill.observe(nil)
+
+	mu.Lock()
+	defer mu.Unlock()
+	for want, n := range expected {
+		if got[want] != n {
+			t.Errorf("warm request %s?%s seen %d times, want %d", want.host, want.query, got[want], n)
+		}
+	}
+	for seen := range got {
+		if _, ok := expected[seen]; !ok {
+			t.Errorf("unexpected warm request %s?%s", seen.host, seen.query)
+		}
+	}
+	snap := fetchSnapshot(t, h.gwTS.URL)
+	if got := snap.Counters[MetricClusterWarmCells]; got != uint64(movedCells) {
+		t.Errorf("warm.cells = %d, want %d", got, movedCells)
+	}
+}
+
+// TestClusterJoinRejectsMismatchedCity: pre-warm doubles as a
+// consistency gate. A candidate shard serving a different city answers
+// the warm queries differently than its donors, so the join must be
+// refused with a 409 and the fleet must keep serving byte-identically —
+// admitting the alien shard would break the gateway's core invariant.
+func TestClusterJoinRejectsMismatchedCity(t *testing.T) {
+	h := newClusterHarness(t, 2, false)
+	p := citygen.Beijing(97)
+	p.NumPOIs = 800
+	p.NumTypes = 60
+	p.Width, p.Height = 12_000, 12_000
+	alienCity, err := citygen.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := httptest.NewServer(NewGSPServer(gsp.NewService(alienCity.City, 1<<12),
+		WithLogger(log.New(io.Discard, "", 0))))
+	defer alien.Close()
+
+	resp := h.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(alien.URL), false, "")
+	if resp.status != http.StatusConflict {
+		t.Fatalf("alien join = %d, want 409 (%s)", resp.status, resp.body)
+	}
+	if !strings.Contains(string(resp.body), "pre-warm") {
+		t.Errorf("409 body does not name pre-warm: %s", resp.body)
+	}
+	if h.gw.ring.Contains(alien.URL) {
+		t.Error("alien shard leaked onto the ring")
+	}
+	if _, ok := h.gw.table.get(alien.URL); ok {
+		t.Error("alien shard leaked into the peer table")
+	}
+	snap := fetchSnapshot(t, h.gwTS.URL)
+	if got := snap.Counters[MetricClusterWarmErrors]; got < 1 {
+		t.Errorf("warm.errors = %d, want >= 1", got)
+	}
+	h.assertIdentical(t, http.MethodGet, PathFreq+"?x=6000&y=6000&r=900", nil, false)
+	h.assertIdentical(t, http.MethodPost, PathFreqBatch, freqBatchBody(t, 32, 55), false)
+}
+
+// TestClusterConcurrentMembershipChurn is the satellite race stress:
+// admin joins and leaves churn a spare shard while single GETs and
+// batch fan-outs hammer the gateway. Under -race this proves the peer
+// table / ring / metrics locking; the assertions prove every in-flight
+// response stays structurally sound across membership transitions.
+func TestClusterConcurrentMembershipChurn(t *testing.T) {
+	h := newClusterHarness(t, 3, false, WithReplicas(2), WithWarmMaxCells(4))
+	spare := h.newShard(t)
+
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; i < 10; i++ {
+			if resp := h.adminSend(t, http.MethodPost, PathClusterPeers, joinBody(spare.URL), false, ""); resp.status != http.StatusOK {
+				t.Errorf("churn join %d = %d (%s)", i, resp.status, resp.body)
+				return
+			}
+			if resp := h.adminSend(t, http.MethodDelete, leavePath(spare.URL), nil, false, ""); resp.status != http.StatusOK {
+				t.Errorf("churn leave %d = %d (%s)", i, resp.status, resp.body)
+				return
+			}
+		}
+	}()
+
+	var senders sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		senders.Add(1)
+		go func(s int) {
+			defer senders.Done()
+			rng := rand.New(rand.NewPCG(uint64(900+s), 0))
+			body := freqBatchBody(t, 24, uint64(300+s))
+			for i := 0; i < 25; i++ {
+				x, y := rng.Float64()*12_000, rng.Float64()*12_000
+				pathQuery := fmt.Sprintf("%s?x=%.0f&y=%.0f&r=500", PathFreq, x, y)
+				if resp := h.send(t, h.gwTS.URL, http.MethodGet, pathQuery, nil, "", nil, time.Time{}, ""); resp.status != http.StatusOK {
+					t.Errorf("sender %d iter %d: GET = %d (%s)", s, i, resp.status, resp.body)
+					return
+				}
+				resp := h.send(t, h.gwTS.URL, http.MethodPost, PathFreqBatch, body, "", nil, time.Time{}, "")
+				if resp.status != http.StatusOK {
+					t.Errorf("sender %d iter %d: batch = %d", s, i, resp.status)
+					return
+				}
+				var out FreqBatchResponse
+				if err := json.Unmarshal(resp.body, &out); err != nil {
+					t.Errorf("sender %d iter %d: %v", s, i, err)
+					return
+				}
+				if len(out.Results) != 24 {
+					t.Errorf("sender %d iter %d: %d results, want 24", s, i, len(out.Results))
+					return
+				}
+				for j, res := range out.Results {
+					if res.Error == "" && res.Freq == nil {
+						t.Errorf("sender %d iter %d item %d: neither result nor error", s, i, j)
+						return
+					}
+				}
+			}
+		}(s)
+	}
+	senders.Wait()
+	churn.Wait()
+
+	// Quiesce: whatever state the churn ended in, the fleet must still
+	// answer byte-identically.
+	h.gw.ProbeOnce(context.Background())
+	h.assertIdentical(t, http.MethodPost, PathFreqBatch, freqBatchBody(t, 24, 78), false)
+	h.assertIdentical(t, http.MethodGet, PathFreq+"?x=6000&y=6000&r=900", nil, false)
 }

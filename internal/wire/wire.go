@@ -41,6 +41,33 @@ const (
 	PathStreamReleases = "/v1/stream/releases"
 )
 
+// PathClusterPeers is the cluster gateway's membership admin surface:
+// GET lists the fleet, POST {"url": ...} joins a shard (readiness
+// probe + cache pre-warm first), DELETE /v1/cluster/peers/{url} (URL
+// path-escaped) retires one. Under auth the mutations are restricted
+// to the WithClusterAdmin principal.
+const PathClusterPeers = "/v1/cluster/peers"
+
+// ClusterJoinRequest asks the gateway to admit a shard.
+type ClusterJoinRequest struct {
+	URL string `json:"url"`
+}
+
+// ClusterPeerInfo is one shard's membership row.
+type ClusterPeerInfo struct {
+	URL string `json:"url"`
+	// Index is the shard's metrics index ("cluster.shard.<index>.*");
+	// indices grow monotonically and are never reused.
+	Index   int  `json:"index"`
+	Healthy bool `json:"healthy"`
+}
+
+// ClusterPeersResponse is the membership listing returned by every
+// /v1/cluster/peers verb.
+type ClusterPeersResponse struct {
+	Peers []ClusterPeerInfo `json:"peers"`
+}
+
 // HeaderPrincipal names the request header carrying the privacy-budget
 // principal on POST /v1/release. A ?principal= query parameter is the
 // fallback; with neither, the release's userId is charged.
